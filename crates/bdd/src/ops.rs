@@ -1,0 +1,322 @@
+//! Memoized boolean connectives: `not`, `and`, `or`, `xor`, `ite`, and the
+//! derived operations (`implies`, `iff`, `diff`) the synthesizer uses.
+
+use crate::manager::{Bdd, BinOp, Manager};
+
+impl Manager {
+    /// Negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f.is_false() {
+            return Bdd::TRUE;
+        }
+        if f.is_true() {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&f.0) {
+            return Bdd(r);
+        }
+        let n = self.node(f);
+        let lo = self.not(Bdd(n.lo));
+        let hi = self.not(Bdd(n.hi));
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f.0, r.0);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply_bin(BinOp::And, f, g)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply_bin(BinOp::Or, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply_bin(BinOp::Xor, f, g)
+    }
+
+    /// Implication `f ⇒ g`, i.e. `¬f ∨ g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Biconditional `f ⇔ g`, i.e. `¬(f ⊕ g)`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Set difference `f ∧ ¬g` (reads naturally when BDDs denote state sets).
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Conjunction of a slice of functions (right fold; `true` for empty).
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of a slice of functions (`false` for empty).
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// If-then-else `(f ∧ g) ∨ (¬f ∧ h)` — the universal ternary connective.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal and absorption cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return self.not(f);
+        }
+        if f == g {
+            return self.or(f, h); // ite(f,f,h) = f ∨ h
+        }
+        if f == h {
+            return self.and(f, g); // ite(f,g,f) = f ∧ g
+        }
+        let key = (f.0, g.0, h.0);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return Bdd(r);
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk_level(top, lo, hi);
+        self.ite_cache.insert(key, r.0);
+        r
+    }
+
+    /// Does `f ⇒ g` hold for all assignments? (Set inclusion when BDDs
+    /// denote sets.) Computed without materializing the implication.
+    pub fn implies_holds(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.diff(f, g).is_false()
+    }
+
+    /// Do `f` and `g` share a satisfying assignment? (Set intersection
+    /// non-emptiness.)
+    pub fn intersects(&mut self, f: Bdd, g: Bdd) -> bool {
+        !self.and(f, g).is_false()
+    }
+
+    /// Both cofactors of `f` with respect to the variable at `level`
+    /// (which must be at or above `f`'s own top level).
+    #[inline]
+    pub(crate) fn cofactors_at(&self, f: Bdd, level: u32) -> (Bdd, Bdd) {
+        if self.level(f) == level {
+            let n = self.node(f);
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (f, f)
+        }
+    }
+
+    fn apply_bin(&mut self, op: BinOp, mut f: Bdd, mut g: Bdd) -> Bdd {
+        // Terminal cases per operator.
+        match op {
+            BinOp::And => {
+                if f.is_false() || g.is_false() {
+                    return Bdd::FALSE;
+                }
+                if f.is_true() {
+                    return g;
+                }
+                if g.is_true() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            BinOp::Or => {
+                if f.is_true() || g.is_true() {
+                    return Bdd::TRUE;
+                }
+                if f.is_false() {
+                    return g;
+                }
+                if g.is_false() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            BinOp::Xor => {
+                if f == g {
+                    return Bdd::FALSE;
+                }
+                if f.is_false() {
+                    return g;
+                }
+                if g.is_false() {
+                    return f;
+                }
+                if f.is_true() {
+                    return self.not(g);
+                }
+                if g.is_true() {
+                    return self.not(f);
+                }
+            }
+        }
+        // All three operators are commutative: normalize the cache key.
+        if f.0 > g.0 {
+            std::mem::swap(&mut f, &mut g);
+        }
+        let key = (op, f.0, g.0);
+        if let Some(&r) = self.bin_cache.get(&key) {
+            return Bdd(r);
+        }
+        let top = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let lo = self.apply_bin(op, f0, g0);
+        let hi = self.apply_bin(op, f1, g1);
+        let r = self.mk_level(top, lo, hi);
+        self.bin_cache.insert(key, r.0);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup3() -> (Manager, Bdd, Bdd, Bdd) {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let c = m.new_var();
+        let (fa, fb, fc) = (m.var(a), m.var(b), m.var(c));
+        (m, fa, fb, fc)
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, a, b, _) = setup3();
+        let lhs = {
+            let x = m.and(a, b);
+            m.not(x)
+        };
+        let rhs = {
+            let na = m.not(a);
+            let nb = m.not(b);
+            m.or(na, nb)
+        };
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn double_negation() {
+        let (mut m, a, b, _) = setup3();
+        let f = m.xor(a, b);
+        let nf = m.not(f);
+        assert_eq!(m.not(nf), f);
+    }
+
+    #[test]
+    fn distributivity() {
+        let (mut m, a, b, c) = setup3();
+        let bc = m.or(b, c);
+        let lhs = m.and(a, bc);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let rhs = m.or(ab, ac);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_via_ite() {
+        let (mut m, a, b, _) = setup3();
+        let nb = m.not(b);
+        let via_ite = m.ite(a, nb, b);
+        assert_eq!(via_ite, m.xor(a, b));
+    }
+
+    #[test]
+    fn ite_absorptions() {
+        let (mut m, a, b, c) = setup3();
+        assert_eq!(m.ite(Bdd::TRUE, b, c), b);
+        assert_eq!(m.ite(Bdd::FALSE, b, c), c);
+        assert_eq!(m.ite(a, b, b), b);
+        assert_eq!(m.ite(a, Bdd::TRUE, Bdd::FALSE), a);
+        let na = m.not(a);
+        assert_eq!(m.ite(a, Bdd::FALSE, Bdd::TRUE), na);
+        let a_or_c = m.or(a, c);
+        assert_eq!(m.ite(a, a, c), a_or_c);
+        let a_and_b = m.and(a, b);
+        assert_eq!(m.ite(a, b, a), a_and_b);
+    }
+
+    #[test]
+    fn implies_and_iff() {
+        let (mut m, a, b, _) = setup3();
+        let ab = m.and(a, b);
+        assert!(m.implies_holds(ab, a));
+        assert!(!m.implies_holds(a, ab));
+        let i1 = m.iff(a, a);
+        assert!(i1.is_true());
+        let i2 = m.iff(a, b);
+        let x = m.xor(a, b);
+        let nx = m.not(x);
+        assert_eq!(i2, nx);
+    }
+
+    #[test]
+    fn many_folds() {
+        let (mut m, a, b, c) = setup3();
+        let all = m.and_many(&[a, b, c]);
+        let ab = m.and(a, b);
+        let abc = m.and(ab, c);
+        assert_eq!(all, abc);
+        let any = m.or_many(&[a, b, c]);
+        let ob = m.or(a, b);
+        let obc = m.or(ob, c);
+        assert_eq!(any, obc);
+        assert!(m.and_many(&[]).is_true());
+        assert!(m.or_many(&[]).is_false());
+    }
+
+    #[test]
+    fn intersects_and_diff() {
+        let (mut m, a, b, _) = setup3();
+        let na = m.not(a);
+        assert!(!m.intersects(a, na));
+        assert!(m.intersects(a, b));
+        let d = m.diff(a, a);
+        assert!(d.is_false());
+    }
+}

@@ -1,0 +1,89 @@
+//! Interned variable sets.
+//!
+//! Quantification and relational products are memoized per `(function,
+//! variable-set)` pair; interning the sets gives them a small integer
+//! identity usable as a cache key, and lets callers build the set once per
+//! protocol (e.g. "all primed variables") and reuse it across thousands of
+//! image computations.
+
+use crate::manager::{Manager, VarId};
+
+/// Identity of an interned, sorted, duplicate-free set of variables.
+///
+/// Internally the set is stored as *levels* under the variable order that
+/// was current at interning time; the id therefore carries the reorder
+/// generation and is rejected (panic) if used after a [`Manager::sift`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarSetId {
+    pub(crate) gen: u32,
+    pub(crate) idx: u32,
+}
+
+impl Manager {
+    /// Intern a set of variables; order and duplicates in the input are
+    /// irrelevant. Returns a stable id for use with [`Manager::exists`],
+    /// [`Manager::forall`] and [`Manager::and_exists`]. The id is valid
+    /// until the next reordering.
+    pub fn varset(&mut self, vars: &[VarId]) -> VarSetId {
+        let mut levels: Vec<u32> = vars.iter().map(|v| self.perm[v.0 as usize]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let gen = self.order_generation;
+        if let Some(&idx) = self.varset_ids.get(&levels) {
+            return VarSetId { gen, idx };
+        }
+        let idx = u32::try_from(self.varsets.len()).expect("too many varsets");
+        self.varsets.push(levels.clone());
+        self.varset_ids.insert(levels, idx);
+        VarSetId { gen, idx }
+    }
+
+    /// Validate a varset id against the current order generation.
+    #[inline]
+    pub(crate) fn check_varset(&self, id: VarSetId) {
+        assert_eq!(
+            id.gen, self.order_generation,
+            "varset was interned before a reordering; re-intern it"
+        );
+    }
+
+    /// The levels in an interned set (sorted ascending).
+    pub fn varset_levels(&self, id: VarSetId) -> &[u32] {
+        self.check_varset(id);
+        &self.varsets[id.idx as usize]
+    }
+
+    /// The members of an interned set as [`VarId`]s.
+    pub fn varset_vars(&self, id: VarSetId) -> Vec<VarId> {
+        self.check_varset(id);
+        self.varsets[id.idx as usize]
+            .iter()
+            .map(|&l| VarId(self.invperm[l as usize]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let a = m.varset(&[vs[2], vs[0], vs[2]]);
+        let b = m.varset(&[vs[0], vs[2]]);
+        assert_eq!(a, b);
+        assert_eq!(m.varset_levels(a), &[0, 2]);
+        let c = m.varset(&[vs[1]]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_set_is_fine() {
+        let mut m = Manager::new();
+        let e = m.varset(&[]);
+        assert!(m.varset_levels(e).is_empty());
+        assert!(m.varset_vars(e).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based verification of the BDD package against a truth-table
+//! oracle: random boolean expressions over ≤ 5 variables are compiled to
+//! BDDs and to plain closures, and every operation's semantics, the
+//! canonical-form guarantee, quantification, renaming and the
+//! Coudert–Madre minimizers are checked on all 32 assignments.
+
+use proptest::prelude::*;
+use stsyn_bdd::{Bdd, Manager, VarId};
+
+/// A serializable random boolean expression.
+#[derive(Debug, Clone)]
+enum Form {
+    Var(usize),
+    Not(Box<Form>),
+    And(Box<Form>, Box<Form>),
+    Or(Box<Form>, Box<Form>),
+    Xor(Box<Form>, Box<Form>),
+    Ite(Box<Form>, Box<Form>, Box<Form>),
+    Const(bool),
+}
+
+fn arb_form() -> impl Strategy<Value = Form> {
+    let leaf = prop_oneof![
+        (0usize..5).prop_map(Form::Var),
+        any::<bool>().prop_map(Form::Const),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Form::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Form::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn build(m: &mut Manager, vars: &[VarId], f: &Form) -> Bdd {
+    match f {
+        Form::Var(i) => m.var(vars[*i]),
+        Form::Const(b) => {
+            if *b {
+                m.one()
+            } else {
+                m.zero()
+            }
+        }
+        Form::Not(a) => {
+            let x = build(m, vars, a);
+            m.not(x)
+        }
+        Form::And(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.and(x, y)
+        }
+        Form::Or(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.or(x, y)
+        }
+        Form::Xor(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.xor(x, y)
+        }
+        Form::Ite(a, b, c) => {
+            let (x, y, z) = (build(m, vars, a), build(m, vars, b), build(m, vars, c));
+            m.ite(x, y, z)
+        }
+    }
+}
+
+fn eval(f: &Form, asg: &[bool]) -> bool {
+    match f {
+        Form::Var(i) => asg[*i],
+        Form::Const(b) => *b,
+        Form::Not(a) => !eval(a, asg),
+        Form::And(a, b) => eval(a, asg) && eval(b, asg),
+        Form::Or(a, b) => eval(a, asg) || eval(b, asg),
+        Form::Xor(a, b) => eval(a, asg) ^ eval(b, asg),
+        Form::Ite(a, b, c) => {
+            if eval(a, asg) {
+                eval(b, asg)
+            } else {
+                eval(c, asg)
+            }
+        }
+    }
+}
+
+fn assignments() -> Vec<Vec<bool>> {
+    (0..32u32).map(|bits| (0..5).map(|i| (bits >> i) & 1 == 1).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_bdd_matches_oracle(form in arb_form()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &form);
+        for asg in assignments() {
+            prop_assert_eq!(m.eval(f, &asg), eval(&form, &asg));
+        }
+    }
+
+    #[test]
+    fn canonicity_equivalent_forms_share_a_handle(a in arb_form(), b in arb_form()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let fa = build(&mut m, &vars, &a);
+        let fb = build(&mut m, &vars, &b);
+        let equivalent = assignments().iter().all(|asg| eval(&a, asg) == eval(&b, asg));
+        prop_assert_eq!(fa == fb, equivalent);
+    }
+
+    #[test]
+    fn quantification_matches_oracle(form in arb_form(), qvar in 0usize..5) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &form);
+        let set = m.varset(&[vars[qvar]]);
+        let ex = m.exists(f, set);
+        let fa = m.forall(f, set);
+        for asg in assignments() {
+            let mut a0 = asg.clone();
+            let mut a1 = asg.clone();
+            a0[qvar] = false;
+            a1[qvar] = true;
+            prop_assert_eq!(m.eval(ex, &asg), eval(&form, &a0) || eval(&form, &a1));
+            prop_assert_eq!(m.eval(fa, &asg), eval(&form, &a0) && eval(&form, &a1));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_oracle(form in arb_form()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &form);
+        let expected = assignments().iter().filter(|asg| eval(&form, asg)).count();
+        prop_assert_eq!(m.sat_count(f, 5), expected as f64);
+    }
+
+    #[test]
+    fn cube_cover_is_exact(form in arb_form()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &form);
+        let mut rebuilt = Bdd::FALSE;
+        for cube in m.cubes(f).collect::<Vec<_>>() {
+            let lits: Vec<Bdd> = cube.iter().map(|&(v, b)| m.literal(v, b)).collect();
+            let c = m.and_many(&lits);
+            rebuilt = m.or(rebuilt, c);
+        }
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn minimizers_agree_on_care_set(f_form in arb_form(), c_form in arb_form()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &f_form);
+        let c = build(&mut m, &vars, &c_form);
+        prop_assume!(!c.is_false());
+        let g1 = m.constrain(f, c);
+        let g2 = m.restrict(f, c);
+        let fc = m.and(f, c);
+        let g1c = m.and(g1, c);
+        let g2c = m.and(g2, c);
+        prop_assert_eq!(g1c, fc);
+        prop_assert_eq!(g2c, fc);
+        // restrict never introduces variables outside f's support.
+        let sup_f = m.support(f);
+        for v in m.support(g2) {
+            prop_assert!(sup_f.contains(&v));
+        }
+    }
+
+    #[test]
+    fn gc_preserves_rooted_semantics(form in arb_form()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &form);
+        // Create garbage, collect with only f rooted.
+        for i in 0..4 {
+            let a = m.var(vars[i]);
+            let b = m.var(vars[i + 1]);
+            let _ = m.xor(a, b);
+        }
+        m.gc(&[f]);
+        for asg in assignments() {
+            prop_assert_eq!(m.eval(f, &asg), eval(&form, &asg));
+        }
+    }
+
+    #[test]
+    fn sift_preserves_semantics_and_never_grows(form in arb_form()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &form);
+        let (before, after) = m.sift(&[f]);
+        prop_assert!(after <= before, "sift grew the root cone {before} → {after}");
+        prop_assert!(m.check_order_invariant());
+        for asg in assignments() {
+            prop_assert_eq!(m.eval(f, &asg), eval(&form, &asg));
+        }
+        // The manager stays fully operational in the new order.
+        let g = m.not(f);
+        let h = m.or(f, g);
+        prop_assert!(h.is_true());
+    }
+
+    #[test]
+    fn rename_shifts_semantics(form in arb_form()) {
+        // Map variable i → i + 5 (order preserving); the renamed function
+        // over shifted assignments must equal the original.
+        let mut m = Manager::new();
+        let lo = m.new_vars(5);
+        let hi = m.new_vars(5);
+        let f = build(&mut m, &lo, &form);
+        let pairs: Vec<(VarId, VarId)> =
+            lo.iter().copied().zip(hi.iter().copied()).collect();
+        let map = m.rename_map(&pairs);
+        let g = m.rename(f, map);
+        for asg in assignments() {
+            let mut shifted = vec![false; 10];
+            shifted[5..].copy_from_slice(&asg);
+            prop_assert_eq!(m.eval(g, &shifted), eval(&form, &asg));
+        }
+    }
+}

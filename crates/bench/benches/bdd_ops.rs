@@ -1,0 +1,74 @@
+//! Microbenchmarks of the BDD substrate on the workload shapes the
+//! synthesizer produces: building a partitioned ring transition relation,
+//! image/preimage steps, and garbage collection — the operations whose
+//! cost §VII attributes the tool's bottlenecks to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsyn_cases::{coloring, dijkstra_token_ring};
+use stsyn_symbolic::SymbolicContext;
+
+fn bench_relation_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_relation_build");
+    group.sample_size(10);
+    for n in [6usize, 9, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (p, _) = dijkstra_token_ring(n, 4);
+                let mut ctx = SymbolicContext::new(p);
+                black_box(ctx.protocol_relation())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_image_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_image_preimage");
+    group.sample_size(10);
+    for k in [10usize, 20] {
+        group.bench_with_input(BenchmarkId::new("preimage", k), &k, |b, &k| {
+            let (p, i_expr) = coloring(k);
+            let mut ctx = SymbolicContext::new(p);
+            // Use the manually known solution relation shape: build all
+            // candidate groups' union as a realistic relation.
+            let i = ctx.compile(&i_expr);
+            let cands = stsyn_core::candidates::CandidateSet::build(&mut ctx, i);
+            let t = cands.pim(&mut ctx, stsyn_bdd::Bdd::FALSE);
+            b.iter(|| black_box(ctx.pre(t, i)));
+        });
+        group.bench_with_input(BenchmarkId::new("image", k), &k, |b, &k| {
+            let (p, i_expr) = coloring(k);
+            let mut ctx = SymbolicContext::new(p);
+            let i = ctx.compile(&i_expr);
+            let cands = stsyn_core::candidates::CandidateSet::build(&mut ctx, i);
+            let t = cands.pim(&mut ctx, stsyn_bdd::Bdd::FALSE);
+            let not_i = ctx.not_states(i);
+            b.iter(|| black_box(ctx.img(t, not_i)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_gc");
+    group.sample_size(10);
+    group.bench_function("gc_after_ranks_coloring15", |b| {
+        b.iter(|| {
+            let (p, i_expr) = coloring(15);
+            let mut ctx = SymbolicContext::new(p);
+            let i = ctx.compile(&i_expr);
+            let cands = stsyn_core::candidates::CandidateSet::build(&mut ctx, i);
+            let t = cands.pim(&mut ctx, stsyn_bdd::Bdd::FALSE);
+            let ranks = stsyn_symbolic::compute_ranks(&mut ctx, t, i);
+            let mut roots = cands.roots();
+            roots.push(t);
+            roots.extend(ranks.ranks.iter().copied());
+            black_box(ctx.gc(&roots))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relation_build, bench_image_ops, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 10 / Fig. 11 (Criterion form): synthesis time of Dijkstra's token
+//! ring at fixed domain size |D| = 4, growing the process count — the
+//! paper's least scalable case study (cycle resolution over large groups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsyn_cases::token_ring;
+use stsyn_core::{AddConvergence, Options};
+
+fn bench_token_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_token_ring_synthesis");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let (p, i) = token_ring(n, 4);
+                let problem = AddConvergence::new(p, i).unwrap();
+                let outcome = problem.synthesize(&Options::default()).unwrap();
+                black_box(outcome.stats.groups_added)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_ring);
+criterion_main!(benches);

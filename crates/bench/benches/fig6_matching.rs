@@ -1,0 +1,29 @@
+//! Fig. 6 / Fig. 7 (Criterion form): end-to-end synthesis time of maximal
+//! matching as the ring grows. The paper's full sweep reaches K = 11
+//! (~65 s per run there); Criterion needs repeated executions, so this
+//! bench covers the statistically repeatable prefix — run
+//! `reproduce fig6` for the full single-shot sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsyn_cases::matching;
+use stsyn_core::{AddConvergence, Options};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_matching_synthesis");
+    group.sample_size(10);
+    for k in [5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let (p, i) = matching(k);
+                let problem = AddConvergence::new(p, i).unwrap();
+                let outcome = problem.synthesize(&Options::default()).unwrap();
+                black_box(outcome.stats.groups_added)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 8 / Fig. 9 (Criterion form): synthesis time of three-coloring as
+//! the ring grows. The locally-correctable structure keeps SCC time at
+//! zero; the full sweep to K = 40 lives in `reproduce fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsyn_cases::coloring;
+use stsyn_core::{AddConvergence, Options};
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_coloring_synthesis");
+    group.sample_size(10);
+    for k in [5usize, 10, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let (p, i) = coloring(k);
+                let problem = AddConvergence::new(p, i).unwrap();
+                let outcome = problem.synthesize(&Options::default()).unwrap();
+                black_box(outcome.stats.groups_added)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Ablation: Rudell's sifting recovering a good order from a bad one.
+//! The blocked (non-interleaved) current/primed layout makes frame
+//! conditions balloon; sifting should restore most of the interleaved
+//! order's compactness without being told anything about the protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stsyn_cases::dijkstra_token_ring;
+use stsyn_symbolic::{SymbolicContext, VarOrder};
+
+fn bench_sift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sift_blocked_relation");
+    group.sample_size(10);
+    group.bench_function("token_ring_6_blocked", |b| {
+        b.iter(|| {
+            let (p, _) = dijkstra_token_ring(6, 4);
+            let mut ctx = SymbolicContext::with_order(p, VarOrder::Blocked);
+            let t = ctx.protocol_relation();
+            let (before, after) = ctx.mgr().sift(&[t]);
+            assert!(after <= before);
+            black_box((before, after))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sift);
+criterion_main!(benches);

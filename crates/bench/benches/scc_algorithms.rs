@@ -1,0 +1,42 @@
+//! Ablation: the three symbolic SCC algorithms on the same decomposition
+//! problem — the non-progress-cycle graph of the Gouda–Acharya matching
+//! protocol restricted to ¬I (a realistic cycle-resolution workload).
+//! The paper uses the Gentilini skeleton algorithm; this bench justifies
+//! that default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsyn_cases::gouda_acharya_matching;
+use stsyn_symbolic::scc::{scc_decomposition, SccAlgorithm};
+use stsyn_symbolic::SymbolicContext;
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc_algorithms");
+    group.sample_size(10);
+    for k in [6usize, 7] {
+        for algo in [SccAlgorithm::Skeleton, SccAlgorithm::Lockstep, SccAlgorithm::XieBeerel] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), k),
+                &(k, algo),
+                |b, &(k, algo)| {
+                    // Build once per iteration: the manager's caches would
+                    // otherwise make later iterations trivially fast.
+                    b.iter(|| {
+                        let (p, i_expr) = gouda_acharya_matching(k);
+                        let mut ctx = SymbolicContext::new(p);
+                        let t = ctx.protocol_relation();
+                        let i = ctx.compile(&i_expr);
+                        let not_i = ctx.not_states(i);
+                        let restricted = ctx.restrict_relation(t, not_i);
+                        let sccs = scc_decomposition(&mut ctx, restricted, not_i, algo);
+                        black_box(sccs.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scc);
+criterion_main!(benches);

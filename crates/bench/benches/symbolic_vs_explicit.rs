@@ -1,0 +1,63 @@
+//! Ablation: symbolic (BDD) versus explicit-state computation of the two
+//! pillars of the method — `ComputeRanks` and the strong-convergence check
+//! — on the same instances. Shows where the symbolic representation
+//! starts paying for itself (the paper's 3^40-state coloring instance is
+//! far beyond any explicit enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsyn_cases::{dijkstra_token_ring, matching};
+use stsyn_protocol::explicit::{check_convergence, predicate_states, ExplicitGraph};
+use stsyn_symbolic::check::strong_convergence;
+use stsyn_symbolic::{compute_ranks, SymbolicContext};
+
+fn bench_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_ranks");
+    group.sample_size(10);
+    for k in [6usize, 8] {
+        group.bench_with_input(BenchmarkId::new("explicit", k), &k, |b, &k| {
+            b.iter(|| {
+                let (p, i) = matching(k);
+                let graph = ExplicitGraph::of_protocol(&p);
+                let target = predicate_states(&p, &i);
+                black_box(graph.backward_ranks(&target).len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("symbolic", k), &k, |b, &k| {
+            b.iter(|| {
+                let (p, i_expr) = matching(k);
+                let mut ctx = SymbolicContext::new(p);
+                let t = ctx.protocol_relation();
+                let i = ctx.compile(&i_expr);
+                black_box(compute_ranks(&mut ctx, t, i).max_rank())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_convergence_check");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        group.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, &n| {
+            b.iter(|| {
+                let (p, i) = dijkstra_token_ring(n, 4);
+                black_box(check_convergence(&p, &i).strongly_converges())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, &n| {
+            b.iter(|| {
+                let (p, i_expr) = dijkstra_token_ring(n, 4);
+                let mut ctx = SymbolicContext::new(p);
+                let t = ctx.protocol_relation();
+                let i = ctx.compile(&i_expr);
+                black_box(strong_convergence(&mut ctx, t, i).holds)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranks, bench_convergence_check);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: the interleaved current/primed variable order versus a
+//! blocked (all-current-then-all-primed) order. §VII attributes part of
+//! the tool's irregular behaviour to "BDDs not effectively optimized";
+//! this bench quantifies the single most important static-ordering
+//! decision — interleaving keeps every frame condition (`v' = v` for all
+//! unwritten `v`) linear, while the blocked order makes each conjunct
+//! span the entire order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsyn_cases::dijkstra_token_ring;
+use stsyn_symbolic::{SymbolicContext, VarOrder};
+
+fn bench_variable_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variable_order_relation_build");
+    group.sample_size(10);
+    // The blocked layout grows ~4× per added process; keep the sweep small
+    // so the bad order stays benchable rather than pathological.
+    for n in [4usize, 5, 6] {
+        for (label, order) in
+            [("interleaved", VarOrder::Interleaved), ("blocked", VarOrder::Blocked)]
+        {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let (p, _) = dijkstra_token_ring(n, 4);
+                    let mut ctx = SymbolicContext::with_order(p, order);
+                    let t = ctx.protocol_relation();
+                    black_box(ctx.mgr_ref().node_count(t))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_order_image(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variable_order_preimage");
+    group.sample_size(10);
+    for (label, order) in
+        [("interleaved", VarOrder::Interleaved), ("blocked", VarOrder::Blocked)]
+    {
+        group.bench_function(label, |b| {
+            let (p, i_expr) = dijkstra_token_ring(6, 4);
+            let mut ctx = SymbolicContext::with_order(p, order);
+            let t = ctx.protocol_relation();
+            let i = ctx.compile(&i_expr);
+            b.iter(|| black_box(ctx.pre(t, i)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variable_order, bench_order_image);
+criterion_main!(benches);

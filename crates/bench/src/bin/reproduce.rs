@@ -1,0 +1,141 @@
+//! `reproduce` — regenerate the paper's evaluation artifacts.
+//!
+//! ```text
+//! cargo run --release -p stsyn-bench --bin reproduce -- all [--fast]
+//! cargo run --release -p stsyn-bench --bin reproduce -- fig6 fig7
+//! ```
+//!
+//! Artifacts: `table1`, `fig6`/`fig7` (matching), `fig8`/`fig9`
+//! (coloring), `fig10`/`fig11` (token ring |D| = 4), `tr2` (§VI-C).
+//! `--fast` trims each sweep to the sizes that finish in seconds. CSV
+//! copies of every series land in `results/`.
+
+use std::collections::BTreeSet;
+use stsyn_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut wanted: BTreeSet<String> =
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    if wanted.is_empty() || wanted.contains("all") {
+        wanted = ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tr2",
+                  "domains", "schedules"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    if wanted.contains("table1") {
+        println!("== Table 1 (Fig. 5): Local Correctability of Case Studies ==\n");
+        println!("{:<18} {:<24} {:<10} {}", "Case Study", "Instance", "Locally", "Analyzer verdict");
+        println!("{:<18} {:<24} {:<10}", "", "", "Correctable");
+        let rows = table1_local_correctability();
+        for r in &rows {
+            println!(
+                "{:<18} {:<24} {:<10} {}",
+                r.case_study,
+                r.instance,
+                if r.locally_correctable { "Yes" } else { "No" },
+                r.verdict
+            );
+        }
+        let json: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{}: {}", r.case_study, r.locally_correctable))
+            .collect();
+        std::fs::write("results/table1.txt", json.join("\n")).unwrap();
+        println!();
+    }
+
+    if wanted.contains("fig6") || wanted.contains("fig7") {
+        let ks: Vec<usize> = if fast { (5..=8).collect() } else { (5..=11).collect() };
+        eprintln!("running matching sweep K = {ks:?} (paper: 5..=11, ~65 s at 11)…");
+        let rows = matching_sweep(&ks);
+        if wanted.contains("fig6") {
+            println!("{}", format_time_figure("== Fig. 6: Execution Times for Matching ==", &rows));
+        }
+        if wanted.contains("fig7") {
+            println!("{}", format_space_figure("== Fig. 7: Memory Usage for Matching ==", &rows));
+        }
+        std::fs::write("results/matching.csv", rows_to_csv(&rows)).unwrap();
+    }
+
+    if wanted.contains("fig8") || wanted.contains("fig9") {
+        let ks: Vec<usize> =
+            if fast { vec![5, 10, 15, 20] } else { vec![5, 10, 15, 20, 25, 30, 35, 40] };
+        eprintln!("running coloring sweep K = {ks:?} (paper: 5..=40 step 5)…");
+        let rows = coloring_sweep(&ks);
+        if wanted.contains("fig8") {
+            println!("{}", format_time_figure("== Fig. 8: Execution Times for 3-Coloring ==", &rows));
+        }
+        if wanted.contains("fig9") {
+            println!("{}", format_space_figure("== Fig. 9: Memory Usage for 3-Coloring ==", &rows));
+        }
+        std::fs::write("results/coloring.csv", rows_to_csv(&rows)).unwrap();
+    }
+
+    if wanted.contains("fig10") || wanted.contains("fig11") {
+        let ns: Vec<usize> = if fast { vec![2, 3, 4] } else { vec![2, 3, 4, 5] };
+        eprintln!("running token-ring sweep n = {ns:?}, |D| = 4 (paper: up to 5)…");
+        let rows = token_ring_sweep(&ns, 4);
+        if wanted.contains("fig10") {
+            println!(
+                "{}",
+                format_time_figure("== Fig. 10: Execution Times of Token Ring |D|=4 ==", &rows)
+            );
+        }
+        if wanted.contains("fig11") {
+            println!(
+                "{}",
+                format_space_figure("== Fig. 11: Memory Usage of Token Ring |D|=4 ==", &rows)
+            );
+        }
+        std::fs::write("results/token_ring.csv", rows_to_csv(&rows)).unwrap();
+    }
+
+    if wanted.contains("tr2") {
+        let (r, d) = if fast { (3, 3) } else { (4, 4) };
+        eprintln!("running TR² (r = {r}, |D| = {d}; paper: 8 processes, |D| = 4)…");
+        let row = two_ring_run(r, d);
+        println!("== §VI-C: Two-Ring Token Ring ==");
+        println!(
+            "{} processes, {} states: total {:.3} s (SCC {:.3} s), {} groups, pass {}, verified {}\n",
+            row.processes, row.states, row.total_secs, row.scc_secs, row.groups_added,
+            row.pass, row.verified
+        );
+        std::fs::write("results/two_ring.csv", rows_to_csv(&[row])).unwrap();
+    }
+
+    if wanted.contains("domains") {
+        let ds: Vec<u32> = if fast { vec![3, 4] } else { vec![3, 4, 5, 6] };
+        eprintln!("running domain sweep: token ring n = 4, |D| = {ds:?}…");
+        let rows = domain_sweep(4, &ds);
+        println!("== Supplementary: effect of domain size (token ring, n = 4) ==");
+        println!("{:>8} {:>14} {:>14} {:>14} {:>10}", "|D|", "SCC (s)", "total (s)", "program", "verified");
+        for (d, r) in ds.iter().zip(&rows) {
+            println!("{:>8} {:>14.4} {:>14.4} {:>14} {:>10}", d, r.scc_secs, r.total_secs, r.program_nodes, r.verified);
+        }
+        println!();
+        std::fs::write("results/domains.csv", rows_to_csv(&rows)).unwrap();
+    }
+
+    if wanted.contains("schedules") {
+        let k = if fast { 6 } else { 7 };
+        eprintln!("running schedule sweep: matching({k}), all {k} rotations…");
+        let rows = schedule_sweep_matching(k);
+        println!("== Supplementary: effect of the recovery schedule (matching, K = {k}) ==");
+        println!("{:<30} {:>8} {:>12} {:>8} {:>6} {:>8}", "schedule", "success", "total (s)", "groups", "pass", "SCCs");
+        for r in &rows {
+            println!(
+                "{:<30} {:>8} {:>12.4} {:>8} {:>6} {:>8}",
+                r.schedule, r.success, r.total_secs, r.groups_added, r.pass, r.sccs
+            );
+        }
+        println!();
+        std::fs::write("results/schedules.csv", schedule_rows_to_csv(&rows)).unwrap();
+    }
+
+    eprintln!("CSV series written to results/");
+}

@@ -1,0 +1,88 @@
+//! Three-Coloring (TC) of a ring (§VI-B), adapted from Gouda & Acharya.
+//!
+//! `K` processes in a ring, each owning a color `c_i` with three values;
+//! `P_i` reads `c_{i-1}, c_i, c_{i+1}` and writes `c_i`. The
+//! non-stabilizing input is empty; the target predicate is proper
+//! coloring:
+//!
+//! ```text
+//! I_coloring = ∀i: c_{i-1} ≠ c_i
+//! ```
+//!
+//! This is the paper's *locally correctable* case study — each process can
+//! establish its own conjunct by picking a color different from both
+//! neighbours without disturbing them — and consequently its most scalable
+//! one (synthesized up to 40 processes / 3⁴⁰ states).
+
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::topology::{ProcessDecl, VarDecl, VarIdx};
+use stsyn_protocol::Protocol;
+
+/// `I_coloring` for a `k`-ring.
+pub fn legitimate(k: usize) -> Expr {
+    Expr::conj(
+        (0..k)
+            .map(|i| {
+                let prev = (i + k - 1) % k;
+                Expr::var(VarIdx(prev)).ne(Expr::var(VarIdx(i)))
+            })
+            .collect(),
+    )
+}
+
+/// The empty non-stabilizing coloring instance: `(protocol, I_coloring)`.
+pub fn coloring(k: usize) -> (Protocol, Expr) {
+    assert!(k >= 3, "coloring ring needs at least three processes");
+    let vars: Vec<VarDecl> = (0..k).map(|i| VarDecl::new(format!("c{i}"), 3)).collect();
+    let procs: Vec<ProcessDecl> = (0..k)
+        .map(|i| {
+            let left = (i + k - 1) % k;
+            let right = (i + 1) % k;
+            ProcessDecl::new(
+                format!("P{i}"),
+                vec![VarIdx(left), VarIdx(i), VarIdx(right)],
+                vec![VarIdx(i)],
+            )
+            .unwrap()
+        })
+        .collect();
+    let p = Protocol::new(vars, procs, vec![]).unwrap();
+    (p, legitimate(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::explicit::predicate_states;
+
+    #[test]
+    fn proper_colorings_counted() {
+        // Number of proper 3-colorings of a cycle C_k is (3-1)^k + (-1)^k (3-1)
+        // = 2^k + 2·(-1)^k.
+        for k in [3usize, 4, 5, 6] {
+            let (p, i) = coloring(k);
+            let set = predicate_states(&p, &i);
+            let expect = (1i64 << k) + if k % 2 == 0 { 2 } else { -2 };
+            assert_eq!(set.count() as i64, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn reads_cover_both_neighbours() {
+        let (p, _) = coloring(5);
+        let proc = &p.processes()[2];
+        assert_eq!(proc.reads, vec![VarIdx(1), VarIdx(2), VarIdx(3)]);
+        assert_eq!(proc.writes, vec![VarIdx(2)]);
+        // Ring wrap-around.
+        let p0 = &p.processes()[0];
+        assert_eq!(p0.reads, vec![VarIdx(0), VarIdx(1), VarIdx(4)]);
+    }
+
+    #[test]
+    fn legitimate_examples() {
+        let (_, i) = coloring(4);
+        assert!(i.holds(&vec![0, 1, 0, 1]));
+        assert!(!i.holds(&vec![0, 0, 1, 2]));
+        assert!(!i.holds(&vec![0, 1, 2, 0])); // c3 == c0 wraps around
+    }
+}

@@ -1,0 +1,34 @@
+//! # stsyn-cases — the paper's case-study protocols
+//!
+//! Parametric builders for every protocol in §II and §VI:
+//!
+//! * [`token_ring`] — Dijkstra-style token ring, *non-stabilizing* input
+//!   (the paper's running example, §II), plus the published manually
+//!   designed stabilizing version [`dijkstra_token_ring`] for comparison.
+//! * [`matching`] — maximal matching on a bidirectional ring (§VI-A); the
+//!   non-stabilizing input is empty. [`gouda_acharya_matching`] builds the
+//!   *manually designed* protocol from Gouda & Acharya (2009) in which the
+//!   paper discovered a non-progress cycle.
+//! * [`coloring`] — three-coloring of a ring (§VI-B); empty input.
+//! * [`two_ring`] — the Two-Ring Token Ring TR² (§VI-C): two token rings
+//!   coupled through their zero-processes and a `turn` variable.
+//! * [`mis`] — maximal independent set on a ring: an *additional*
+//!   non-locally-correctable workload beyond the paper's four, showing the
+//!   method generalizes.
+//!
+//! Every builder returns `(protocol, legitimate-state predicate)` ready to
+//! feed `stsyn_core::AddConvergence`.
+
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod matching;
+pub mod mis;
+pub mod token_ring;
+pub mod two_ring;
+
+pub use coloring::coloring;
+pub use mis::mis;
+pub use matching::{gouda_acharya_matching, matching, MATCH_LEFT, MATCH_RIGHT, MATCH_SELF};
+pub use token_ring::{dijkstra_token_ring, token_ring};
+pub use two_ring::two_ring;

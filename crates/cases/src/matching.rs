@@ -1,0 +1,203 @@
+//! Maximal Matching (MM) on a bidirectional ring (§VI-A), after Gouda &
+//! Acharya (2009).
+//!
+//! `K` processes in a ring; each `P_i` owns `m_i ∈ {left, right, self}`
+//! and reads both neighbours' variables. Neighbours are *matched* when
+//! they point at each other. The legitimate states are
+//!
+//! ```text
+//! I_MM = ∀i: (m_i = left  ⇒ m_{i-1} = right) ∧
+//!            (m_i = right ⇒ m_{i+1} = left)  ∧
+//!            (m_i = self  ⇒ m_{i-1} = left ∧ m_{i+1} = right)
+//! ```
+//!
+//! The non-stabilizing input protocol is **empty** — synthesis must invent
+//! all behaviour. The module also builds the manually designed protocol of
+//! Gouda & Acharya, whose non-progress cycle (from
+//! `⟨left, self, left, self, left⟩` under the schedule `(P0 … P4)²`) the
+//! paper's tool exposed; the integration tests reproduce that flaw.
+
+use stsyn_protocol::action::Action;
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+use stsyn_protocol::Protocol;
+
+/// Encoded value of `left`.
+pub const MATCH_LEFT: u32 = 0;
+/// Encoded value of `right`.
+pub const MATCH_RIGHT: u32 = 1;
+/// Encoded value of `self`.
+pub const MATCH_SELF: u32 = 2;
+
+fn ring_topology(k: usize) -> (Vec<VarDecl>, Vec<ProcessDecl>) {
+    assert!(k >= 3, "matching ring needs at least three processes");
+    let vars: Vec<VarDecl> = (0..k)
+        .map(|i| VarDecl::with_names(format!("m{i}"), &["left", "right", "self"]))
+        .collect();
+    let procs: Vec<ProcessDecl> = (0..k)
+        .map(|i| {
+            let left = (i + k - 1) % k;
+            let right = (i + 1) % k;
+            ProcessDecl::new(
+                format!("P{i}"),
+                vec![VarIdx(left), VarIdx(i), VarIdx(right)],
+                vec![VarIdx(i)],
+            )
+            .unwrap()
+        })
+        .collect();
+    (vars, procs)
+}
+
+/// The local conjunct `LC_i` of `I_MM`.
+pub fn local_conjunct(k: usize, i: usize) -> Expr {
+    let m = |j: usize| Expr::var(VarIdx(j % k));
+    let left = (i + k - 1) % k;
+    let right = (i + 1) % k;
+    let lit = |v: u32| Expr::int(v as i64);
+    Expr::conj(vec![
+        m(i).eq(lit(MATCH_LEFT)).implies(m(left).eq(lit(MATCH_RIGHT))),
+        m(i).eq(lit(MATCH_RIGHT)).implies(m(right).eq(lit(MATCH_LEFT))),
+        m(i).eq(lit(MATCH_SELF)).implies(
+            m(left).eq(lit(MATCH_LEFT)).and(m(right).eq(lit(MATCH_RIGHT))),
+        ),
+    ])
+}
+
+/// `I_MM` for a `k`-ring.
+pub fn legitimate(k: usize) -> Expr {
+    Expr::conj((0..k).map(|i| local_conjunct(k, i)).collect())
+}
+
+/// The **empty** non-stabilizing matching instance: `(protocol, I_MM)`.
+pub fn matching(k: usize) -> (Protocol, Expr) {
+    let (vars, procs) = ring_topology(k);
+    let p = Protocol::new(vars, procs, vec![]).unwrap();
+    (p, legitimate(k))
+}
+
+/// The manually designed protocol from Gouda & Acharya (2009), §VI-A:
+///
+/// ```text
+/// m_i = left  ∧ m_{i-1} = left   → m_i := self
+/// m_i = right ∧ m_{i+1} = right  → m_i := self
+/// m_i = self  ∧ m_{i-1} = left   → m_i := left
+/// m_i = self  ∧ m_{i+1} = right  → m_i := right
+/// ```
+///
+/// The paper found this protocol **flawed**: it has a non-progress cycle
+/// outside `I_MM`.
+pub fn gouda_acharya_matching(k: usize) -> (Protocol, Expr) {
+    let (vars, procs) = ring_topology(k);
+    let m = |j: usize| Expr::var(VarIdx(j % k));
+    let lit = |v: u32| Expr::int(v as i64);
+    let mut actions = Vec::new();
+    for i in 0..k {
+        let left = (i + k - 1) % k;
+        let right = (i + 1) % k;
+        actions.push(Action::labeled(
+            format!("G{i}a"),
+            ProcIdx(i),
+            m(i).eq(lit(MATCH_LEFT)).and(m(left).eq(lit(MATCH_LEFT))),
+            vec![(VarIdx(i), lit(MATCH_SELF))],
+        ));
+        actions.push(Action::labeled(
+            format!("G{i}b"),
+            ProcIdx(i),
+            m(i).eq(lit(MATCH_RIGHT)).and(m(right).eq(lit(MATCH_RIGHT))),
+            vec![(VarIdx(i), lit(MATCH_SELF))],
+        ));
+        actions.push(Action::labeled(
+            format!("G{i}c"),
+            ProcIdx(i),
+            m(i).eq(lit(MATCH_SELF)).and(m(left).eq(lit(MATCH_LEFT))),
+            vec![(VarIdx(i), lit(MATCH_LEFT))],
+        ));
+        actions.push(Action::labeled(
+            format!("G{i}d"),
+            ProcIdx(i),
+            m(i).eq(lit(MATCH_SELF)).and(m(right).eq(lit(MATCH_RIGHT))),
+            vec![(VarIdx(i), lit(MATCH_RIGHT))],
+        ));
+    }
+    let p = Protocol::new(vars, procs, actions).unwrap();
+    (p, legitimate(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::explicit::{predicate_states, ExplicitGraph};
+
+    #[test]
+    fn legitimate_states_exist_and_are_maximal_matchings() {
+        let (p, i) = matching(5);
+        let set = predicate_states(&p, &i);
+        assert!(set.count() > 0);
+        // Spot-check: alternate right/left pairs with one self.
+        // m = (right, left, right, left, self): P0–P1 matched, P2–P3
+        // matched, P4 points to itself with m3 = left… LC_4 requires
+        // m3 = left ✓ and m0 = right ✓.
+        let s = vec![MATCH_RIGHT, MATCH_LEFT, MATCH_RIGHT, MATCH_LEFT, MATCH_SELF];
+        assert!(i.holds(&s));
+        // All-self is illegitimate (self needs left/right neighbours
+        // pointing away).
+        let all_self = vec![MATCH_SELF; 5];
+        assert!(!i.holds(&all_self));
+    }
+
+    #[test]
+    fn empty_input_protocol() {
+        let (p, _) = matching(5);
+        assert!(p.actions().is_empty());
+        assert_eq!(p.space().size(), 243);
+    }
+
+    #[test]
+    fn gouda_acharya_cycle_exists() {
+        // The paper's discovery (§VI-A): the manually designed protocol
+        // has a non-progress cycle outside I_MM passing through
+        // ⟨left, self, left, self, left⟩. Our model checker confirms that
+        // state lies on a cycle of δ|¬I.
+        let (p, i) = gouda_acharya_matching(5);
+        let space = p.space();
+        let start = vec![MATCH_LEFT, MATCH_SELF, MATCH_LEFT, MATCH_SELF, MATCH_LEFT];
+        assert!(!i.holds(&start));
+        let i_set = predicate_states(&p, &i);
+        let not_i = i_set.complement();
+        let graph = ExplicitGraph::of_protocol(&p);
+        let restricted = graph.restrict(&not_i);
+        let cyc = restricted.cyclic_states();
+        assert!(
+            cyc.contains(space.encode(&start)),
+            "paper's cycle witness state must lie on a ¬I cycle"
+        );
+        // The flawed protocol is therefore not strongly stabilizing.
+        assert!(restricted.find_cycle().is_some());
+    }
+
+    #[test]
+    fn gouda_acharya_protocol_is_flawed_beyond_the_cycle() {
+        // Reproducing the paper's verbatim action list, our checker finds
+        // the flaw runs deeper than the reported non-progress cycle: the
+        // actions can even leave I_MM (e.g. `m_i = self ∧ m_{i-1} = left →
+        // m_i := left` fires in the legitimate state ⟨self,right,left,
+        // right,left⟩ and breaks LC_0). Recorded as an observation in
+        // EXPERIMENTS.md.
+        let (p, i) = gouda_acharya_matching(5);
+        assert!(!stsyn_protocol::explicit::is_closed(&p, &i));
+        let s = vec![MATCH_SELF, MATCH_RIGHT, MATCH_LEFT, MATCH_RIGHT, MATCH_LEFT];
+        assert!(i.holds(&s));
+        let succs = p.successors(&s);
+        assert!(succs.iter().any(|t| !i.holds(t)), "an action escapes I from {s:?}");
+    }
+
+    #[test]
+    fn local_conjuncts_compose_to_invariant() {
+        let (p, i) = matching(5);
+        for s in p.space().states() {
+            let all_local = (0..5).all(|j| local_conjunct(5, j).holds(&s));
+            assert_eq!(all_local, i.holds(&s));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Maximal Independent Set (MIS) on a ring — an additional demonstration
+//! beyond the paper's four case studies.
+//!
+//! Each process owns a bit `x_i` (in/out of the set), reads both
+//! neighbours, writes its own bit. Legitimate states are the maximal
+//! independent sets:
+//!
+//! ```text
+//! I_MIS = ∀i: (x_i = 1 ⇒ x_{i-1} = 0 ∧ x_{i+1} = 0)      (independence)
+//!           ∧ (x_i = 0 ⇒ x_{i-1} = 1 ∨ x_{i+1} = 1)      (maximality)
+//! ```
+//!
+//! Like matching, the maximality conjunct couples neighbours (a node may
+//! only leave the set if a neighbour covers it), so local repairs
+//! interfere and the synthesizer must do real cycle resolution — a good
+//! stress test that the method generalizes past the paper's benchmarks.
+
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::topology::{ProcessDecl, VarDecl, VarIdx};
+use stsyn_protocol::Protocol;
+
+/// The local conjunct of `I_MIS` for process `i`.
+pub fn local_conjunct(k: usize, i: usize) -> Expr {
+    let x = |j: usize| Expr::var(VarIdx(j % k));
+    let left = (i + k - 1) % k;
+    let right = (i + 1) % k;
+    let independent = x(i)
+        .eq(Expr::int(1))
+        .implies(x(left).eq(Expr::int(0)).and(x(right).eq(Expr::int(0))));
+    let maximal = x(i)
+        .eq(Expr::int(0))
+        .implies(x(left).eq(Expr::int(1)).or(x(right).eq(Expr::int(1))));
+    independent.and(maximal)
+}
+
+/// `I_MIS` for a `k`-ring.
+pub fn legitimate(k: usize) -> Expr {
+    Expr::conj((0..k).map(|i| local_conjunct(k, i)).collect())
+}
+
+/// The empty non-stabilizing MIS instance: `(protocol, I_MIS)`.
+pub fn mis(k: usize) -> (Protocol, Expr) {
+    assert!(k >= 3, "MIS ring needs at least three processes");
+    let vars: Vec<VarDecl> = (0..k).map(|i| VarDecl::new(format!("x{i}"), 2)).collect();
+    let procs: Vec<ProcessDecl> = (0..k)
+        .map(|i| {
+            let left = (i + k - 1) % k;
+            let right = (i + 1) % k;
+            ProcessDecl::new(
+                format!("P{i}"),
+                vec![VarIdx(left), VarIdx(i), VarIdx(right)],
+                vec![VarIdx(i)],
+            )
+            .unwrap()
+        })
+        .collect();
+    let p = Protocol::new(vars, procs, vec![]).unwrap();
+    (p, legitimate(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::explicit::predicate_states;
+
+    #[test]
+    fn legitimate_states_are_maximal_independent_sets() {
+        for k in [3usize, 4, 5, 6, 7] {
+            let (p, i) = mis(k);
+            let set = predicate_states(&p, &i);
+            assert!(set.count() > 0, "k = {k}: no MIS states");
+            for sid in set.iter() {
+                let s = p.space().decode(sid);
+                // Independence: no two adjacent 1s.
+                for j in 0..k {
+                    if s[j] == 1 {
+                        assert_eq!(s[(j + 1) % k], 0, "k={k} state {s:?}");
+                    }
+                }
+                // Maximality: every 0 has a 1-neighbour.
+                for j in 0..k {
+                    if s[j] == 0 {
+                        assert!(
+                            s[(j + 1) % k] == 1 || s[(j + k - 1) % k] == 1,
+                            "k={k} state {s:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_examples() {
+        let (_, i) = mis(5);
+        assert!(i.holds(&vec![1, 0, 1, 0, 0]));
+        assert!(!i.holds(&vec![1, 1, 0, 0, 0])); // adjacent members
+        assert!(!i.holds(&vec![1, 0, 0, 0, 0])); // not maximal
+        assert!(!i.holds(&vec![0, 0, 0, 0, 0])); // empty set, not maximal
+    }
+
+    #[test]
+    fn mis_count_matches_lucas_like_recurrence() {
+        // Number of maximal independent sets of a cycle C_k satisfies the
+        // known recurrence m(k) = m(k-2) + m(k-3) with m(3)=3, m(4)=2,
+        // m(5)=5 (OEIS A001608, the Perrin sequence).
+        let mut expected = std::collections::HashMap::new();
+        expected.insert(3usize, 3usize);
+        expected.insert(4, 2);
+        expected.insert(5, 5);
+        expected.insert(6, 5);
+        expected.insert(7, 7);
+        expected.insert(8, 10);
+        for (k, count) in expected {
+            let (p, i) = mis(k);
+            assert_eq!(predicate_states(&p, &i).count(), count, "k = {k}");
+        }
+    }
+}

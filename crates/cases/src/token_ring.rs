@@ -1,0 +1,199 @@
+//! Token Ring (TR) — the paper's running example (§II), adapted from
+//! Dijkstra's 1974 protocol.
+//!
+//! `n` processes `P0 … P(n-1)` hold one variable each (`x_j`, domain
+//! `0..d`). Process `P_j` (j ≥ 1) reads `x_{j-1}, x_j` and writes `x_j`;
+//! `P0` reads `x_{n-1}, x0` and writes `x0`.
+//!
+//! * `P0` has a token iff `x0 == x_{n-1}`; its action increments:
+//!   `x0 := (x_{n-1} + 1) % d`.
+//! * `P_j` (j ≥ 1) has a token iff `x_j + 1 ≡ x_{j-1}`; the
+//!   **non-stabilizing** input copies only in that case:
+//!   `x_j := x_{j-1}`.
+//!
+//! The legitimate states `S1` are those with exactly one token. The
+//! non-stabilizing version deadlocks from states like `⟨0,0,1,2⟩`;
+//! Dijkstra's stabilizing version strengthens the copy action to
+//! `x_j ≠ x_{j-1} → x_j := x_{j-1}` — which is exactly what STSyn's
+//! Pass 2 re-derives (§V).
+
+use stsyn_protocol::action::Action;
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+use stsyn_protocol::Protocol;
+
+fn ring_topology(n: usize, d: u32) -> (Vec<VarDecl>, Vec<ProcessDecl>) {
+    assert!(n >= 2, "token ring needs at least two processes");
+    assert!(d >= 2, "token ring needs a domain of at least two values");
+    let vars: Vec<VarDecl> = (0..n).map(|i| VarDecl::new(format!("x{i}"), d)).collect();
+    let procs: Vec<ProcessDecl> = (0..n)
+        .map(|j| {
+            let prev = (j + n - 1) % n;
+            ProcessDecl::new(format!("P{j}"), vec![VarIdx(prev), VarIdx(j)], vec![VarIdx(j)])
+                .unwrap()
+        })
+        .collect();
+    (vars, procs)
+}
+
+/// Does `P_j` hold the token? (`P0`: `x0 == x_{n-1}`; `P_j`:
+/// `x_j + 1 ≡ x_{j-1}`.)
+pub fn token(n: usize, d: u32, j: usize) -> Expr {
+    let x = |i: usize| Expr::var(VarIdx(i));
+    if j == 0 {
+        x(0).eq(x(n - 1))
+    } else {
+        x(j).add(Expr::int(1)).modulo(Expr::int(d as i64)).eq(x(j - 1))
+    }
+}
+
+/// The predicate `S1`: the single-token *step configurations* — either all
+/// variables equal (token at `P0`) or a prefix holding `v` and a suffix
+/// holding `v − 1` with the step at position `j` (token at `P_j`). For
+/// `n = 4` this is verbatim the paper's four-disjunct `S1`. (The naive
+/// "exactly one token" predicate is strictly weaker and is *not* closed in
+/// the protocol — e.g. `⟨1,0,1,2⟩` has one token but steps to a
+/// zero-token state.)
+pub fn legitimate(n: usize, d: u32) -> Expr {
+    let x = |i: usize| Expr::var(VarIdx(i));
+    let eq_run = |range: std::ops::Range<usize>| -> Vec<Expr> {
+        range
+            .clone()
+            .zip(range.skip(1))
+            .map(|(i, j)| x(i).eq(x(j)))
+            .collect()
+    };
+    let mut disj = Vec::new();
+    // Token at P0: all equal.
+    disj.push(Expr::conj(eq_run(0..n)));
+    // Token at P_j (1 ≤ j ≤ n−1): x0=…=x_{j−1}, x_j=…=x_{n−1}, and
+    // x_j + 1 ≡ x_{j−1}.
+    for j in 1..n {
+        let mut conj = eq_run(0..j);
+        conj.extend(eq_run(j..n));
+        conj.push(x(j).add(Expr::int(1)).modulo(Expr::int(d as i64)).eq(x(j - 1)));
+        disj.push(Expr::conj(conj));
+    }
+    Expr::disj(disj)
+}
+
+/// The **non-stabilizing** token ring of §II: `(protocol, S1)`.
+pub fn token_ring(n: usize, d: u32) -> (Protocol, Expr) {
+    let (vars, procs) = ring_topology(n, d);
+    let x = |i: usize| Expr::var(VarIdx(i));
+    let mut actions = Vec::new();
+    for j in 0..n {
+        let prev = (j + n - 1) % n;
+        let (guard, rhs) = if j == 0 {
+            (
+                x(0).eq(x(prev)),
+                x(prev).add(Expr::int(1)).modulo(Expr::int(d as i64)),
+            )
+        } else {
+            (
+                x(j).add(Expr::int(1)).modulo(Expr::int(d as i64)).eq(x(prev)),
+                x(prev),
+            )
+        };
+        actions.push(Action::labeled(format!("A{j}"), ProcIdx(j), guard, vec![(VarIdx(j), rhs)]));
+    }
+    let p = Protocol::new(vars, procs, actions).unwrap();
+    (p, legitimate(n, d))
+}
+
+/// Dijkstra's manually designed **stabilizing** token ring: `P0`
+/// increments on equality, every other process copies on *any*
+/// difference. Returned for relation-level comparison with the
+/// synthesized protocol.
+pub fn dijkstra_token_ring(n: usize, d: u32) -> (Protocol, Expr) {
+    let (vars, procs) = ring_topology(n, d);
+    let x = |i: usize| Expr::var(VarIdx(i));
+    let mut actions = Vec::new();
+    for j in 0..n {
+        let prev = (j + n - 1) % n;
+        let (guard, rhs) = if j == 0 {
+            (
+                x(0).eq(x(prev)),
+                x(prev).add(Expr::int(1)).modulo(Expr::int(d as i64)),
+            )
+        } else {
+            (x(j).ne(x(prev)), x(prev))
+        };
+        actions.push(Action::labeled(format!("D{j}"), ProcIdx(j), guard, vec![(VarIdx(j), rhs)]));
+    }
+    let p = Protocol::new(vars, procs, actions).unwrap();
+    (p, legitimate(n, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::explicit::{check_convergence, is_closed, predicate_states};
+
+    #[test]
+    fn s1_states_have_exactly_one_token() {
+        let (p, i) = token_ring(4, 3);
+        let set = predicate_states(&p, &i);
+        // n·d step configurations: d all-equal + (n−1)·d stepped.
+        assert_eq!(set.count(), 4 * 3);
+        for sid in set.iter() {
+            let s = p.space().decode(sid);
+            let tokens = (0..4).filter(|&j| token(4, 3, j).holds(&s)).count();
+            assert_eq!(tokens, 1, "state {s:?}");
+        }
+    }
+
+    #[test]
+    fn paper_example_states() {
+        let (_, i) = token_ring(4, 3);
+        // ⟨1,0,0,0⟩ ∈ S1 (P1 has the token) — paper §II.
+        assert!(i.holds(&vec![1, 0, 0, 0]));
+        // ⟨0,0,1,2⟩ is illegitimate (and a deadlock of the input).
+        assert!(!i.holds(&vec![0, 0, 1, 2]));
+    }
+
+    #[test]
+    fn input_is_closed_but_not_stabilizing() {
+        let (p, i) = token_ring(4, 3);
+        assert!(is_closed(&p, &i));
+        let report = check_convergence(&p, &i);
+        assert!(!report.strongly_converges());
+        // The paper: ⟨0,0,1,2⟩ is a deadlock state.
+        let sid = p.space().encode(&vec![0, 0, 1, 2]);
+        assert!(report.deadlocks_outside.contains(&sid));
+    }
+
+    #[test]
+    fn dijkstra_version_is_strongly_stabilizing() {
+        for (n, d) in [(3usize, 3u32), (4, 3), (4, 4), (5, 5)] {
+            let (p, i) = dijkstra_token_ring(n, d);
+            assert!(is_closed(&p, &i), "closure n={n} d={d}");
+            let report = check_convergence(&p, &i);
+            assert!(report.strongly_converges(), "convergence n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn dijkstra_needs_enough_values() {
+        // Classical fact: with n processes Dijkstra's ring needs d ≥ n-1
+        // (for the unidirectional K-state ring, d ≥ n suffices and d = n-1
+        // is the tight bound for this variant; d == 2, n == 4 fails).
+        let (p, i) = dijkstra_token_ring(4, 2);
+        let report = check_convergence(&p, &i);
+        assert!(!report.strongly_converges());
+    }
+
+    #[test]
+    fn token_uniqueness_is_preserved_in_runs() {
+        let (p, i) = dijkstra_token_ring(5, 4);
+        // Random legitimate start, run 100 steps, stay in S1.
+        let mut s = vec![2, 2, 2, 2, 2];
+        assert!(i.holds(&s));
+        for _ in 0..100 {
+            let succs = p.successors(&s);
+            assert_eq!(succs.len(), 1, "exactly one enabled process in S1");
+            s = succs.into_iter().next().unwrap();
+            assert!(i.holds(&s));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Two-Ring Token Ring (TR², §VI-C).
+//!
+//! Eight processes on two coupled rings A and B (four each), every
+//! `PA_i`/`PB_i` owning `a_i`/`b_i` with domain `0..d` (the paper uses
+//! `d = 4`), plus a boolean `turn` arbitrating which ring's zero-process
+//! may inject. Token conditions follow the paper:
+//!
+//! * `PA_i` (i ≥ 1) has the token iff `a_{i-1} = a_i ⊕ 1`;
+//! * `PA_0` has the token iff `a_0 = a_3 ∧ b_0 = b_3 ∧ a_0 = b_0` (and
+//!   `turn = A`);
+//! * `PB_0` has the token iff `b_0 = b_3 ∧ a_0 = a_3 ∧ b_0 ⊕ 1 = a_0`
+//!   (and `turn = B`);
+//! * `PB_i` (i ≥ 1) has the token iff `b_{i-1} = b_i ⊕ 1`.
+//!
+//! Fault-free behaviour: the token circulates ring A, `PA_0` injects a new
+//! value and hands `turn` to ring B, whose circulation completes before
+//! `PB_0` catches up and hands `turn` back — at most one token exists in
+//! both rings. The paper omits the full action list for space; this
+//! reconstruction preserves the token conditions and the `turn` policy and
+//! is validated closed + non-stabilizing by the tests, exactly like the
+//! other inputs.
+//!
+//! Variable layout: `a0..a(r-1)` then `b0..b(r-1)` then `turn`
+//! (`turn = 1` means ring A's injector may fire).
+
+use stsyn_protocol::action::Action;
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+use stsyn_protocol::Protocol;
+
+/// Does process `proc` (0..2r, ring A first) hold a token? Used by the
+/// invariant definition, the tests and the benchmark harness.
+pub fn token(r: usize, d: u32, proc: usize) -> Expr {
+    let a = |i: usize| Expr::var(VarIdx(i));
+    let b = |i: usize| Expr::var(VarIdx(r + i));
+    let turn = Expr::var(VarIdx(2 * r));
+    let md = |e: Expr| e.modulo(Expr::int(d as i64));
+    if proc == 0 {
+        // PA_0
+        a(0).eq(a(r - 1))
+            .and(b(0).eq(b(r - 1)))
+            .and(a(0).eq(b(0)))
+            .and(turn.eq(Expr::int(1)))
+    } else if proc < r {
+        // PA_i, i ≥ 1: a_{i-1} = a_i ⊕ 1
+        let i = proc;
+        md(a(i).add(Expr::int(1))).eq(a(i - 1))
+    } else if proc == r {
+        // PB_0
+        b(0).eq(b(r - 1))
+            .and(a(0).eq(a(r - 1)))
+            .and(md(b(0).add(Expr::int(1))).eq(a(0)))
+            .and(turn.eq(Expr::int(0)))
+    } else {
+        // PB_i, i ≥ 1
+        let i = proc - r;
+        md(b(i).add(Expr::int(1))).eq(b(i - 1))
+    }
+}
+
+/// `I_TR²`: the legitimate *phase configurations* of the coupled rings —
+/// each a step (or uniform) configuration per ring with the `turn` and the
+/// inter-ring value coupling consistent. Four phases:
+///
+/// 1. both rings uniform, `a0 = b0`, `turn = A` — `PA_0` injects next;
+/// 2. ring A stepped at `j`, ring B uniform with `b0 = a_{r−1}`,
+///    `turn = B` — the token circulates ring A as `PA_j`;
+/// 3. both rings uniform, `b0 ⊕ 1 = a0`, `turn = B` — `PB_0` injects next;
+/// 4. ring A uniform, ring B stepped at `j` with `a0 = b0`, `turn = A` —
+///    the token circulates ring B.
+///
+/// Every such state holds exactly one token (checked in the tests), and
+/// the set is closed under the protocol.
+pub fn legitimate(r: usize, d: u32) -> Expr {
+    let a = |i: usize| Expr::var(VarIdx(i));
+    let b = |i: usize| Expr::var(VarIdx(r + i));
+    let turn = || Expr::var(VarIdx(2 * r));
+    let md = |e: Expr| e.modulo(Expr::int(d as i64));
+    let uniform = |f: &dyn Fn(usize) -> Expr| -> Vec<Expr> {
+        (0..r - 1).map(|i| f(i).eq(f(i + 1))).collect()
+    };
+    let step = |f: &dyn Fn(usize) -> Expr, j: usize| -> Vec<Expr> {
+        let mut conj: Vec<Expr> = (0..j.saturating_sub(1)).map(|i| f(i).eq(f(i + 1))).collect();
+        conj.extend((j..r - 1).map(|i| f(i).eq(f(i + 1))));
+        conj.push(md(f(j).add(Expr::int(1))).eq(f(j - 1)));
+        conj
+    };
+    let mut disj = Vec::new();
+    // Phase 1.
+    {
+        let mut c = uniform(&a);
+        c.extend(uniform(&b));
+        c.push(a(0).eq(b(0)));
+        c.push(turn().eq(Expr::int(1)));
+        disj.push(Expr::conj(c));
+    }
+    // Phase 2: step in ring A at j = 1..r−1.
+    for j in 1..r {
+        let mut c = step(&a, j);
+        c.extend(uniform(&b));
+        c.push(b(0).eq(a(r - 1)));
+        c.push(turn().eq(Expr::int(0)));
+        disj.push(Expr::conj(c));
+    }
+    // Phase 3.
+    {
+        let mut c = uniform(&a);
+        c.extend(uniform(&b));
+        c.push(md(b(0).add(Expr::int(1))).eq(a(0)));
+        c.push(turn().eq(Expr::int(0)));
+        disj.push(Expr::conj(c));
+    }
+    // Phase 4: step in ring B at j = 1..r−1.
+    for j in 1..r {
+        let mut c = uniform(&a);
+        c.extend(step(&b, j));
+        c.push(a(0).eq(b(0)));
+        c.push(turn().eq(Expr::int(1)));
+        disj.push(Expr::conj(c));
+    }
+    Expr::disj(disj)
+}
+
+/// Build TR² with `r` processes per ring and domain `d`:
+/// `(protocol, I_TR²)`. The paper's instance is `two_ring(4, 4)`
+/// (8 processes); smaller `r`/`d` keep the tests fast.
+pub fn two_ring(r: usize, d: u32) -> (Protocol, Expr) {
+    assert!(r >= 2 && d >= 2);
+    let mut vars: Vec<VarDecl> = (0..r).map(|i| VarDecl::new(format!("a{i}"), d)).collect();
+    vars.extend((0..r).map(|i| VarDecl::new(format!("b{i}"), d)));
+    vars.push(VarDecl::new("turn", 2));
+    let turn_idx = VarIdx(2 * r);
+
+    let a_idx = |i: usize| VarIdx(i);
+    let b_idx = |i: usize| VarIdx(r + i);
+    let a = |i: usize| Expr::var(a_idx(i));
+    let b = |i: usize| Expr::var(b_idx(i));
+    let turn = Expr::var(turn_idx);
+    let md = |e: Expr| e.modulo(Expr::int(d as i64));
+
+    let mut procs = Vec::new();
+    let mut actions = Vec::new();
+
+    // Ring A.
+    for i in 0..r {
+        if i == 0 {
+            procs.push(
+                ProcessDecl::new(
+                    "PA0",
+                    vec![a_idx(0), a_idx(r - 1), b_idx(0), b_idx(r - 1), turn_idx],
+                    vec![a_idx(0), turn_idx],
+                )
+                .unwrap(),
+            );
+            actions.push(Action::labeled(
+                "AA0",
+                ProcIdx(0),
+                token(r, d, 0),
+                vec![
+                    (a_idx(0), md(a(r - 1).add(Expr::int(1)))),
+                    (turn_idx, Expr::int(0)),
+                ],
+            ));
+        } else {
+            procs.push(
+                ProcessDecl::new(format!("PA{i}"), vec![a_idx(i - 1), a_idx(i)], vec![a_idx(i)])
+                    .unwrap(),
+            );
+            actions.push(Action::labeled(
+                format!("AA{i}"),
+                ProcIdx(i),
+                token(r, d, i),
+                vec![(a_idx(i), a(i - 1))],
+            ));
+        }
+    }
+    // Ring B.
+    for i in 0..r {
+        let pidx = ProcIdx(r + i);
+        if i == 0 {
+            procs.push(
+                ProcessDecl::new(
+                    "PB0",
+                    vec![b_idx(0), b_idx(r - 1), a_idx(0), a_idx(r - 1), turn_idx],
+                    vec![b_idx(0), turn_idx],
+                )
+                .unwrap(),
+            );
+            actions.push(Action::labeled(
+                "AB0",
+                pidx,
+                token(r, d, r),
+                vec![
+                    (b_idx(0), md(b(r - 1).add(Expr::int(1)))),
+                    (turn_idx, Expr::int(1)),
+                ],
+            ));
+        } else {
+            procs.push(
+                ProcessDecl::new(format!("PB{i}"), vec![b_idx(i - 1), b_idx(i)], vec![b_idx(i)])
+                    .unwrap(),
+            );
+            actions.push(Action::labeled(
+                format!("AB{i}"),
+                pidx,
+                token(r, d, r + i),
+                vec![(b_idx(i), b(i - 1))],
+            ));
+        }
+    }
+    let _ = turn;
+    let p = Protocol::new(vars, procs, actions).unwrap();
+    (p, legitimate(r, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::explicit::{check_convergence, is_closed, predicate_states};
+
+    #[test]
+    fn legitimate_run_alternates_rings() {
+        let (p, i) = two_ring(3, 3);
+        // All-zero with turn = A: PA0 holds the only token.
+        let mut s = vec![0, 0, 0, 0, 0, 0, 1];
+        assert!(i.holds(&s));
+        // Run 60 deterministic steps; exactly one action enabled each time.
+        for step in 0..60 {
+            let succs = p.successors(&s);
+            assert_eq!(succs.len(), 1, "step {step}: state {s:?}");
+            s = succs.into_iter().next().unwrap();
+            assert!(i.holds(&s), "left I at step {step}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn closed_but_not_stabilizing() {
+        let (p, i) = two_ring(2, 3);
+        assert!(is_closed(&p, &i));
+        let report = check_convergence(&p, &i);
+        assert!(!report.strongly_converges());
+        assert!(!report.deadlocks_outside.is_empty());
+    }
+
+    #[test]
+    fn paper_instance_shape() {
+        let (p, _) = two_ring(4, 4);
+        assert_eq!(p.num_processes(), 8);
+        assert_eq!(p.num_vars(), 9); // 8 ring variables + turn
+        assert_eq!(p.space().size(), 4u64.pow(8) * 2);
+    }
+
+    #[test]
+    fn legitimate_states_nonempty() {
+        let (p, i) = two_ring(2, 2);
+        let set = predicate_states(&p, &i);
+        assert!(set.count() > 0);
+    }
+
+    #[test]
+    fn legitimate_states_hold_exactly_one_token() {
+        let (p, i) = two_ring(3, 3);
+        let set = predicate_states(&p, &i);
+        assert!(set.count() > 0);
+        for sid in set.iter() {
+            let s = p.space().decode(sid);
+            let tokens = (0..6).filter(|&j| token(3, 3, j).holds(&s)).count();
+            assert_eq!(tokens, 1, "state {s:?}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Guarded commands (Dijkstra's notation `grd → stmt`).
+//!
+//! An action belongs to one process and denotes the set of transitions
+//! `(s0, s1)` where the guard holds in `s0` and the simultaneous execution
+//! of the assignments yields `s1`. Locality is enforced at protocol
+//! construction: the guard and every right-hand side may read only the
+//! process's readable variables, and assignment targets must be writable.
+
+use crate::expr::Expr;
+use crate::state::State;
+use crate::topology::{ProcIdx, VarIdx};
+use std::fmt;
+
+/// One guarded command `guard → x := e; y := f; …` of a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// The owning process.
+    pub process: ProcIdx,
+    /// Boolean-typed enabling condition.
+    pub guard: Expr,
+    /// Simultaneous assignments `(target, rhs)`; targets must be distinct.
+    pub assigns: Vec<(VarIdx, Expr)>,
+    /// Optional label for pretty-printing (e.g. `A0`).
+    pub label: Option<String>,
+}
+
+impl Action {
+    /// Build an unlabeled action.
+    pub fn new(process: ProcIdx, guard: Expr, assigns: Vec<(VarIdx, Expr)>) -> Self {
+        Action { process, guard, assigns, label: None }
+    }
+
+    /// Build a labeled action.
+    pub fn labeled(
+        label: impl Into<String>,
+        process: ProcIdx,
+        guard: Expr,
+        assigns: Vec<(VarIdx, Expr)>,
+    ) -> Self {
+        Action { process, guard, assigns, label: Some(label.into()) }
+    }
+
+    /// Is this action enabled in `state`?
+    pub fn enabled(&self, state: &State) -> bool {
+        self.guard.holds(state)
+    }
+
+    /// Execute from `state`: `Some(next)` if the guard holds, `None`
+    /// otherwise. Assignments are simultaneous (all right-hand sides are
+    /// evaluated in the source state). Panics if a right-hand side leaves
+    /// the variable's domain — [`crate::Protocol::new`] rules this out for
+    /// validated protocols.
+    pub fn apply(&self, state: &State, domains: &[u32]) -> Option<State> {
+        if !self.guard.holds(state) {
+            return None;
+        }
+        let mut next = state.clone();
+        for (target, rhs) in &self.assigns {
+            let v = rhs.eval(state).as_int();
+            let d = domains[target.0] as i64;
+            assert!(
+                (0..d).contains(&v),
+                "assignment to {:?} yields {} outside domain 0..{}",
+                target,
+                v,
+                d
+            );
+            next[target.0] = v as u32;
+        }
+        Some(next)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = &self.label {
+            write!(f, "{l}: ")?;
+        }
+        write!(f, "{:?} -> ", self.guard)?;
+        for (i, (t, e)) in self.assigns.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{t} := {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Token-ring `A0`: `x0 == x3 → x0 := (x3 + 1) % 3`.
+    fn a0() -> Action {
+        Action::labeled(
+            "A0",
+            ProcIdx(0),
+            Expr::var(VarIdx(0)).eq(Expr::var(VarIdx(3))),
+            vec![(
+                VarIdx(0),
+                Expr::var(VarIdx(3)).add(Expr::int(1)).modulo(Expr::int(3)),
+            )],
+        )
+    }
+
+    #[test]
+    fn apply_when_enabled() {
+        let a = a0();
+        let s = vec![2, 0, 0, 2];
+        assert!(a.enabled(&s));
+        let next = a.apply(&s, &[3, 3, 3, 3]).unwrap();
+        assert_eq!(next, vec![0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn apply_when_disabled() {
+        let a = a0();
+        let s = vec![1, 0, 0, 2];
+        assert!(!a.enabled(&s));
+        assert!(a.apply(&s, &[3, 3, 3, 3]).is_none());
+    }
+
+    #[test]
+    fn simultaneous_assignment_uses_source_state() {
+        // swap-like action: x := y; y := x (in one step).
+        let a = Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![
+                (VarIdx(0), Expr::var(VarIdx(1))),
+                (VarIdx(1), Expr::var(VarIdx(0))),
+            ],
+        );
+        let s = vec![1, 2];
+        let next = a.apply(&s, &[3, 3]).unwrap();
+        assert_eq!(next, vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_assignment_panics() {
+        let a = Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(VarIdx(0), Expr::int(7))],
+        );
+        a.apply(&vec![0], &[3]);
+    }
+
+    #[test]
+    fn display_includes_label() {
+        let a = a0();
+        assert!(format!("{a}").starts_with("A0:"));
+    }
+}

@@ -1,0 +1,594 @@
+//! Explicit-state engine: ground truth for the symbolic algorithms.
+//!
+//! Everything the symbolic engine computes with BDDs — deadlocks, ranks,
+//! SCCs, closure and convergence — is recomputed here by brute force over
+//! the enumerated state space. The synthesis pipeline never calls this on
+//! large instances; its role is differential testing (the property tests
+//! assert symbolic == explicit on every randomly generated protocol) and
+//! the explicit-vs-symbolic ablation benchmark.
+
+use crate::expr::Expr;
+use crate::protocol::Protocol;
+use crate::state::StateId;
+
+/// A dense bitset over the state space, with the set algebra the
+/// convergence definitions need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl StateSet {
+    /// An empty set over a space of `len` states.
+    pub fn empty(len: usize) -> Self {
+        StateSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// The full set over a space of `len` states.
+    pub fn full(len: usize) -> Self {
+        let mut s = StateSet { words: vec![u64::MAX; len.div_ceil(64)], len };
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Number of states the space holds (not the cardinality).
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Insert a state.
+    #[inline]
+    pub fn insert(&mut self, id: StateId) {
+        self.words[(id / 64) as usize] |= 1 << (id % 64);
+    }
+
+    /// Remove a state.
+    #[inline]
+    pub fn remove(&mut self, id: StateId) {
+        self.words[(id / 64) as usize] &= !(1 << (id % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: StateId) -> bool {
+        (self.words[(id / 64) as usize] >> (id % 64)) & 1 == 1
+    }
+
+    /// Cardinality.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &StateSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &StateSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference.
+    pub fn subtract(&mut self, other: &StateSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> StateSet {
+        let mut out = StateSet {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.trim();
+        out
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(wi as u64 * 64 + b as u64)
+                }
+            })
+        })
+    }
+}
+
+/// The set of states satisfying a boolean expression.
+pub fn predicate_states(protocol: &Protocol, pred: &Expr) -> StateSet {
+    let space = protocol.space();
+    let n = space.size() as usize;
+    let mut out = StateSet::empty(n);
+    for (id, s) in space.states().enumerate() {
+        if pred.holds(&s) {
+            out.insert(id as StateId);
+        }
+    }
+    out
+}
+
+/// A transition graph over the explicit state space in compressed
+/// sparse-row form, with both successor and predecessor adjacency.
+#[derive(Debug, Clone)]
+pub struct ExplicitGraph {
+    n: usize,
+    succ_off: Vec<u32>,
+    succ: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred: Vec<u32>,
+}
+
+impl ExplicitGraph {
+    /// Build from an edge list (duplicates are merged).
+    pub fn from_edges(n: usize, mut edges: Vec<(StateId, StateId)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut succ_off = vec![0u32; n + 1];
+        for &(s, _) in &edges {
+            succ_off[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let succ: Vec<u32> = edges.iter().map(|&(_, t)| t as u32).collect();
+        // Predecessors: sort by target.
+        let mut by_target = edges;
+        by_target.sort_unstable_by_key(|&(s, t)| (t, s));
+        let mut pred_off = vec![0u32; n + 1];
+        for &(_, t) in &by_target {
+            pred_off[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let pred: Vec<u32> = by_target.iter().map(|&(s, _)| s as u32).collect();
+        ExplicitGraph { n, succ_off, succ, pred_off, pred }
+    }
+
+    /// Build the full transition graph `δ_p` of a protocol by enumerating
+    /// every state. Panics if the space exceeds `2^26` states — the
+    /// explicit engine is an oracle for small instances only.
+    pub fn of_protocol(protocol: &Protocol) -> Self {
+        let space = protocol.space();
+        assert!(
+            space.size() <= 1 << 26,
+            "state space too large for the explicit engine ({} states)",
+            space.size()
+        );
+        let n = space.size() as usize;
+        let domains: Vec<u32> = protocol.vars().iter().map(|v| v.domain).collect();
+        let mut edges = Vec::new();
+        for (id, s) in space.states().enumerate() {
+            for a in protocol.actions() {
+                if let Some(next) = a.apply(&s, &domains) {
+                    edges.push((id as StateId, space.encode(&next)));
+                }
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (deduplicated) transitions.
+    pub fn num_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Successors of `s`.
+    pub fn successors(&self, s: StateId) -> &[u32] {
+        &self.succ[self.succ_off[s as usize] as usize..self.succ_off[s as usize + 1] as usize]
+    }
+
+    /// Predecessors of `s`.
+    pub fn predecessors(&self, s: StateId) -> &[u32] {
+        &self.pred[self.pred_off[s as usize] as usize..self.pred_off[s as usize + 1] as usize]
+    }
+
+    /// States with no outgoing transition at all; intersect with `¬I` for
+    /// the paper's deadlock predicate.
+    pub fn deadlocks(&self) -> StateSet {
+        let mut out = StateSet::empty(self.n);
+        for s in 0..self.n {
+            if self.successors(s as StateId).is_empty() {
+                out.insert(s as StateId);
+            }
+        }
+        out
+    }
+
+    /// Backward BFS ranks from `target`: `rank[s]` is the length of the
+    /// shortest path from `s` to any state in `target` (0 inside the
+    /// target), or `u32::MAX` (∞) if `target` is unreachable from `s`.
+    /// This is exactly ComputeRanks (Fig. 2) evaluated explicitly.
+    pub fn backward_ranks(&self, target: &StateSet) -> Vec<u32> {
+        let mut rank = vec![u32::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        for s in target.iter() {
+            rank[s as usize] = 0;
+            queue.push_back(s as u32);
+        }
+        while let Some(s) = queue.pop_front() {
+            let r = rank[s as usize];
+            for &p in self.predecessors(s as StateId) {
+                if rank[p as usize] == u32::MAX {
+                    rank[p as usize] = r + 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        rank
+    }
+
+    /// The restriction `δ|X`: transitions that start **and** end in `X`.
+    pub fn restrict(&self, x: &StateSet) -> ExplicitGraph {
+        let mut edges = Vec::new();
+        for s in x.iter() {
+            for &t in self.successors(s) {
+                if x.contains(t as StateId) {
+                    edges.push((s, t as StateId));
+                }
+            }
+        }
+        ExplicitGraph::from_edges(self.n, edges)
+    }
+
+    /// Tarjan's SCC decomposition (iterative). Returns `comp[s]` — the
+    /// component id of each state — and the number of components.
+    /// Components are numbered in reverse topological order of the
+    /// condensation (standard Tarjan numbering).
+    pub fn tarjan_scc(&self) -> (Vec<u32>, usize) {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.n;
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut comp = vec![UNVISITED; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut call: Vec<(u32, usize)> = Vec::new(); // (node, next-child position)
+        let mut next_index = 0u32;
+        let mut next_comp = 0u32;
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            call.push((root, 0));
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    index[v as usize] = next_index;
+                    low[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                }
+                let succs = self.successors(v as StateId);
+                if *ci < succs.len() {
+                    let w = succs[*ci];
+                    *ci += 1;
+                    if index[w as usize] == UNVISITED {
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    if low[v as usize] == index[v as usize] {
+                        loop {
+                            let w = stack.pop().unwrap();
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    }
+                }
+            }
+        }
+        (comp, next_comp as usize)
+    }
+
+    /// The states lying on some cycle (member of a non-trivial SCC, or a
+    /// state with a self-loop).
+    pub fn cyclic_states(&self) -> StateSet {
+        let (comp, ncomp) = self.tarjan_scc();
+        let mut size = vec![0u32; ncomp];
+        for &c in &comp {
+            if c != u32::MAX {
+                size[c as usize] += 1;
+            }
+        }
+        let mut out = StateSet::empty(self.n);
+        for s in 0..self.n {
+            let c = comp[s];
+            let nontrivial = size[c as usize] > 1
+                || self.successors(s as StateId).contains(&(s as u32));
+            if nontrivial {
+                out.insert(s as StateId);
+            }
+        }
+        out
+    }
+
+    /// Extract one concrete cycle (a state sequence whose last element has
+    /// a transition back to the first), if any exists. Used to exhibit the
+    /// Gouda–Acharya matching flaw as an actual trace.
+    pub fn find_cycle(&self) -> Option<Vec<StateId>> {
+        let cyc = self.cyclic_states();
+        let start = cyc.iter().next()?;
+        // Walk successors inside the cyclic set until we revisit a state.
+        let mut path: Vec<StateId> = vec![start];
+        let mut pos = std::collections::HashMap::new();
+        pos.insert(start, 0usize);
+        let mut cur = start;
+        loop {
+            let next = *self
+                .successors(cur)
+                .iter()
+                .find(|&&t| cyc.contains(t as StateId))
+                .expect("cyclic state must have a cyclic successor") as StateId;
+            if let Some(&i) = pos.get(&next) {
+                return Some(path[i..].to_vec());
+            }
+            pos.insert(next, path.len());
+            path.push(next);
+            cur = next;
+        }
+    }
+}
+
+/// Is `i` closed in the protocol? (Every transition from `I` ends in `I` —
+/// the first requirement of self-stabilization.)
+pub fn is_closed(protocol: &Protocol, i: &Expr) -> bool {
+    let space = protocol.space();
+    let domains: Vec<u32> = protocol.vars().iter().map(|v| v.domain).collect();
+    for s in space.states() {
+        if !i.holds(&s) {
+            continue;
+        }
+        for a in protocol.actions() {
+            if let Some(next) = a.apply(&s, &domains) {
+                if !i.holds(&next) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Verdict of an explicit convergence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Deadlock states outside `I` (counterexamples to Proposition II.1's
+    /// first condition).
+    pub deadlocks_outside: Vec<StateId>,
+    /// Does `δ_p | ¬I` contain a non-progress cycle?
+    pub cycle_outside: Option<Vec<StateId>>,
+    /// Are there states from which no computation reaches `I`?
+    pub unreachable_from: Vec<StateId>,
+}
+
+impl ConvergenceReport {
+    /// Strong convergence per Proposition II.1: no deadlocks in `¬I`, no
+    /// non-progress cycles in `δ_p|¬I`.
+    pub fn strongly_converges(&self) -> bool {
+        self.deadlocks_outside.is_empty() && self.cycle_outside.is_none()
+    }
+
+    /// Weak convergence: from every state some computation reaches `I`.
+    pub fn weakly_converges(&self) -> bool {
+        self.unreachable_from.is_empty()
+    }
+}
+
+/// Run the full explicit convergence analysis of `protocol` against the
+/// legitimate-state predicate `i`.
+pub fn check_convergence(protocol: &Protocol, i: &Expr) -> ConvergenceReport {
+    let graph = ExplicitGraph::of_protocol(protocol);
+    let i_set = predicate_states(protocol, i);
+    let not_i = i_set.complement();
+
+    let mut deadlocks = graph.deadlocks();
+    deadlocks.intersect_with(&not_i);
+
+    let restricted = graph.restrict(&not_i);
+    let cycle_outside = restricted.find_cycle();
+
+    let ranks = graph.backward_ranks(&i_set);
+    let unreachable_from: Vec<StateId> = (0..graph.num_states() as StateId)
+        .filter(|&s| ranks[s as usize] == u32::MAX)
+        .collect();
+
+    ConvergenceReport {
+        deadlocks_outside: deadlocks.iter().collect(),
+        cycle_outside,
+        unreachable_from,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::expr::Expr;
+    use crate::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+
+    fn v(i: usize) -> Expr {
+        Expr::var(VarIdx(i))
+    }
+
+    /// One counter modulo 4 that increments forever: 0→1→2→3→0.
+    fn counter() -> Protocol {
+        let vars = vec![VarDecl::new("c", 4)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let a = Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(VarIdx(0), v(0).add(Expr::int(1)).modulo(Expr::int(4)))],
+        );
+        Protocol::new(vars, procs, vec![a]).unwrap()
+    }
+
+    /// Two counters where only c0 < 3 increments c0 — converges to c0 == 3.
+    fn ramp() -> Protocol {
+        let vars = vec![VarDecl::new("c", 4)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let a = Action::new(
+            ProcIdx(0),
+            v(0).lt(Expr::int(3)),
+            vec![(VarIdx(0), v(0).add(Expr::int(1)))],
+        );
+        Protocol::new(vars, procs, vec![a]).unwrap()
+    }
+
+    #[test]
+    fn stateset_algebra() {
+        let mut a = StateSet::empty(130);
+        a.insert(0);
+        a.insert(64);
+        a.insert(129);
+        assert_eq!(a.count(), 3);
+        assert!(a.contains(64));
+        let c = a.complement();
+        assert_eq!(c.count(), 127);
+        assert!(!c.contains(129));
+        let mut b = StateSet::full(130);
+        assert_eq!(b.count(), 130);
+        b.subtract(&a);
+        assert_eq!(b.count(), 127);
+        b.union_with(&a);
+        assert_eq!(b.count(), 130);
+        a.remove(64);
+        assert!(!a.contains(64));
+        let members: Vec<StateId> = a.iter().collect();
+        assert_eq!(members, vec![0, 129]);
+    }
+
+    #[test]
+    fn graph_of_counter_is_one_cycle() {
+        let g = ExplicitGraph::of_protocol(&counter());
+        assert_eq!(g.num_states(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.successors(0), &[1]);
+        assert_eq!(g.predecessors(0), &[3]);
+        let (comp, n) = g.tarjan_scc();
+        assert_eq!(n, 1);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+        assert_eq!(g.cyclic_states().count(), 4);
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 4);
+    }
+
+    #[test]
+    fn ramp_converges_strongly() {
+        let p = ramp();
+        let i = v(0).eq(Expr::int(3));
+        assert!(is_closed(&p, &i));
+        let report = check_convergence(&p, &i);
+        assert!(report.strongly_converges());
+        assert!(report.weakly_converges());
+    }
+
+    #[test]
+    fn counter_mod4_is_not_closed_in_singleton() {
+        let p = counter();
+        let i = v(0).eq(Expr::int(3));
+        assert!(!is_closed(&p, &i)); // 3 → 0 leaves I
+    }
+
+    #[test]
+    fn ranks_are_shortest_distances() {
+        let p = ramp();
+        let g = ExplicitGraph::of_protocol(&p);
+        let i = predicate_states(&p, &v(0).eq(Expr::int(3)));
+        let ranks = g.backward_ranks(&i);
+        assert_eq!(ranks, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn infinite_rank_when_unreachable() {
+        // Protocol with no actions: every ¬I state has rank ∞.
+        let vars = vec![VarDecl::new("c", 3)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let g = ExplicitGraph::of_protocol(&p);
+        let i = predicate_states(&p, &v(0).eq(Expr::int(0)));
+        let ranks = g.backward_ranks(&i);
+        assert_eq!(ranks, vec![0, u32::MAX, u32::MAX]);
+        let report = check_convergence(&p, &v(0).eq(Expr::int(0)));
+        assert!(!report.weakly_converges());
+        assert_eq!(report.deadlocks_outside.len(), 2);
+    }
+
+    #[test]
+    fn restrict_drops_boundary_edges() {
+        let g = ExplicitGraph::of_protocol(&counter());
+        let mut x = StateSet::empty(4);
+        x.insert(1);
+        x.insert(2);
+        let r = g.restrict(&x);
+        assert_eq!(r.num_edges(), 1); // only 1→2 stays
+        assert!(r.find_cycle().is_none());
+    }
+
+    #[test]
+    fn tarjan_on_dag_gives_singletons() {
+        let g = ExplicitGraph::from_edges(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let (comp, n) = g.tarjan_scc();
+        assert_eq!(n, 4);
+        // Reverse topological: comp[3] < comp[2] < comp[1] < comp[0].
+        assert!(comp[3] < comp[2] && comp[2] < comp[1] && comp[1] < comp[0]);
+        assert!(g.cyclic_states().is_empty());
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = ExplicitGraph::from_edges(3, vec![(0, 1), (1, 1), (1, 2)]);
+        let cyc = g.cyclic_states();
+        assert_eq!(cyc.iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(g.find_cycle().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let g = ExplicitGraph::from_edges(2, vec![(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

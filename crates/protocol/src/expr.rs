@@ -1,0 +1,400 @@
+//! Expressions over protocol variables.
+//!
+//! Guards, assignment right-hand sides and state predicates (such as the
+//! paper's `S1`, `I_MM`, `I_coloring`) are all drawn from one unified,
+//! simply-typed expression language: integer arithmetic (with the modular
+//! operations Dijkstra's guarded commands rely on), comparisons, and the
+//! boolean connectives. A small type checker rejects ill-formed trees once
+//! at protocol-construction time so evaluation can be unchecked and fast.
+
+use crate::state::State;
+use crate::topology::VarIdx;
+use std::fmt;
+
+/// The two expression types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Integer-valued (variables and arithmetic).
+    Int,
+    /// Boolean-valued (comparisons and connectives).
+    Bool,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The integer payload; panics on a boolean (prevented by typechecking).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            Value::Bool(_) => panic!("type error: expected Int"),
+        }
+    }
+
+    /// The boolean payload; panics on an integer (prevented by typechecking).
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Int(_) => panic!("type error: expected Bool"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (Int, Int) → Int
+    Add,
+    /// `-` (Int, Int) → Int
+    Sub,
+    /// `*` (Int, Int) → Int
+    Mul,
+    /// `%` (Int, Int) → Int — **euclidean** remainder, always non-negative
+    /// for a positive modulus, matching the paper's "addition and
+    /// subtraction are in modulo 3" convention.
+    Mod,
+    /// `==` (T, T) → Bool
+    Eq,
+    /// `!=` (T, T) → Bool
+    Ne,
+    /// `<` (Int, Int) → Bool
+    Lt,
+    /// `<=` (Int, Int) → Bool
+    Le,
+    /// `>` (Int, Int) → Bool
+    Gt,
+    /// `>=` (Int, Int) → Bool
+    Ge,
+    /// `&&` (Bool, Bool) → Bool
+    And,
+    /// `||` (Bool, Bool) → Bool
+    Or,
+    /// `=>` (Bool, Bool) → Bool
+    Implies,
+    /// `<=>` (Bool, Bool) → Bool
+    Iff,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Boolean negation `!`.
+    Not,
+    /// Integer negation `-`.
+    Neg,
+}
+
+/// An expression tree over protocol variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// A protocol variable (integer-typed; domains are `0..d`).
+    Var(VarIdx),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// A type error located at some subexpression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl Expr {
+    /// Shorthand: the variable `v`.
+    pub fn var(v: VarIdx) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Shorthand: integer constant.
+    pub fn int(i: i64) -> Expr {
+        Expr::Int(i)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs` (euclidean).
+    pub fn modulo(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mod, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self && rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self || rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self => rhs`.
+    pub fn implies(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Implies, Box::new(self), Box::new(rhs))
+    }
+
+    /// `!self`.
+    pub fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+
+    /// Conjunction of many expressions (`true` for an empty list).
+    pub fn conj(mut es: Vec<Expr>) -> Expr {
+        match es.len() {
+            0 => Expr::Bool(true),
+            1 => es.pop().unwrap(),
+            _ => {
+                let mut it = es.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |a, b| a.and(b))
+            }
+        }
+    }
+
+    /// Disjunction of many expressions (`false` for an empty list).
+    pub fn disj(mut es: Vec<Expr>) -> Expr {
+        match es.len() {
+            0 => Expr::Bool(false),
+            1 => es.pop().unwrap(),
+            _ => {
+                let mut it = es.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |a, b| a.or(b))
+            }
+        }
+    }
+
+    /// Infer the type, failing on operator/operand mismatches.
+    pub fn typecheck(&self) -> Result<Ty, TypeError> {
+        match self {
+            Expr::Int(_) => Ok(Ty::Int),
+            Expr::Bool(_) => Ok(Ty::Bool),
+            Expr::Var(_) => Ok(Ty::Int),
+            Expr::Un(UnOp::Not, e) => match e.typecheck()? {
+                Ty::Bool => Ok(Ty::Bool),
+                Ty::Int => Err(TypeError("`!` applied to an integer".into())),
+            },
+            Expr::Un(UnOp::Neg, e) => match e.typecheck()? {
+                Ty::Int => Ok(Ty::Int),
+                Ty::Bool => Err(TypeError("unary `-` applied to a boolean".into())),
+            },
+            Expr::Bin(op, a, b) => {
+                let (ta, tb) = (a.typecheck()?, b.typecheck()?);
+                use BinOp::*;
+                match op {
+                    Add | Sub | Mul | Mod => {
+                        if ta == Ty::Int && tb == Ty::Int {
+                            Ok(Ty::Int)
+                        } else {
+                            Err(TypeError(format!("arithmetic `{op:?}` needs Int operands")))
+                        }
+                    }
+                    Lt | Le | Gt | Ge => {
+                        if ta == Ty::Int && tb == Ty::Int {
+                            Ok(Ty::Bool)
+                        } else {
+                            Err(TypeError(format!("comparison `{op:?}` needs Int operands")))
+                        }
+                    }
+                    Eq | Ne => {
+                        if ta == tb {
+                            Ok(Ty::Bool)
+                        } else {
+                            Err(TypeError("`==`/`!=` operands must have the same type".into()))
+                        }
+                    }
+                    And | Or | Implies | Iff => {
+                        if ta == Ty::Bool && tb == Ty::Bool {
+                            Ok(Ty::Bool)
+                        } else {
+                            Err(TypeError(format!("connective `{op:?}` needs Bool operands")))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate under a state (a total valuation of variables). The tree
+    /// must have typechecked; violations panic.
+    pub fn eval(&self, state: &State) -> Value {
+        match self {
+            Expr::Int(i) => Value::Int(*i),
+            Expr::Bool(b) => Value::Bool(*b),
+            Expr::Var(v) => Value::Int(state[v.0] as i64),
+            Expr::Un(UnOp::Not, e) => Value::Bool(!e.eval(state).as_bool()),
+            Expr::Un(UnOp::Neg, e) => Value::Int(-e.eval(state).as_int()),
+            Expr::Bin(op, a, b) => {
+                use BinOp::*;
+                match op {
+                    Add => Value::Int(a.eval(state).as_int() + b.eval(state).as_int()),
+                    Sub => Value::Int(a.eval(state).as_int() - b.eval(state).as_int()),
+                    Mul => Value::Int(a.eval(state).as_int() * b.eval(state).as_int()),
+                    Mod => {
+                        let x = a.eval(state).as_int();
+                        let m = b.eval(state).as_int();
+                        assert!(m != 0, "modulo by zero");
+                        Value::Int(x.rem_euclid(m))
+                    }
+                    Eq => Value::Bool(a.eval(state) == b.eval(state)),
+                    Ne => Value::Bool(a.eval(state) != b.eval(state)),
+                    Lt => Value::Bool(a.eval(state).as_int() < b.eval(state).as_int()),
+                    Le => Value::Bool(a.eval(state).as_int() <= b.eval(state).as_int()),
+                    Gt => Value::Bool(a.eval(state).as_int() > b.eval(state).as_int()),
+                    Ge => Value::Bool(a.eval(state).as_int() >= b.eval(state).as_int()),
+                    And => Value::Bool(a.eval(state).as_bool() && b.eval(state).as_bool()),
+                    Or => Value::Bool(a.eval(state).as_bool() || b.eval(state).as_bool()),
+                    Implies => Value::Bool(!a.eval(state).as_bool() || b.eval(state).as_bool()),
+                    Iff => Value::Bool(a.eval(state).as_bool() == b.eval(state).as_bool()),
+                }
+            }
+        }
+    }
+
+    /// Evaluate a boolean expression under a state.
+    pub fn holds(&self, state: &State) -> bool {
+        self.eval(state).as_bool()
+    }
+
+    /// Collect the variables this expression mentions, sorted and deduped.
+    pub fn vars(&self) -> Vec<VarIdx> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarIdx>) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::Un(_, e) => e.collect_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Expr {
+        Expr::var(VarIdx(i))
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let state: State = vec![2, 0, 1];
+        let e = v(0).add(Expr::int(1)).modulo(Expr::int(3)); // (2+1)%3 = 0
+        assert_eq!(e.eval(&state), Value::Int(0));
+        let c = e.eq(v(1)); // 0 == 0
+        assert!(c.holds(&state));
+        assert!(v(2).lt(v(0)).holds(&state));
+    }
+
+    #[test]
+    fn euclidean_modulo() {
+        let state: State = vec![0];
+        // (0 - 1) % 3 must be 2, not -1 — Dijkstra's rings count on this.
+        let e = v(0).sub(Expr::int(1)).modulo(Expr::int(3));
+        assert_eq!(e.eval(&state), Value::Int(2));
+    }
+
+    #[test]
+    fn connectives() {
+        let s: State = vec![1, 1, 0];
+        let eq01 = v(0).eq(v(1));
+        let eq02 = v(0).eq(v(2));
+        assert!(eq01.clone().and(eq02.clone().not()).holds(&s));
+        assert!(eq02.clone().implies(eq01.clone()).holds(&s)); // false ⇒ _
+        assert!(!Expr::Bin(BinOp::Iff, Box::new(eq01), Box::new(eq02)).holds(&s));
+    }
+
+    #[test]
+    fn conj_disj_helpers() {
+        let s: State = vec![0, 0];
+        assert!(Expr::conj(vec![]).holds(&s));
+        assert!(!Expr::disj(vec![]).holds(&s));
+        let e1 = v(0).eq(v(1));
+        let e2 = v(0).ne(v(1));
+        assert!(!Expr::conj(vec![e1.clone(), e2.clone()]).holds(&s));
+        assert!(Expr::disj(vec![e1, e2]).holds(&s));
+    }
+
+    #[test]
+    fn typecheck_accepts_well_formed() {
+        let e = v(0).add(Expr::int(1)).eq(v(1)).and(v(2).lt(Expr::int(5)));
+        assert_eq!(e.typecheck().unwrap(), Ty::Bool);
+        assert_eq!(v(0).add(v(1)).typecheck().unwrap(), Ty::Int);
+    }
+
+    #[test]
+    fn typecheck_rejects_mismatches() {
+        // 1 + (x == y) is ill-typed.
+        let bad = Expr::int(1).add(v(0).eq(v(1)));
+        assert!(bad.typecheck().is_err());
+        // !x with x integer is ill-typed.
+        assert!(v(0).not().typecheck().is_err());
+        // (x == y) == 3 mixes types across ==.
+        let bad2 = v(0).eq(v(1)).eq(Expr::int(3));
+        assert!(bad2.typecheck().is_err());
+    }
+
+    #[test]
+    fn vars_are_collected_sorted_unique() {
+        let e = v(3).add(v(1)).eq(v(3).sub(v(0)));
+        assert_eq!(e.vars(), vec![VarIdx(0), VarIdx(1), VarIdx(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulo by zero")]
+    fn modulo_zero_panics() {
+        let s: State = vec![1];
+        v(0).modulo(Expr::int(0)).eval(&s);
+    }
+}

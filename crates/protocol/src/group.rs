@@ -1,0 +1,258 @@
+//! Transition groups — the atomicity unit of convergence synthesis.
+//!
+//! Because process `P_j` cannot observe variables outside `r_j`, any local
+//! move it makes is really a *set* of global transitions: one for every
+//! valuation of the unreadable variables (§II, "Effect of distribution on
+//! protocol representation"). A group is therefore fully described by
+//!
+//! * the owning process,
+//! * the valuation of the readable variables in the source state
+//!   ([`GroupDesc::pre`]), and
+//! * the valuation of the written variables in the target state
+//!   ([`GroupDesc::post`]),
+//!
+//! with every non-written variable unchanged. The synthesis heuristic adds
+//! or removes recovery transitions *only* in whole groups; this module
+//! enumerates a process's groups, expands a group into its explicit
+//! transitions, and maps guarded commands onto the groups they denote.
+
+use crate::protocol::Protocol;
+use crate::state::{State, StateId};
+use crate::topology::ProcIdx;
+
+/// Canonical description of one transition group of a process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupDesc {
+    /// Owning process `P_j`.
+    pub process: ProcIdx,
+    /// Source values of the readable variables, aligned with
+    /// `processes[j].reads` (sorted order).
+    pub pre: Vec<u32>,
+    /// Target values of the written variables, aligned with
+    /// `processes[j].writes` (sorted order).
+    pub post: Vec<u32>,
+}
+
+impl GroupDesc {
+    /// Is this group a self-loop (its transitions all satisfy `s1 = s0`)?
+    /// True iff the written part of `post` equals the corresponding slice
+    /// of `pre`.
+    pub fn is_self_loop(&self, protocol: &Protocol) -> bool {
+        let proc = &protocol.processes()[self.process.0];
+        proc.writes.iter().zip(&self.post).all(|(w, &pv)| {
+            let pos = proc.reads.binary_search(w).expect("w ⊆ r");
+            self.pre[pos] == pv
+        })
+    }
+
+    /// Does this group have a transition originating in `state`? (I.e. do
+    /// the readable variables of `state` match `pre`?)
+    pub fn applies_to(&self, protocol: &Protocol, state: &State) -> bool {
+        let proc = &protocol.processes()[self.process.0];
+        proc.reads
+            .iter()
+            .zip(&self.pre)
+            .all(|(r, &pv)| state[r.0] == pv)
+    }
+
+    /// The target of this group's transition from `state` (caller must
+    /// ensure [`GroupDesc::applies_to`]).
+    pub fn apply(&self, protocol: &Protocol, state: &State) -> State {
+        debug_assert!(self.applies_to(protocol, state));
+        let proc = &protocol.processes()[self.process.0];
+        let mut next = state.clone();
+        for (w, &pv) in proc.writes.iter().zip(&self.post) {
+            next[w.0] = pv;
+        }
+        next
+    }
+
+    /// Expand the group into its explicit transitions `(s0, s1)` — one per
+    /// valuation of the variables `P_j` cannot read. Exponential in the
+    /// number of unreadable variables, so only used by the explicit oracle
+    /// engine on small instances.
+    pub fn transitions(&self, protocol: &Protocol) -> Vec<(StateId, StateId)> {
+        let space = protocol.space();
+        let proc = &protocol.processes()[self.process.0];
+        let unread: Vec<usize> = protocol
+            .unreadable(self.process)
+            .iter()
+            .map(|v| v.0)
+            .collect();
+        let mut base: State = vec![0; protocol.num_vars()];
+        for (r, &pv) in proc.reads.iter().zip(&self.pre) {
+            base[r.0] = pv;
+        }
+        let mut out = Vec::new();
+        for uval in space.valuations(&unread) {
+            let mut s0 = base.clone();
+            for (pos, &ui) in unread.iter().enumerate() {
+                s0[ui] = uval[pos];
+            }
+            let s1 = self.apply(protocol, &s0);
+            out.push((space.encode(&s0), space.encode(&s1)));
+        }
+        out
+    }
+}
+
+/// Enumerate **all** groups of process `j`: every readable valuation paired
+/// with every written valuation. Self-loop groups are included (callers
+/// that build candidate recovery sets filter them out — a self-loop can
+/// never be a recovery transition, it is a one-state non-progress cycle).
+pub fn all_groups_of(protocol: &Protocol, j: ProcIdx) -> Vec<GroupDesc> {
+    let proc = &protocol.processes()[j.0];
+    let space = protocol.space();
+    let read_idxs: Vec<usize> = proc.reads.iter().map(|v| v.0).collect();
+    let write_idxs: Vec<usize> = proc.writes.iter().map(|v| v.0).collect();
+    let mut out = Vec::new();
+    for pre in space.valuations(&read_idxs) {
+        for post in space.valuations(&write_idxs) {
+            out.push(GroupDesc { process: j, pre: pre.clone(), post });
+        }
+    }
+    out
+}
+
+/// The groups denoted by the guarded commands of process `j` in `protocol`
+/// — i.e. the group decomposition of `δ_p ∩ P_j`. For each readable
+/// valuation satisfying some guard of `P_j`, the assignments determine the
+/// written-target valuation (right-hand sides only read `r_j`, so the
+/// valuation determines them).
+pub fn groups_of_actions(protocol: &Protocol, j: ProcIdx) -> Vec<GroupDesc> {
+    let proc = &protocol.processes()[j.0];
+    let space = protocol.space();
+    let read_idxs: Vec<usize> = proc.reads.iter().map(|v| v.0).collect();
+    let domains: Vec<u32> = protocol.vars().iter().map(|v| v.domain).collect();
+    let mut out: Vec<GroupDesc> = Vec::new();
+    for a in protocol.actions_of(j) {
+        for pre in space.valuations(&read_idxs) {
+            let mut probe: State = vec![0; protocol.num_vars()];
+            for (pos, &ri) in read_idxs.iter().enumerate() {
+                probe[ri] = pre[pos];
+            }
+            if let Some(next) = a.apply(&probe, &domains) {
+                let post: Vec<u32> = proc.writes.iter().map(|w| next[w.0]).collect();
+                let g = GroupDesc { process: j, pre: pre.clone(), post };
+                if !out.contains(&g) {
+                    out.push(g);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All groups of all processes of `protocol`'s action set — the group
+/// decomposition of `δ_p`.
+pub fn groups_of_protocol(protocol: &Protocol) -> Vec<GroupDesc> {
+    (0..protocol.num_processes())
+        .flat_map(|j| groups_of_actions(protocol, ProcIdx(j)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::expr::Expr;
+    use crate::topology::{ProcessDecl, VarDecl, VarIdx};
+
+    /// Two processes with one private boolean each — the x1/x2 example of
+    /// §II used to introduce grouping.
+    fn two_private_bits() -> Protocol {
+        let vars = vec![VarDecl::new("x1", 2), VarDecl::new("x2", 2)];
+        let procs = vec![
+            ProcessDecl::new("P1", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap(),
+            ProcessDecl::new("P2", vec![VarIdx(1)], vec![VarIdx(1)]).unwrap(),
+        ];
+        // P1: x1 == 0 → x1 := 1
+        let a = Action::new(
+            ProcIdx(0),
+            Expr::var(VarIdx(0)).eq(Expr::int(0)),
+            vec![(VarIdx(0), Expr::int(1))],
+        );
+        Protocol::new(vars, procs, vec![a]).unwrap()
+    }
+
+    #[test]
+    fn paper_grouping_example() {
+        // P1's action x1: 0→1 groups ⟨0,0⟩→⟨1,0⟩ with ⟨0,1⟩→⟨1,1⟩.
+        let p = two_private_bits();
+        let groups = groups_of_actions(&p, ProcIdx(0));
+        assert_eq!(groups.len(), 1);
+        let mut trans = groups[0].transitions(&p);
+        trans.sort_unstable();
+        let sp = p.space();
+        let enc = |a: u32, b: u32| sp.encode(&vec![a, b]);
+        assert_eq!(trans, vec![(enc(0, 0), enc(1, 0)), (enc(0, 1), enc(1, 1))]);
+    }
+
+    #[test]
+    fn all_groups_count() {
+        let p = two_private_bits();
+        // P1 reads 1 var (2 valuations) × writes 1 var (2 targets) = 4 groups.
+        let groups = all_groups_of(&p, ProcIdx(0));
+        assert_eq!(groups.len(), 4);
+        // Exactly 2 of them are self-loops.
+        let self_loops = groups.iter().filter(|g| g.is_self_loop(&p)).count();
+        assert_eq!(self_loops, 2);
+    }
+
+    #[test]
+    fn group_size_formula_token_ring() {
+        // Paper: for TR with n processes and |D| = n-1, each group has
+        // (n-1)^(n-2) transitions. Check n = 4, |D| = 3: 9 transitions.
+        let n = 4usize;
+        let vars: Vec<VarDecl> = (0..n).map(|i| VarDecl::new(format!("x{i}"), 3)).collect();
+        let procs: Vec<ProcessDecl> = (0..n)
+            .map(|j| {
+                let prev = if j == 0 { n - 1 } else { j - 1 };
+                ProcessDecl::new(format!("P{j}"), vec![VarIdx(prev), VarIdx(j)], vec![VarIdx(j)])
+                    .unwrap()
+            })
+            .collect();
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let groups = all_groups_of(&p, ProcIdx(1));
+        // 9 readable valuations × 3 write targets
+        assert_eq!(groups.len(), 27);
+        for g in &groups {
+            assert_eq!(g.transitions(&p).len(), 9);
+        }
+    }
+
+    #[test]
+    fn applies_and_apply() {
+        let p = two_private_bits();
+        let g = GroupDesc { process: ProcIdx(0), pre: vec![0], post: vec![1] };
+        assert!(g.applies_to(&p, &vec![0, 1]));
+        assert!(!g.applies_to(&p, &vec![1, 1]));
+        assert_eq!(g.apply(&p, &vec![0, 1]), vec![1, 1]);
+    }
+
+    #[test]
+    fn groups_of_protocol_unions_processes() {
+        let p = two_private_bits();
+        assert_eq!(groups_of_protocol(&p).len(), 1); // only P1 has an action
+    }
+
+    #[test]
+    fn action_groups_dedup() {
+        // Two actions of the same process denoting the same group must not
+        // produce duplicates.
+        let vars = vec![VarDecl::new("x", 2)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let a1 = Action::new(
+            ProcIdx(0),
+            Expr::var(VarIdx(0)).eq(Expr::int(0)),
+            vec![(VarIdx(0), Expr::int(1))],
+        );
+        let a2 = Action::new(
+            ProcIdx(0),
+            Expr::var(VarIdx(0)).lt(Expr::int(1)),
+            vec![(VarIdx(0), Expr::var(VarIdx(0)).add(Expr::int(1)))],
+        );
+        let p = Protocol::new(vars, procs, vec![a1, a2]).unwrap();
+        assert_eq!(groups_of_actions(&p, ProcIdx(0)).len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # stsyn-protocol — finite-state shared-memory protocols
+//!
+//! The modelling layer of the STSyn reproduction. It implements §II of the
+//! paper ("Preliminaries") verbatim:
+//!
+//! * **Protocols as non-deterministic finite-state machines** — a protocol
+//!   is a tuple ⟨V_p, δ_p, Π_p, T_p⟩ of finite-domain variables, a
+//!   transition set (presented as Dijkstra-style guarded commands), a set
+//!   of processes, and a topology ([`Protocol`]).
+//! * **The distribution model** — per-process read/write restrictions with
+//!   `w_j ⊆ r_j` ([`ProcessDecl`]); a process is a set of **transition
+//!   groups** induced by its read restriction ([`group::GroupDesc`]): two
+//!   transitions are groupmates iff they agree on the readable variables in
+//!   source and target, and each leaves the unreadable variables unchanged.
+//!   Groups are the atomic unit of the synthesis heuristic — a group is
+//!   included or excluded as a whole.
+//! * **State predicates, closure, computations** — expression-level
+//!   predicates ([`expr::Expr`]) plus an explicit-state engine
+//!   ([`explicit`]) providing ground-truth deadlock detection, Tarjan SCC
+//!   decomposition, backward BFS ranks and convergence checking for
+//!   differential testing of the symbolic engine.
+//! * A small **textual DSL** ([`dsl`]) so the `stsyn` command-line tool can
+//!   consume protocol descriptions from files.
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod dsl;
+pub mod explicit;
+pub mod expr;
+pub mod group;
+pub mod printer;
+pub mod sim;
+pub mod protocol;
+pub mod state;
+pub mod topology;
+
+pub use action::Action;
+pub use expr::{BinOp, Expr, Ty, UnOp, Value};
+pub use group::GroupDesc;
+pub use protocol::{Protocol, ProtocolError};
+pub use state::{State, StateId, StateSpace};
+pub use topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};

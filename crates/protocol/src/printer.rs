@@ -1,0 +1,256 @@
+//! Serialize protocols back to the textual DSL.
+//!
+//! The synthesizer's output is a [`Protocol`]; printing it in the same
+//! language the parser accepts closes the tool loop (`stsyn --emit-dsl`)
+//! and gives the test suite a parse → print → parse round-trip oracle.
+
+use crate::action::Action;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::protocol::Protocol;
+use std::fmt::Write as _;
+
+/// Operator precedence tiers, loosest first — mirrors the parser.
+fn precedence(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Iff => 0,
+        Implies => 1,
+        Or => 2,
+        And => 3,
+        Eq | Ne | Lt | Le | Gt | Ge => 4,
+        Add | Sub => 5,
+        Mul | Mod => 6,
+    }
+}
+
+fn op_symbol(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Mod => "%",
+        Eq => "==",
+        Ne => "!=",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        And => "&&",
+        Or => "||",
+        Implies => "=>",
+        Iff => "<=>",
+    }
+}
+
+/// Print an expression in DSL syntax with minimal parentheses, resolving
+/// variable names (and named values on the right of `==`/`!=`) through the
+/// protocol's declarations.
+pub fn expr_to_dsl(protocol: &Protocol, e: &Expr) -> String {
+    render(protocol, e, 0)
+}
+
+fn render(protocol: &Protocol, e: &Expr, parent_prec: u8) -> String {
+    match e {
+        Expr::Int(i) => i.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(v) => protocol.vars()[v.0].name.clone(),
+        Expr::Un(UnOp::Not, inner) => format!("!{}", render(protocol, inner, 7)),
+        Expr::Un(UnOp::Neg, inner) => format!("-{}", render(protocol, inner, 7)),
+        Expr::Bin(op, a, b) => {
+            // `var ==/!= const` with value names.
+            if matches!(op, BinOp::Eq | BinOp::Ne) {
+                if let (Expr::Var(v), Expr::Int(c)) = (a.as_ref(), b.as_ref()) {
+                    let decl = &protocol.vars()[v.0];
+                    if decl.value_names.is_some() && *c >= 0 && (*c as u32) < decl.domain {
+                        let s = format!(
+                            "{} {} {}",
+                            decl.name,
+                            op_symbol(*op),
+                            decl.value_name(*c as u32)
+                        );
+                        return if precedence(*op) < parent_prec { format!("({s})") } else { s };
+                    }
+                }
+            }
+            let prec = precedence(*op);
+            // Left-associative chains reuse `prec` on the left and
+            // `prec + 1` on the right; `=>` is right-associative, and the
+            // non-associative comparisons force parens on nested compares.
+            let (lp, rp) = match op {
+                BinOp::Implies => (prec + 1, prec),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    (prec + 1, prec + 1)
+                }
+                _ => (prec, prec + 1),
+            };
+            let s = format!(
+                "{} {} {}",
+                render(protocol, a, lp),
+                op_symbol(*op),
+                render(protocol, b, rp)
+            );
+            if prec < parent_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+fn action_to_dsl(protocol: &Protocol, a: &Action) -> String {
+    let mut out = String::new();
+    if let Some(l) = &a.label {
+        let _ = write!(out, "{l}: ");
+    }
+    let _ = write!(out, "when {} then ", expr_to_dsl(protocol, &a.guard));
+    for (i, (t, rhs)) in a.assigns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} := {}", protocol.vars()[t.0].name, expr_to_dsl(protocol, rhs));
+    }
+    out.push(';');
+    out
+}
+
+/// Serialize a whole protocol (plus its invariant) as a parseable DSL
+/// document.
+pub fn to_dsl(name: &str, protocol: &Protocol, invariant: &Expr) -> String {
+    let mut out = format!("protocol {name} {{\n");
+    for v in protocol.vars() {
+        match &v.value_names {
+            Some(names) => {
+                let _ = writeln!(out, "  var {} : {{ {} }};", v.name, names.join(", "));
+            }
+            None => {
+                let _ = writeln!(out, "  var {} : 0..{};", v.name, v.domain - 1);
+            }
+        }
+    }
+    out.push('\n');
+    for (j, proc) in protocol.processes().iter().enumerate() {
+        let reads: Vec<String> =
+            proc.reads.iter().map(|r| protocol.vars()[r.0].name.clone()).collect();
+        let writes: Vec<String> =
+            proc.writes.iter().map(|w| protocol.vars()[w.0].name.clone()).collect();
+        let _ = writeln!(
+            out,
+            "  process {} reads {} writes {} {{",
+            proc.name,
+            reads.join(", "),
+            writes.join(", ")
+        );
+        for a in protocol.actions() {
+            if a.process.0 == j {
+                let _ = writeln!(out, "    {}", action_to_dsl(protocol, a));
+            }
+        }
+        out.push_str("  }\n");
+    }
+    let _ = writeln!(out, "\n  invariant {};", expr_to_dsl(protocol, invariant));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+
+    const TOKEN_RING: &str = r#"
+        protocol TokenRing {
+          var x0 : 0..2;  var x1 : 0..2;
+
+          process P0 reads x1, x0 writes x0 {
+            A0: when x0 == x1 then x0 := (x1 + 1) % 3;
+          }
+          process P1 reads x0, x1 writes x1 {
+            when (x1 + 1) % 3 == x0 then x1 := x0;
+          }
+
+          invariant x0 == x1 || (x1 + 1) % 3 == x0;
+        }
+    "#;
+
+    /// Compare two protocols semantically: same spaces, same successor
+    /// function, same invariant extension.
+    fn semantically_equal(
+        a: &crate::Protocol,
+        ia: &Expr,
+        b: &crate::Protocol,
+        ib: &Expr,
+    ) -> bool {
+        if a.space().size() != b.space().size() {
+            return false;
+        }
+        for s in a.space().states() {
+            if ia.holds(&s) != ib.holds(&s) {
+                return false;
+            }
+            let mut sa = a.successors(&s);
+            let mut sb = b.successors(&s);
+            sa.sort();
+            sb.sort();
+            if sa != sb {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn parse_print_parse_roundtrip() {
+        let p1 = dsl::parse(TOKEN_RING).unwrap();
+        let text = to_dsl(&p1.name, &p1.protocol, &p1.invariant);
+        let p2 = dsl::parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        assert_eq!(p2.name, "TokenRing");
+        assert!(semantically_equal(&p1.protocol, &p1.invariant, &p2.protocol, &p2.invariant));
+    }
+
+    #[test]
+    fn named_values_roundtrip() {
+        let src = r#"
+            protocol M {
+              var m0 : { left, right, self };
+              var m1 : { left, right, self };
+              process P0 reads m0, m1 writes m0 {
+                when m0 == self && m1 == left then m0 := right;
+              }
+              invariant m0 == right => m1 == left;
+            }
+        "#;
+        let p1 = dsl::parse(src).unwrap();
+        let text = to_dsl(&p1.name, &p1.protocol, &p1.invariant);
+        assert!(text.contains("var m0 : { left, right, self };"), "{text}");
+        assert!(text.contains("m1 == left"), "{text}");
+        let p2 = dsl::parse(&text).unwrap();
+        assert!(semantically_equal(&p1.protocol, &p1.invariant, &p2.protocol, &p2.invariant));
+    }
+
+    #[test]
+    fn minimal_parentheses_are_still_correct() {
+        // A nest of every precedence tier survives the round trip.
+        let src = r#"
+            protocol P {
+              var a : 0..3; var b : 0..3;
+              process P0 reads a, b writes a { }
+              invariant (a + 1 * 2) % 4 == b => a < b || a == 0 && b == 1 <=> b > 2;
+            }
+        "#;
+        let p1 = dsl::parse(src).unwrap();
+        let text = to_dsl(&p1.name, &p1.protocol, &p1.invariant);
+        let p2 = dsl::parse(&text).unwrap();
+        assert!(semantically_equal(&p1.protocol, &p1.invariant, &p2.protocol, &p2.invariant));
+    }
+
+    #[test]
+    fn empty_process_bodies_print() {
+        let src = "protocol E { var a : 0..1; process Q reads a writes a { } invariant true; }";
+        let p1 = dsl::parse(src).unwrap();
+        let text = to_dsl(&p1.name, &p1.protocol, &p1.invariant);
+        assert!(text.contains("process Q reads a writes a {"));
+        assert!(dsl::parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,228 @@
+//! Randomized simulation: transient-fault injection and recovery-time
+//! measurement.
+//!
+//! Self-stabilization is a worst-case guarantee over *every* state and
+//! schedule; the model checker establishes it exactly. This module
+//! complements that with the practitioner's view the paper's introduction
+//! motivates (soft errors, bad initialization): inject random transient
+//! faults into a running protocol, drive it with a random interleaving
+//! scheduler, and measure how long recovery takes.
+
+use crate::expr::Expr;
+use crate::protocol::Protocol;
+use crate::state::State;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized interleaving scheduler plus fault injector over one
+/// protocol.
+pub struct Simulator<'p> {
+    protocol: &'p Protocol,
+    domains: Vec<u32>,
+    rng: StdRng,
+}
+
+/// Aggregate results of a convergence experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceStats {
+    /// Trials that reached the invariant within the step budget.
+    pub converged: usize,
+    /// Total trials.
+    pub trials: usize,
+    /// Longest observed recovery (steps), over converged trials.
+    pub max_steps: usize,
+    /// Mean recovery steps over converged trials.
+    pub mean_steps: f64,
+}
+
+impl<'p> Simulator<'p> {
+    /// A simulator with a deterministic seed (experiments reproduce).
+    pub fn new(protocol: &'p Protocol, seed: u64) -> Self {
+        Simulator {
+            protocol,
+            domains: protocol.vars().iter().map(|v| v.domain).collect(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniformly random state.
+    pub fn random_state(&mut self) -> State {
+        self.domains.iter().map(|&d| self.rng.gen_range(0..d)).collect()
+    }
+
+    /// A transient fault: corrupt `count` randomly chosen variables with
+    /// random values (models the paper's soft errors / bad
+    /// initialization).
+    pub fn inject_fault(&mut self, state: &mut State, count: usize) {
+        for _ in 0..count {
+            let v = self.rng.gen_range(0..state.len());
+            state[v] = self.rng.gen_range(0..self.domains[v]);
+        }
+    }
+
+    /// One step under the random interleaving scheduler: a uniformly
+    /// random enabled action fires. `None` when the state is silent
+    /// (no action enabled).
+    pub fn step(&mut self, state: &State) -> Option<State> {
+        let enabled: Vec<State> = self.protocol.successors(state);
+        if enabled.is_empty() {
+            return None;
+        }
+        let pick = self.rng.gen_range(0..enabled.len());
+        Some(enabled[pick].clone())
+    }
+
+    /// Run until `target` holds, up to `max_steps`. Returns the number of
+    /// steps on success. A silent state outside the target aborts the run
+    /// (a deadlock — impossible for verified stabilizing protocols).
+    pub fn run_to(
+        &mut self,
+        mut state: State,
+        target: &Expr,
+        max_steps: usize,
+    ) -> Option<usize> {
+        for steps in 0..=max_steps {
+            if target.holds(&state) {
+                return Some(steps);
+            }
+            state = self.step(&state)?;
+        }
+        None
+    }
+
+    /// The full experiment: `trials` runs from random states, each given
+    /// `max_steps` to reach the invariant.
+    pub fn convergence_experiment(
+        &mut self,
+        invariant: &Expr,
+        trials: usize,
+        max_steps: usize,
+    ) -> ConvergenceStats {
+        let mut converged = 0;
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for _ in 0..trials {
+            let start = self.random_state();
+            if let Some(steps) = self.run_to(start, invariant, max_steps) {
+                converged += 1;
+                total += steps;
+                max = max.max(steps);
+            }
+        }
+        ConvergenceStats {
+            converged,
+            trials,
+            max_steps: max,
+            mean_steps: if converged > 0 { total as f64 / converged as f64 } else { 0.0 },
+        }
+    }
+
+    /// Perturb-and-recover: start inside the invariant, inject a fault of
+    /// `fault_size` variables, and measure recovery. Returns `None` when
+    /// the run fails to recover within the budget.
+    pub fn fault_recovery(
+        &mut self,
+        legitimate_start: State,
+        invariant: &Expr,
+        fault_size: usize,
+        max_steps: usize,
+    ) -> Option<usize> {
+        debug_assert!(invariant.holds(&legitimate_start));
+        let mut s = legitimate_start;
+        self.inject_fault(&mut s, fault_size);
+        self.run_to(s, invariant, max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+
+    /// Dijkstra-style stabilizing ring (4 processes, domain 3).
+    fn dijkstra4() -> (Protocol, Expr) {
+        let n = 4usize;
+        let vars: Vec<VarDecl> = (0..n).map(|i| VarDecl::new(format!("x{i}"), 3)).collect();
+        let procs: Vec<ProcessDecl> = (0..n)
+            .map(|j| {
+                let prev = (j + n - 1) % n;
+                ProcessDecl::new(format!("P{j}"), vec![VarIdx(prev), VarIdx(j)], vec![VarIdx(j)])
+                    .unwrap()
+            })
+            .collect();
+        let x = |i: usize| Expr::var(VarIdx(i));
+        let mut actions = Vec::new();
+        for j in 0..n {
+            let prev = (j + n - 1) % n;
+            let (g, rhs) = if j == 0 {
+                (x(0).eq(x(prev)), x(prev).add(Expr::int(1)).modulo(Expr::int(3)))
+            } else {
+                (x(j).ne(x(prev)), x(prev))
+            };
+            actions.push(Action::new(ProcIdx(j), g, vec![(VarIdx(j), rhs)]));
+        }
+        let p = Protocol::new(vars, procs, actions).unwrap();
+        // S1 in step form.
+        let mut disj = vec![Expr::conj(vec![
+            x(0).eq(x(1)),
+            x(1).eq(x(2)),
+            x(2).eq(x(3)),
+        ])];
+        for j in 1..n {
+            let mut conj: Vec<Expr> = (0..j - 1).map(|i| x(i).eq(x(i + 1))).collect();
+            conj.extend((j..n - 1).map(|i| x(i).eq(x(i + 1))));
+            conj.push(x(j).add(Expr::int(1)).modulo(Expr::int(3)).eq(x(j - 1)));
+            disj.push(Expr::conj(conj));
+        }
+        (p, Expr::disj(disj))
+    }
+
+    #[test]
+    fn stabilizing_protocol_always_converges() {
+        let (p, i) = dijkstra4();
+        let mut sim = Simulator::new(&p, 42);
+        let stats = sim.convergence_experiment(&i, 200, 500);
+        assert_eq!(stats.converged, stats.trials, "verified protocol must always converge");
+        assert!(stats.mean_steps <= stats.max_steps as f64);
+    }
+
+    #[test]
+    fn fault_recovery_from_legitimate_state() {
+        let (p, i) = dijkstra4();
+        let mut sim = Simulator::new(&p, 7);
+        for _ in 0..50 {
+            let steps = sim
+                .fault_recovery(vec![1, 1, 1, 1], &i, 2, 500)
+                .expect("must recover");
+            let _ = steps;
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let (p, i) = dijkstra4();
+        let a = Simulator::new(&p, 123).convergence_experiment(&i, 50, 300);
+        let b = Simulator::new(&p, 123).convergence_experiment(&i, 50, 300);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_stabilizing_protocol_gets_stuck() {
+        // Strip the protocol to P0's action only: most states deadlock.
+        let (p, i) = dijkstra4();
+        let only_p0: Vec<Action> =
+            p.actions().iter().filter(|a| a.process == ProcIdx(0)).cloned().collect();
+        let crippled = p.with_actions(only_p0).unwrap();
+        let mut sim = Simulator::new(&crippled, 1);
+        let stats = sim.convergence_experiment(&i, 100, 300);
+        assert!(stats.converged < stats.trials, "crippled protocol cannot always converge");
+    }
+
+    #[test]
+    fn run_to_counts_zero_for_legitimate_start() {
+        let (p, i) = dijkstra4();
+        let mut sim = Simulator::new(&p, 5);
+        assert_eq!(sim.run_to(vec![2, 2, 2, 2], &i, 10), Some(0));
+    }
+}

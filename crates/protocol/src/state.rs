@@ -1,0 +1,183 @@
+//! States and the mixed-radix state space.
+//!
+//! A state is a valuation of every protocol variable (`s[i]` is the value
+//! of variable `i`). For explicit-state computations states are packed into
+//! a single `u64` index by mixed-radix positional encoding, giving dense
+//! array-indexed algorithms (BFS, Tarjan) over the whole space.
+
+use crate::topology::VarDecl;
+
+/// A state: one value per variable, `state[i] < domain(i)`.
+pub type State = Vec<u32>;
+
+/// A packed state index in `0 .. StateSpace::size()`.
+pub type StateId = u64;
+
+/// The mixed-radix codec for a protocol's state space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSpace {
+    radices: Vec<u32>,
+    /// `weights[i]` = product of radices of variables `< i`.
+    weights: Vec<u64>,
+    size: u64,
+}
+
+impl StateSpace {
+    /// Build the codec from variable declarations. Panics if the total
+    /// space exceeds `u64` (no realistic instance comes close).
+    pub fn new(vars: &[VarDecl]) -> Self {
+        let radices: Vec<u32> = vars.iter().map(|v| v.domain).collect();
+        let mut weights = Vec::with_capacity(radices.len());
+        let mut acc: u64 = 1;
+        for &r in &radices {
+            assert!(r >= 1, "variable domain must be non-empty");
+            weights.push(acc);
+            acc = acc.checked_mul(r as u64).expect("state space exceeds u64");
+        }
+        StateSpace { radices, weights, size: acc }
+    }
+
+    /// Total number of states `|S_p|`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Domain size of variable `i`.
+    #[inline]
+    pub fn domain(&self, i: usize) -> u32 {
+        self.radices[i]
+    }
+
+    /// Pack a state into its index.
+    pub fn encode(&self, state: &State) -> StateId {
+        debug_assert_eq!(state.len(), self.radices.len());
+        let mut id: u64 = 0;
+        for (i, &v) in state.iter().enumerate() {
+            debug_assert!(v < self.radices[i], "value {v} out of domain for var {i}");
+            id += self.weights[i] * v as u64;
+        }
+        id
+    }
+
+    /// Unpack an index into a state.
+    pub fn decode(&self, mut id: StateId) -> State {
+        debug_assert!(id < self.size);
+        let mut s = Vec::with_capacity(self.radices.len());
+        for &r in &self.radices {
+            s.push((id % r as u64) as u32);
+            id /= r as u64;
+        }
+        s
+    }
+
+    /// Read variable `i` straight out of a packed index without a full
+    /// decode.
+    pub fn value_of(&self, id: StateId, i: usize) -> u32 {
+        ((id / self.weights[i]) % self.radices[i] as u64) as u32
+    }
+
+    /// Replace variable `i` in a packed index without a full decode.
+    pub fn with_value(&self, id: StateId, i: usize, v: u32) -> StateId {
+        debug_assert!(v < self.radices[i]);
+        let old = self.value_of(id, i);
+        id - old as u64 * self.weights[i] + v as u64 * self.weights[i]
+    }
+
+    /// Iterate all states in index order.
+    pub fn states(&self) -> impl Iterator<Item = State> + '_ {
+        (0..self.size).map(|id| self.decode(id))
+    }
+
+    /// Iterate every valuation of an arbitrary subset of variables
+    /// (identified by index), in lexicographic order. Used to enumerate a
+    /// process's readable or writable valuations when forming transition
+    /// groups.
+    pub fn valuations<'a>(&'a self, vars: &'a [usize]) -> impl Iterator<Item = Vec<u32>> + 'a {
+        let total: u64 = vars.iter().map(|&i| self.radices[i] as u64).product();
+        (0..total).map(move |mut k| {
+            let mut val = Vec::with_capacity(vars.len());
+            for &i in vars {
+                let r = self.radices[i] as u64;
+                val.push((k % r) as u32);
+                k /= r;
+            }
+            val
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls(domains: &[u32]) -> Vec<VarDecl> {
+        domains
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VarDecl::new(format!("x{i}"), d))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_states() {
+        let sp = StateSpace::new(&decls(&[3, 2, 4]));
+        assert_eq!(sp.size(), 24);
+        for id in 0..sp.size() {
+            let s = sp.decode(id);
+            assert_eq!(sp.encode(&s), id);
+            for i in 0..3 {
+                assert_eq!(sp.value_of(id, i), s[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn with_value_edits_one_position() {
+        let sp = StateSpace::new(&decls(&[3, 3, 3]));
+        let id = sp.encode(&vec![1, 2, 0]);
+        let id2 = sp.with_value(id, 1, 0);
+        assert_eq!(sp.decode(id2), vec![1, 0, 0]);
+        // Unchanged positions really unchanged.
+        assert_eq!(sp.value_of(id2, 0), 1);
+        assert_eq!(sp.value_of(id2, 2), 0);
+    }
+
+    #[test]
+    fn states_iterator_is_exhaustive_and_unique() {
+        let sp = StateSpace::new(&decls(&[2, 3]));
+        let all: Vec<State> = sp.states().collect();
+        assert_eq!(all.len(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for s in &all {
+            assert!(seen.insert(s.clone()));
+        }
+    }
+
+    #[test]
+    fn valuations_over_subset() {
+        let sp = StateSpace::new(&decls(&[2, 3, 2]));
+        let vals: Vec<Vec<u32>> = sp.valuations(&[0, 2]).collect();
+        assert_eq!(vals.len(), 4);
+        assert!(vals.contains(&vec![1, 0]));
+        assert!(vals.contains(&vec![0, 1]));
+        // Order of the subset matters for the produced tuples.
+        let rev: Vec<Vec<u32>> = sp.valuations(&[2, 0]).collect();
+        assert_eq!(rev.len(), 4);
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let sp = StateSpace::new(&decls(&[1, 5]));
+        assert_eq!(sp.size(), 5);
+        for id in 0..5 {
+            assert_eq!(sp.value_of(id, 0), 0);
+        }
+    }
+}

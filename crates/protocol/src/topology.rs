@@ -1,0 +1,206 @@
+//! Variables, processes and the distribution model (topology).
+//!
+//! The paper models topological constraints `T_p` as per-process read and
+//! write restrictions: process `P_j` may read the variables in `r_j` and
+//! write those in `w_j`, with `w_j ⊆ r_j` (a process can read whatever it
+//! writes). These restrictions are what give rise to transition *groups* —
+//! the atomicity unit of the synthesis problem.
+
+use std::fmt;
+
+/// Index of a variable within a protocol (`V_p` ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarIdx(pub usize);
+
+/// Index of a process within a protocol (`Π_p` ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcIdx(pub usize);
+
+impl fmt::Display for VarIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Declaration of one finite-domain variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Human-readable name (used by the DSL and pretty-printers).
+    pub name: String,
+    /// Domain size: values are `0 .. domain`.
+    pub domain: u32,
+    /// Optional symbolic names for the values, e.g.
+    /// `["left", "right", "self"]` for the matching protocol. Purely
+    /// cosmetic; when present, `value_names.len() == domain as usize`.
+    pub value_names: Option<Vec<String>>,
+}
+
+impl VarDecl {
+    /// A plain numeric variable `name : 0..domain-1`.
+    pub fn new(name: impl Into<String>, domain: u32) -> Self {
+        assert!(domain >= 1, "domain must be non-empty");
+        VarDecl { name: name.into(), domain, value_names: None }
+    }
+
+    /// A variable whose values carry symbolic names.
+    pub fn with_names(name: impl Into<String>, names: &[&str]) -> Self {
+        assert!(!names.is_empty());
+        VarDecl {
+            name: name.into(),
+            domain: names.len() as u32,
+            value_names: Some(names.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+
+    /// Pretty-print a value of this variable.
+    pub fn value_name(&self, v: u32) -> String {
+        match &self.value_names {
+            Some(ns) => ns[v as usize].clone(),
+            None => v.to_string(),
+        }
+    }
+}
+
+/// Declaration of one process: its name and its locality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessDecl {
+    /// Human-readable name (e.g. `P0`).
+    pub name: String,
+    /// Readable variables `r_j`, sorted ascending.
+    pub reads: Vec<VarIdx>,
+    /// Writable variables `w_j ⊆ r_j`, sorted ascending.
+    pub writes: Vec<VarIdx>,
+}
+
+/// Errors raised when a process declaration violates the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A written variable was not also readable (`w_j ⊄ r_j`).
+    WriteNotReadable {
+        /// Name of the offending process.
+        process: String,
+        /// The written-but-unreadable variable.
+        var: VarIdx,
+    },
+    /// A read or write set mentions the same variable twice.
+    DuplicateVar {
+        /// Name of the offending process.
+        process: String,
+        /// The duplicated variable.
+        var: VarIdx,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::WriteNotReadable { process, var } => {
+                write!(f, "process {process}: written variable {var} is not readable (w ⊆ r violated)")
+            }
+            TopologyError::DuplicateVar { process, var } => {
+                write!(f, "process {process}: variable {var} listed twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl ProcessDecl {
+    /// Build a process declaration; read/write sets are sorted and
+    /// validated (`w ⊆ r`, no duplicates).
+    pub fn new(
+        name: impl Into<String>,
+        reads: Vec<VarIdx>,
+        writes: Vec<VarIdx>,
+    ) -> Result<Self, TopologyError> {
+        let name = name.into();
+        let mut reads = reads;
+        let mut writes = writes;
+        reads.sort_unstable();
+        writes.sort_unstable();
+        for w in reads.windows(2) {
+            if w[0] == w[1] {
+                return Err(TopologyError::DuplicateVar { process: name, var: w[0] });
+            }
+        }
+        for w in writes.windows(2) {
+            if w[0] == w[1] {
+                return Err(TopologyError::DuplicateVar { process: name, var: w[0] });
+            }
+        }
+        for &w in &writes {
+            if !reads.contains(&w) {
+                return Err(TopologyError::WriteNotReadable { process: name, var: w });
+            }
+        }
+        Ok(ProcessDecl { name, reads, writes })
+    }
+
+    /// Can this process read variable `v`?
+    pub fn can_read(&self, v: VarIdx) -> bool {
+        self.reads.binary_search(&v).is_ok()
+    }
+
+    /// Can this process write variable `v`?
+    pub fn can_write(&self, v: VarIdx) -> bool {
+        self.writes.binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_process() {
+        let p = ProcessDecl::new("P1", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(1)]).unwrap();
+        assert!(p.can_read(VarIdx(0)));
+        assert!(p.can_read(VarIdx(1)));
+        assert!(!p.can_read(VarIdx(2)));
+        assert!(p.can_write(VarIdx(1)));
+        assert!(!p.can_write(VarIdx(0)));
+    }
+
+    #[test]
+    fn write_requires_read() {
+        let err = ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(1)]).unwrap_err();
+        assert!(matches!(err, TopologyError::WriteNotReadable { .. }));
+        assert!(err.to_string().contains("w ⊆ r"));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err =
+            ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(0)], vec![]).unwrap_err();
+        assert!(matches!(err, TopologyError::DuplicateVar { .. }));
+    }
+
+    #[test]
+    fn sets_are_sorted() {
+        let p = ProcessDecl::new("P", vec![VarIdx(3), VarIdx(1)], vec![VarIdx(3)]).unwrap();
+        assert_eq!(p.reads, vec![VarIdx(1), VarIdx(3)]);
+    }
+
+    #[test]
+    fn value_names_roundtrip() {
+        let v = VarDecl::with_names("m0", &["left", "right", "self"]);
+        assert_eq!(v.domain, 3);
+        assert_eq!(v.value_name(0), "left");
+        assert_eq!(v.value_name(2), "self");
+        let plain = VarDecl::new("x", 4);
+        assert_eq!(plain.value_name(3), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        VarDecl::new("x", 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property test: the DSL printer and parser are mutual inverses up to
+//! semantics — for random protocols, `parse(print(p))` has the same state
+//! space, the same successor function, and the same invariant extension.
+
+use proptest::prelude::*;
+use stsyn_protocol::action::Action;
+use stsyn_protocol::dsl;
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::printer::to_dsl;
+use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+use stsyn_protocol::Protocol;
+
+/// Serializable protocol description (mirrors tests/properties.rs but
+/// includes named-value variables to exercise that printer path too).
+#[derive(Debug, Clone)]
+struct Spec {
+    domains: Vec<(u32, bool)>, // (size, use value names)
+    localities: Vec<(u8, u8)>,
+    actions: Vec<(usize, Vec<(usize, u32)>, usize, Option<usize>, u32)>,
+    invariant: Vec<Vec<(usize, u32)>>,
+}
+
+const NAMES: [&str; 3] = ["red", "green", "blue"];
+
+fn build(spec: &Spec) -> Option<(Protocol, Expr)> {
+    let nvars = spec.domains.len();
+    let vars: Vec<VarDecl> = spec
+        .domains
+        .iter()
+        .enumerate()
+        .map(|(i, &(d, named))| {
+            if named && d <= 3 {
+                VarDecl::with_names(format!("v{i}"), &NAMES[..d as usize])
+            } else {
+                VarDecl::new(format!("v{i}"), d)
+            }
+        })
+        .collect();
+    let mut procs = Vec::new();
+    for (j, &(rmask, wmask)) in spec.localities.iter().enumerate() {
+        let reads: Vec<VarIdx> = (0..nvars).filter(|i| rmask >> i & 1 == 1).map(VarIdx).collect();
+        let writes: Vec<VarIdx> =
+            (0..nvars).filter(|i| (wmask & rmask) >> i & 1 == 1).map(VarIdx).collect();
+        if reads.is_empty() || writes.is_empty() {
+            return None;
+        }
+        procs.push(ProcessDecl::new(format!("P{j}"), reads, writes).ok()?);
+    }
+    let domains: Vec<u32> = spec.domains.iter().map(|&(d, _)| d).collect();
+    let mut actions = Vec::new();
+    for (pj, guard_lits, wslot, src, val) in &spec.actions {
+        let pj = pj % procs.len();
+        let proc = &procs[pj];
+        let guard = Expr::conj(
+            guard_lits
+                .iter()
+                .map(|&(slot, v)| {
+                    let var = proc.reads[slot % proc.reads.len()];
+                    Expr::var(var).eq(Expr::int((v % domains[var.0]) as i64))
+                })
+                .collect(),
+        );
+        let target = proc.writes[wslot % proc.writes.len()];
+        let d = domains[target.0] as i64;
+        let rhs = match src {
+            Some(rslot) => {
+                let from = proc.reads[rslot % proc.reads.len()];
+                Expr::var(from).modulo(Expr::int(d))
+            }
+            None => Expr::int((*val as i64) % d),
+        };
+        actions.push(Action::new(ProcIdx(pj), guard, vec![(target, rhs)]));
+    }
+    let invariant = Expr::disj(
+        spec.invariant
+            .iter()
+            .map(|conj| {
+                Expr::conj(
+                    conj.iter()
+                        .map(|&(vi, val)| {
+                            let vi = vi % nvars;
+                            Expr::var(VarIdx(vi)).eq(Expr::int((val % domains[vi]) as i64))
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let p = Protocol::new(vars, procs, actions).ok()?;
+    Some((p, invariant))
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (
+        proptest::collection::vec((2u32..=4, any::<bool>()), 2..=3),
+        proptest::collection::vec((1u8..8, 1u8..8), 1..=3),
+        proptest::collection::vec(
+            (
+                0usize..3,
+                proptest::collection::vec((0usize..3, 0u32..4), 0..=2),
+                0usize..3,
+                proptest::option::of(0usize..3),
+                0u32..4,
+            ),
+            0..=5,
+        ),
+        proptest::collection::vec(
+            proptest::collection::vec((0usize..3, 0u32..4), 1..=2),
+            1..=2,
+        ),
+    )
+        .prop_map(|(domains, localities, actions, invariant)| Spec {
+            domains,
+            localities,
+            actions,
+            invariant,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip_preserves_semantics(spec in arb_spec()) {
+        let Some((p, i)) = build(&spec) else { return Ok(()); };
+        let text = to_dsl("RoundTrip", &p, &i);
+        let reparsed = dsl::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("re-parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(reparsed.protocol.space().size(), p.space().size());
+        prop_assert_eq!(reparsed.protocol.num_processes(), p.num_processes());
+        for s in p.space().states() {
+            let mut a = p.successors(&s);
+            let mut b = reparsed.protocol.successors(&s);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "successors differ at {:?}\n{}", s, text);
+            prop_assert_eq!(
+                i.holds(&s),
+                reparsed.invariant.holds(&s),
+                "invariant differs at {:?}\n{}",
+                s,
+                text
+            );
+        }
+    }
+}

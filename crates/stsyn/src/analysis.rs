@@ -1,0 +1,232 @@
+//! Local-correctability analysis (the paper's Fig. 5 case-study table).
+//!
+//! §VII explains the scalability gap between the coloring and matching
+//! protocols by *local correctability*: coloring is locally correctable
+//! (each process can establish its local constraint without invalidating
+//! its neighbours'), matching / token ring / two-ring are not. This module
+//! makes that notion checkable:
+//!
+//! 1. **Local decomposition** — project `I` onto each process's readable
+//!    variables and test whether the conjunction of the projections equals
+//!    `I`. Token-ring-style invariants (global token counting) fail here:
+//!    the conjunction admits multi-token states.
+//! 2. **Greedy correctability** — with a decomposition in hand, check that
+//!    from every state, every process whose local conjunct is violated has
+//!    a write that establishes it without falsifying any currently-true
+//!    conjunct. If so, greedy local repair always makes progress (the
+//!    number of satisfied conjuncts strictly increases), so the protocol
+//!    is locally correctable.
+//!
+//! Both checks run on the explicit engine — the table uses small instances.
+
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::state::State;
+use stsyn_protocol::Protocol;
+use std::collections::HashSet;
+
+/// Verdict of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalCorrectability {
+    /// `I` decomposes into local conjuncts and greedy local repair always
+    /// progresses.
+    Yes,
+    /// `I` admits no conjunctive decomposition over the processes'
+    /// localities (the projections' conjunction is strictly weaker).
+    NoDecomposition,
+    /// A decomposition exists, but some violated local conjunct cannot be
+    /// repaired without breaking a neighbour's (the matching situation).
+    NotCorrectable,
+}
+
+impl std::fmt::Display for LocalCorrectability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalCorrectability::Yes => write!(f, "Yes"),
+            LocalCorrectability::NoDecomposition => write!(f, "No (invariant is not locally decomposable)"),
+            LocalCorrectability::NotCorrectable => write!(f, "No (local repairs interfere)"),
+        }
+    }
+}
+
+/// Projection of `I` onto one process's readable variables: the set of
+/// readable valuations that occur in some `I`-state.
+fn projection(protocol: &Protocol, invariant: &Expr, proc: usize) -> HashSet<Vec<u32>> {
+    let reads = &protocol.processes()[proc].reads;
+    let mut out = HashSet::new();
+    for s in protocol.space().states() {
+        if invariant.holds(&s) {
+            out.insert(reads.iter().map(|r| s[r.0]).collect());
+        }
+    }
+    out
+}
+
+/// Run the analysis. Exponential in `|S_p|` — intended for the small
+/// instances of the case-study table.
+pub fn local_correctability(protocol: &Protocol, invariant: &Expr) -> LocalCorrectability {
+    let k = protocol.num_processes();
+    let projections: Vec<HashSet<Vec<u32>>> =
+        (0..k).map(|j| projection(protocol, invariant, j)).collect();
+    let holds_locally = |j: usize, s: &State| -> bool {
+        let reads = &protocol.processes()[j].reads;
+        let val: Vec<u32> = reads.iter().map(|r| s[r.0]).collect();
+        projections[j].contains(&val)
+    };
+
+    // 1. Decomposition: ∧ proj_j == I ?
+    for s in protocol.space().states() {
+        let conj = (0..k).all(|j| holds_locally(j, &s));
+        if conj != invariant.holds(&s) {
+            return LocalCorrectability::NoDecomposition;
+        }
+    }
+
+    // 2. Greedy repair: every violated conjunct has a non-interfering fix.
+    let space = protocol.space();
+    for s in space.states() {
+        for j in 0..k {
+            if holds_locally(j, &s) {
+                continue;
+            }
+            // Try every write valuation of P_j.
+            let writes: Vec<usize> =
+                protocol.processes()[j].writes.iter().map(|w| w.0).collect();
+            let mut fixable = false;
+            'writes: for wval in space.valuations(&writes) {
+                let mut s2 = s.clone();
+                for (pos, &wi) in writes.iter().enumerate() {
+                    s2[wi] = wval[pos];
+                }
+                if !holds_locally(j, &s2) {
+                    continue;
+                }
+                for other in 0..k {
+                    if other != j && holds_locally(other, &s) && !holds_locally(other, &s2) {
+                        continue 'writes; // broke a neighbour
+                    }
+                }
+                fixable = true;
+                break;
+            }
+            if !fixable {
+                return LocalCorrectability::NotCorrectable;
+            }
+        }
+    }
+    LocalCorrectability::Yes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::topology::{ProcessDecl, VarDecl, VarIdx};
+
+    fn v(i: usize) -> Expr {
+        Expr::var(VarIdx(i))
+    }
+
+    /// A 4-process coloring ring, domain 3 — locally correctable.
+    fn coloring4() -> (Protocol, Expr) {
+        let k = 4usize;
+        let vars: Vec<VarDecl> = (0..k).map(|i| VarDecl::new(format!("c{i}"), 3)).collect();
+        let procs: Vec<ProcessDecl> = (0..k)
+            .map(|j| {
+                let left = (j + k - 1) % k;
+                let right = (j + 1) % k;
+                ProcessDecl::new(
+                    format!("P{j}"),
+                    vec![VarIdx(left), VarIdx(j), VarIdx(right)],
+                    vec![VarIdx(j)],
+                )
+                .unwrap()
+            })
+            .collect();
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let i = Expr::conj((0..k).map(|j| v((j + k - 1) % k).ne(v(j))).collect());
+        (p, i)
+    }
+
+    /// A 4-process token ring (Dijkstra), domain 3 — not decomposable.
+    fn token_ring4() -> (Protocol, Expr) {
+        let k = 4usize;
+        let vars: Vec<VarDecl> = (0..k).map(|i| VarDecl::new(format!("x{i}"), 3)).collect();
+        let procs: Vec<ProcessDecl> = (0..k)
+            .map(|j| {
+                let prev = (j + k - 1) % k;
+                ProcessDecl::new(format!("P{j}"), vec![VarIdx(prev), VarIdx(j)], vec![VarIdx(j)])
+                    .unwrap()
+            })
+            .collect();
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        // S1: exactly one token.
+        let token = |j: usize| -> Expr {
+            if j == 0 {
+                v(0).eq(v(3))
+            } else {
+                v(j).add(Expr::int(1)).modulo(Expr::int(3)).eq(v(j - 1))
+            }
+        };
+        let mut disj = Vec::new();
+        for holder in 0..k {
+            let mut conj = Vec::new();
+            for j in 0..k {
+                let t = token(j);
+                conj.push(if j == holder { t } else { t.not() });
+            }
+            disj.push(Expr::conj(conj));
+        }
+        (p, Expr::disj(disj))
+    }
+
+    #[test]
+    fn coloring_is_locally_correctable() {
+        let (p, i) = coloring4();
+        assert_eq!(local_correctability(&p, &i), LocalCorrectability::Yes);
+    }
+
+    #[test]
+    fn token_ring_is_not_decomposable() {
+        let (p, i) = token_ring4();
+        assert_eq!(local_correctability(&p, &i), LocalCorrectability::NoDecomposition);
+    }
+
+    #[test]
+    fn interfering_repairs_detected() {
+        // Two processes sharing both variables; I = (a == b) ∧ (a != 1).
+        // P0 writes a, P1 writes b; both read both. Projections decompose
+        // (each process sees the whole state). Now craft interference:
+        // actually with full visibility the greedy check reduces to
+        // whether each process alone can reach I's projection — from
+        // (1, 0): P0 can set a := 0 (fixes everything). Use a tighter
+        // invariant instead: I = (a == b): always fixable. To exhibit
+        // NotCorrectable, give P0 and P1 each only their own variable:
+        // I = (a == b) is then *not decomposable* (each projection allows
+        // everything)… so NotCorrectable needs partial overlap: a 2-ring
+        // matching-like invariant below.
+        let vars = vec![
+            VarDecl::with_names("m0", &["l", "r"]),
+            VarDecl::with_names("m1", &["l", "r"]),
+        ];
+        let procs = vec![
+            ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap(),
+            ProcessDecl::new("P1", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(1)]).unwrap(),
+        ];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        // I = (m0 == l ⇔ m1 == l): the two "disagree" states are
+        // legitimate... choose I = m0 != m1. From (l,l): P0 can flip to
+        // (r,l) ∈ I — fine. Both projections are the full I relation, and
+        // every violated state has a one-write fix, so: Yes.
+        let i = v(0).ne(v(1));
+        assert_eq!(local_correctability(&p, &i), LocalCorrectability::Yes);
+        // Whereas I = (m0 == l) ∧ (m1 == l) ∧ extra coupling that
+        // penalizes lone fixes cannot be expressed with 2 binary vars; the
+        // genuine NotCorrectable case is exercised by the matching case
+        // study in the integration tests.
+    }
+
+    #[test]
+    fn trivial_invariant_is_correctable() {
+        let (p, _) = coloring4();
+        assert_eq!(local_correctability(&p, &Expr::Bool(true)), LocalCorrectability::Yes);
+    }
+}

@@ -1,0 +1,192 @@
+//! `stsyn` — the STabilization Synthesizer command-line tool.
+//!
+//! Reads a protocol description (see `stsyn_protocol::dsl` for the
+//! format), adds convergence, and prints the synthesized recovery actions
+//! plus an independent verification verdict and the run statistics.
+//!
+//! ```text
+//! stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric]
+//!            [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]
+//! ```
+
+use stsyn_core::{AddConvergence, Options, Schedule};
+use stsyn_protocol::dsl;
+use stsyn_protocol::ProcIdx;
+use stsyn_symbolic::scc::SccAlgorithm;
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    weak: bool,
+    parallel: bool,
+    quiet: bool,
+    symmetric: bool,
+    emit_dsl: Option<String>,
+    schedule: Option<Vec<usize>>,
+    scc: SccAlgorithm,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric] \
+         [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: String::new(),
+        weak: false,
+        parallel: false,
+        quiet: false,
+        symmetric: false,
+        emit_dsl: None,
+        schedule: None,
+        scc: SccAlgorithm::Skeleton,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--weak" => args.weak = true,
+            "--parallel" => args.parallel = true,
+            "--quiet" => args.quiet = true,
+            "--symmetric" => args.symmetric = true,
+            "--emit-dsl" => {
+                args.emit_dsl = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--schedule" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let order: Result<Vec<usize>, _> =
+                    spec.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                match order {
+                    Ok(o) => args.schedule = Some(o),
+                    Err(_) => usage(),
+                }
+            }
+            "--scc" => {
+                args.scc = match it.next().as_deref() {
+                    Some("skeleton") => SccAlgorithm::Skeleton,
+                    Some("lockstep") => SccAlgorithm::Lockstep,
+                    Some("xiebeerel") => SccAlgorithm::XieBeerel,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
+            _ => usage(),
+        }
+    }
+    if args.file.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stsyn: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match dsl::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("stsyn: {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let k = parsed.protocol.num_processes();
+    let invariant_for_emit = parsed.invariant.clone();
+    let problem = match AddConvergence::new(parsed.protocol, parsed.invariant) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("stsyn: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let symmetry = if args.symmetric {
+        match stsyn_core::symmetry::Symmetry::ring_rotation(problem.protocol()) {
+            Ok(sym) => Some(sym),
+            Err(e) => {
+                eprintln!("stsyn: --symmetric rejected: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let opts = Options { scc: args.scc, symmetry };
+
+    let result = if args.weak {
+        problem.synthesize_weak()
+    } else if args.parallel {
+        problem.synthesize_parallel(&opts, Schedule::all_rotations(k))
+    } else if let Some(order) = &args.schedule {
+        problem.synthesize_with(&opts, Schedule::new(order.iter().map(|&i| ProcIdx(i)).collect()))
+    } else {
+        problem.synthesize(&opts)
+    };
+
+    match result {
+        Ok(mut outcome) => {
+            let verified =
+                if args.weak { outcome.verify_weak() } else { outcome.verify_strong() };
+            println!(
+                "synthesized {} ({} stabilization) with schedule {}",
+                parsed.name,
+                if args.weak { "weak" } else { "strong" },
+                outcome.schedule,
+            );
+            println!(
+                "verification: {}",
+                if verified { "PASS (independent model check)" } else { "FAIL" }
+            );
+            if !outcome.added.is_empty() {
+                println!("\nrecovery actions added:");
+                print!("{}", outcome.describe_recovery());
+            } else {
+                println!("\nno recovery needed — the protocol already stabilizes");
+            }
+            if let Some(path) = &args.emit_dsl {
+                let pss = outcome.extract_protocol();
+                let text = stsyn_protocol::printer::to_dsl(
+                    &format!("{}_SS", parsed.name),
+                    &pss,
+                    &invariant_for_emit,
+                );
+                match std::fs::write(path, text) {
+                    Ok(()) => println!("\nsynthesized protocol written to {path}"),
+                    Err(e) => eprintln!("stsyn: cannot write {path}: {e}"),
+                }
+            }
+            if !args.quiet {
+                let s = &outcome.stats;
+                println!("\nstatistics:");
+                println!("  candidates considered : {}", s.candidates);
+                println!("  groups added          : {}", s.groups_added);
+                println!("  ranks (M)             : {}", s.max_rank);
+                println!("  finished in pass      : {}", s.finished_in_pass);
+                println!("  ranking time          : {:.3}s", s.ranking_secs());
+                println!("  SCC detection time    : {:.3}s ({} calls, {} SCCs)",
+                    s.scc_secs(), s.scc_calls, s.sccs_found);
+                println!("  total time            : {:.3}s", s.total_secs());
+                println!("  program size          : {} BDD nodes", s.program_nodes);
+                println!("  avg SCC size          : {:.1} BDD nodes", s.avg_scc_nodes());
+                println!("  peak live nodes       : {}", s.peak_live_nodes);
+            }
+            if verified {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("stsyn: synthesis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Candidate recovery groups and the maximal candidate protocol `p_im`.
+//!
+//! §IV, step 1: `p_im` is `δ_p` plus *the weakest set of transitions that
+//! start in `¬I` and adhere to the read/write restrictions* — concretely,
+//! every transition group whose transitions all originate outside `I`
+//! (constraint C1: a group with even one groupmate starting in `I` can
+//! never be added, because adding it would change `δ_p | I`).
+//!
+//! Self-loop groups are excluded outright: a self-loop can neither lower a
+//! state's rank nor resolve a deadlock — it only manufactures a one-state
+//! non-progress cycle that `Identify_Resolve_Cycles` would immediately have
+//! to remove.
+
+use stsyn_bdd::Bdd;
+use stsyn_protocol::group::{all_groups_of, GroupDesc};
+use stsyn_protocol::ProcIdx;
+use stsyn_symbolic::SymbolicContext;
+
+/// One candidate recovery group with its precomputed symbolic artifacts.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The group descriptor (process, readable-source, written-target).
+    pub desc: GroupDesc,
+    /// The group's transition relation.
+    pub relation: Bdd,
+    /// The group's source-state predicate (a readable-variable cube).
+    pub source: Bdd,
+    /// Set once the heuristic includes this group in `p_ss`.
+    pub included: bool,
+}
+
+/// All candidate groups of a protocol, indexed by owning process.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Flat candidate storage.
+    pub all: Vec<Candidate>,
+    /// `by_process[j]` holds indices into `all` for process `j`.
+    pub by_process: Vec<Vec<usize>>,
+}
+
+impl CandidateSet {
+    /// Enumerate the candidates of every process: all non-self-loop groups
+    /// whose source predicate is disjoint from `i`.
+    pub fn build(ctx: &mut SymbolicContext, i: Bdd) -> CandidateSet {
+        let protocol = ctx.protocol().clone();
+        let k = protocol.num_processes();
+        let mut all = Vec::new();
+        let mut by_process = vec![Vec::new(); k];
+        for j in 0..k {
+            for desc in all_groups_of(&protocol, ProcIdx(j)) {
+                if desc.is_self_loop(&protocol) {
+                    continue;
+                }
+                let source = ctx.group_source(&desc);
+                if ctx.mgr().intersects(source, i) {
+                    continue; // C1: a groupmate would start in I
+                }
+                let relation = ctx.group_relation(&desc);
+                by_process[j].push(all.len());
+                all.push(Candidate { desc, relation, source, included: false });
+            }
+        }
+        CandidateSet { all, by_process }
+    }
+
+    /// The union of `delta_p` with every candidate relation — the maximal
+    /// candidate protocol `p_im` whose ranks approximate convergence.
+    pub fn pim(&self, ctx: &mut SymbolicContext, delta_p: Bdd) -> Bdd {
+        let mut rel = delta_p;
+        for c in &self.all {
+            rel = ctx.mgr().or(rel, c.relation);
+        }
+        rel
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// True when no process has any candidate group.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// The BDD roots that a garbage collection must preserve.
+    pub fn roots(&self) -> Vec<Bdd> {
+        self.all.iter().flat_map(|c| [c.relation, c.source]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::expr::Expr;
+    use stsyn_protocol::topology::{ProcessDecl, VarDecl, VarIdx};
+    use stsyn_protocol::Protocol;
+
+    /// Two ternary variables; P0 reads both, writes the first.
+    fn two_var() -> Protocol {
+        let vars = vec![VarDecl::new("a", 3), VarDecl::new("b", 3)];
+        let procs = vec![ProcessDecl::new(
+            "P0",
+            vec![VarIdx(0), VarIdx(1)],
+            vec![VarIdx(0)],
+        )
+        .unwrap()];
+        Protocol::new(vars, procs, vec![]).unwrap()
+    }
+
+    #[test]
+    fn candidates_respect_c1_and_exclude_self_loops() {
+        let p = two_var();
+        let mut ctx = SymbolicContext::new(p);
+        // I = {a == 0}: any group whose source has a == 0 is excluded.
+        let i = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(0)));
+        let set = CandidateSet::build(&mut ctx, i);
+        // 9 readable valuations; 3 have a == 0 (excluded); remaining 6
+        // valuations × 3 targets − 6 self-loops = 12 candidates.
+        assert_eq!(set.len(), 12);
+        for c in &set.all {
+            assert!(!ctx.mgr().intersects(c.source, i), "C1 violated");
+            assert!(!c.desc.is_self_loop(ctx.protocol()));
+            assert!(!c.included);
+        }
+        assert_eq!(set.by_process[0].len(), 12);
+    }
+
+    #[test]
+    fn pim_unions_delta_p_with_candidates() {
+        let p = two_var();
+        let mut ctx = SymbolicContext::new(p);
+        let i = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(0)));
+        let delta_p = ctx.protocol_relation(); // empty: no actions
+        assert!(delta_p.is_false());
+        let set = CandidateSet::build(&mut ctx, i);
+        let pim = set.pim(&mut ctx, delta_p);
+        assert!(!pim.is_false());
+        // p_im must contain a transition from every ¬I state (a ∈ {1,2}
+        // states all have some candidate out-edge).
+        let not_i = ctx.not_states(i);
+        let enabled = ctx.enabled(pim);
+        assert!(ctx.mgr().implies_holds(not_i, enabled));
+        // And none from I.
+        assert!(!ctx.mgr().intersects(enabled, i));
+    }
+
+    #[test]
+    fn empty_invariant_complement_gives_no_candidates() {
+        let p = two_var();
+        let mut ctx = SymbolicContext::new(p);
+        let i = ctx.all_states(); // I = S_p: every group starts in I
+        let set = CandidateSet::build(&mut ctx, i);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn roots_cover_all_bdds() {
+        let p = two_var();
+        let mut ctx = SymbolicContext::new(p);
+        let i = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(0)));
+        let set = CandidateSet::build(&mut ctx, i);
+        assert_eq!(set.roots().len(), 2 * set.len());
+    }
+}

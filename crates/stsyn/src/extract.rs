@@ -1,0 +1,483 @@
+//! From transition groups back to guarded commands.
+//!
+//! The heuristic's raw output is a set of groups — one `(readable source
+//! valuation, written target valuation)` pair each. Presented verbatim
+//! that is unreadable, so this module reconstructs compact Dijkstra-style
+//! actions the way the paper presents its synthesized protocols:
+//!
+//! 1. **Template clustering** — groups of one process are clustered under
+//!    a common right-hand-side *template* per written variable: a
+//!    constant, a copy of a readable variable, or `(x_r + δ) mod d`.
+//!    All three suffice for every case study (e.g. Dijkstra's ring uses
+//!    `x_j := x_{j-1}`, i.e. a copy template).
+//! 2. **Guard minimization** — each cluster's source valuations are merged
+//!    by mixed-radix cube merging (a value-level Quine–McCluskey step):
+//!    whenever the terms differing only in one variable cover that
+//!    variable's whole domain, they collapse into a wildcard.
+
+use stsyn_protocol::action::Action;
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::group::GroupDesc;
+use stsyn_protocol::topology::{ProcIdx, VarIdx};
+use stsyn_protocol::Protocol;
+use std::collections::BTreeMap;
+
+/// A right-hand-side template for one written variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Template {
+    /// `w := x_r` (position `r` in the read list). Preferred for display.
+    Copy(usize),
+    /// `w := (x_r + delta) mod d` with `delta ≠ 0`.
+    Shift(usize, u32),
+    /// `w := c`.
+    Const(u32),
+}
+
+impl Template {
+    /// Every template consistent with one observation: readable valuation
+    /// `pre` producing value `post` for a written variable of domain `d`.
+    fn candidates(pre: &[u32], post: u32, d: u32, read_domains: &[u32]) -> Vec<Template> {
+        let mut out = vec![Template::Const(post)];
+        for (r, &pv) in pre.iter().enumerate() {
+            if pv == post {
+                out.push(Template::Copy(r));
+            }
+            // (pv + delta) mod d == post requires pv's value to be taken
+            // mod d; only offer shifts between same-domain variables to
+            // keep the output natural.
+            if read_domains[r] == d {
+                let delta = (post + d - (pv % d)) % d;
+                if delta != 0 {
+                    out.push(Template::Shift(r, delta));
+                }
+            }
+        }
+        out
+    }
+
+    fn to_expr(self, reads: &[VarIdx], d: u32) -> Expr {
+        match self {
+            Template::Copy(r) => Expr::var(reads[r]),
+            Template::Shift(r, delta) => Expr::var(reads[r])
+                .add(Expr::int(delta as i64))
+                .modulo(Expr::int(d as i64)),
+            Template::Const(c) => Expr::int(c as i64),
+        }
+    }
+}
+
+/// A guard term over the readable variables: one value or a wildcard per
+/// position.
+type Term = Vec<Option<u32>>;
+
+/// Merge value-level cubes: whenever terms identical except at one
+/// position jointly cover that position's domain, collapse them into a
+/// wildcard term. Repeats to a fixpoint; the result covers exactly the
+/// same valuation set (each step is exact).
+fn merge_terms(mut terms: Vec<Term>, domains: &[u32]) -> Vec<Term> {
+    loop {
+        terms.sort();
+        terms.dedup();
+        let mut changed = false;
+        'positions: for pos in 0..domains.len() {
+            let mut buckets: BTreeMap<Term, Vec<u32>> = BTreeMap::new();
+            for t in &terms {
+                if let Some(v) = t[pos] {
+                    let mut key = t.clone();
+                    key[pos] = None;
+                    buckets.entry(key).or_default().push(v);
+                }
+            }
+            for (key, mut vals) in buckets {
+                vals.sort_unstable();
+                vals.dedup();
+                if vals.len() == domains[pos] as usize {
+                    // Collapse: remove the specific terms, add the wildcard.
+                    terms.retain(|t| {
+                        !(t[pos].is_some() && {
+                            let mut k = t.clone();
+                            k[pos] = None;
+                            k == key
+                        })
+                    });
+                    terms.push(key);
+                    changed = true;
+                    break 'positions;
+                }
+            }
+        }
+        if !changed {
+            return terms;
+        }
+    }
+}
+
+/// One extracted cluster: a guard (set of merged terms) plus one template
+/// per written variable.
+struct Cluster {
+    pres: Vec<Vec<u32>>,
+    templates: Vec<Vec<Template>>, // per written var: still-consistent set
+}
+
+/// Convert the added groups into minimized guarded commands.
+pub fn extract_actions(protocol: &Protocol, added: &[GroupDesc]) -> Vec<Action> {
+    let mut actions = Vec::new();
+    for j in 0..protocol.num_processes() {
+        let proc = &protocol.processes()[j];
+        let reads = proc.reads.clone();
+        let writes = proc.writes.clone();
+        let read_domains: Vec<u32> =
+            reads.iter().map(|r| protocol.vars()[r.0].domain).collect();
+        let write_domains: Vec<u32> =
+            writes.iter().map(|w| protocol.vars()[w.0].domain).collect();
+        let groups: Vec<&GroupDesc> =
+            added.iter().filter(|g| g.process == ProcIdx(j)).collect();
+        if groups.is_empty() {
+            continue;
+        }
+        // Greedy clustering under template consistency.
+        let mut clusters: Vec<Cluster> = Vec::new();
+        for g in groups {
+            let per_write: Vec<Vec<Template>> = writes
+                .iter()
+                .enumerate()
+                .map(|(wi, _)| {
+                    Template::candidates(&g.pre, g.post[wi], write_domains[wi], &read_domains)
+                })
+                .collect();
+            let mut placed = false;
+            for cl in &mut clusters {
+                let narrowed: Vec<Vec<Template>> = cl
+                    .templates
+                    .iter()
+                    .zip(&per_write)
+                    .map(|(a, b)| a.iter().copied().filter(|t| b.contains(t)).collect())
+                    .collect();
+                if narrowed.iter().all(|ts: &Vec<Template>| !ts.is_empty()) {
+                    cl.templates = narrowed;
+                    cl.pres.push(g.pre.clone());
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                clusters.push(Cluster { pres: vec![g.pre.clone()], templates: per_write });
+            }
+        }
+        // Emit one action per cluster.
+        for (ci, cl) in clusters.iter().enumerate() {
+            let terms = merge_terms(
+                cl.pres.iter().map(|p| p.iter().map(|&v| Some(v)).collect()).collect(),
+                &read_domains,
+            );
+            let guard = Expr::disj(
+                terms
+                    .iter()
+                    .map(|t| {
+                        Expr::conj(
+                            t.iter()
+                                .enumerate()
+                                .filter_map(|(pos, v)| {
+                                    v.map(|val| {
+                                        Expr::var(reads[pos]).eq(Expr::int(val as i64))
+                                    })
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            let assigns: Vec<(VarIdx, Expr)> = writes
+                .iter()
+                .enumerate()
+                .map(|(wi, &w)| {
+                    // Prefer Copy > Shift > Const for readability.
+                    let t = *cl.templates[wi].iter().min().unwrap();
+                    (w, t.to_expr(&reads, write_domains[wi]))
+                })
+                .collect();
+            actions.push(Action::labeled(
+                format!("R{j}_{ci}"),
+                ProcIdx(j),
+                guard,
+                assigns,
+            ));
+        }
+    }
+    actions
+}
+
+/// Assemble `p_ss` as a protocol: `p`'s actions (minus any removed during
+/// preprocessing) plus the extracted recovery actions. The result is
+/// re-validated by `Protocol::new` via `with_actions`.
+pub fn merge_into_protocol(
+    p: &Protocol,
+    added: &[GroupDesc],
+    removed_from_p: &[GroupDesc],
+) -> Protocol {
+    let mut actions: Vec<Action> = if removed_from_p.is_empty() {
+        p.actions().to_vec()
+    } else {
+        // Re-extract p's surviving groups as actions (rare path).
+        let mut surviving = Vec::new();
+        for j in 0..p.num_processes() {
+            for g in stsyn_protocol::group::groups_of_actions(p, ProcIdx(j)) {
+                if !removed_from_p.contains(&g) {
+                    surviving.push(g);
+                }
+            }
+        }
+        extract_actions(p, &surviving)
+    };
+    actions.extend(extract_actions(p, added));
+    p.with_actions(actions).expect("extracted actions failed validation")
+}
+
+/// Human-readable rendering of the recovery actions, one per line, using
+/// the protocol's variable and value names.
+pub fn describe(protocol: &Protocol, added: &[GroupDesc]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for a in extract_actions(protocol, added) {
+        let _ = writeln!(out, "{}", render_action(protocol, &a));
+    }
+    out
+}
+
+/// Render one action with variable/value names.
+pub fn render_action(protocol: &Protocol, a: &Action) -> String {
+    let guard = render_expr(protocol, &a.guard);
+    let assigns: Vec<String> = a
+        .assigns
+        .iter()
+        .map(|(t, e)| format!("{} := {}", protocol.vars()[t.0].name, render_expr(protocol, e)))
+        .collect();
+    let label = a.label.as_deref().unwrap_or("");
+    format!("{label}: {guard}  -->  {}", assigns.join("; "))
+}
+
+fn render_expr(protocol: &Protocol, e: &Expr) -> String {
+    use stsyn_protocol::expr::{BinOp, UnOp};
+    match e {
+        Expr::Int(i) => i.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(v) => protocol.vars()[v.0].name.clone(),
+        Expr::Un(UnOp::Not, inner) => format!("!({})", render_expr(protocol, inner)),
+        Expr::Un(UnOp::Neg, inner) => format!("-({})", render_expr(protocol, inner)),
+        Expr::Bin(op, a, b) => {
+            // Render `var == const` with the variable's value names.
+            if let (BinOp::Eq, Expr::Var(v), Expr::Int(c)) = (op, a.as_ref(), b.as_ref()) {
+                let decl = &protocol.vars()[v.0];
+                if decl.value_names.is_some() && *c >= 0 && (*c as u32) < decl.domain {
+                    return format!("{} == {}", decl.name, decl.value_name(*c as u32));
+                }
+            }
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Mod => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::Implies => "=>",
+                BinOp::Iff => "<=>",
+            };
+            let (mut l, mut r) = (render_expr(protocol, a), render_expr(protocol, b));
+            // Parenthesize additive subexpressions under * and % so the
+            // rendering re-parses with the same precedence.
+            if matches!(op, BinOp::Mul | BinOp::Mod) {
+                if matches!(a.as_ref(), Expr::Bin(BinOp::Add | BinOp::Sub, _, _)) {
+                    l = format!("({l})");
+                }
+                if matches!(b.as_ref(), Expr::Bin(BinOp::Add | BinOp::Sub, _, _)) {
+                    r = format!("({r})");
+                }
+            }
+            match op {
+                BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff => {
+                    format!("({l} {sym} {r})")
+                }
+                _ => format!("{l} {sym} {r}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::topology::{ProcessDecl, VarDecl};
+
+    fn ring3() -> Protocol {
+        // One process P1 reading x0, x1, writing x1, domain 3.
+        let vars = vec![VarDecl::new("x0", 3), VarDecl::new("x1", 3)];
+        let procs = vec![ProcessDecl::new(
+            "P1",
+            vec![VarIdx(0), VarIdx(1)],
+            vec![VarIdx(1)],
+        )
+        .unwrap()];
+        Protocol::new(vars, procs, vec![]).unwrap()
+    }
+
+    #[test]
+    fn merge_terms_collapses_full_domains() {
+        // Terms (0,0), (1,0), (2,0) over domains (3,3) → (*, 0).
+        let terms = vec![
+            vec![Some(0), Some(0)],
+            vec![Some(1), Some(0)],
+            vec![Some(2), Some(0)],
+        ];
+        let merged = merge_terms(terms, &[3, 3]);
+        assert_eq!(merged, vec![vec![None, Some(0)]]);
+    }
+
+    #[test]
+    fn merge_terms_cascades() {
+        // All nine valuations of (3,3) collapse to the single (*, *) term.
+        let mut terms = Vec::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                terms.push(vec![Some(a), Some(b)]);
+            }
+        }
+        let merged = merge_terms(terms, &[3, 3]);
+        assert_eq!(merged, vec![vec![None, None]]);
+    }
+
+    #[test]
+    fn merge_terms_keeps_partial_covers() {
+        let terms = vec![vec![Some(0), Some(0)], vec![Some(1), Some(0)]];
+        let merged = merge_terms(terms, &[3, 3]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn copy_template_wins_for_dijkstra_style_recovery() {
+        // Added groups: (x0=v+1-ish pattern) — the TR pass-2 recovery
+        // x1 = x0 + 1 → x1 := x0 for v ∈ {0,1,2}:
+        // pre (x0=v, x1=(v+1)%3), post x1 := v.
+        let p = ring3();
+        let added: Vec<GroupDesc> = (0..3u32)
+            .map(|v| GroupDesc {
+                process: ProcIdx(0),
+                pre: vec![v, (v + 1) % 3],
+                post: vec![v],
+            })
+            .collect();
+        let actions = extract_actions(&p, &added);
+        assert_eq!(actions.len(), 1, "one clustered action expected");
+        let a = &actions[0];
+        // RHS is the copy template x1 := x0.
+        assert_eq!(a.assigns, vec![(VarIdx(1), Expr::var(VarIdx(0)))]);
+        // Semantics: action applies exactly at the three pre states.
+        let domains = [3u32, 3u32];
+        for s0 in 0..3u32 {
+            for s1 in 0..3u32 {
+                let st = vec![s0, s1];
+                let expect = s1 == (s0 + 1) % 3;
+                assert_eq!(a.enabled(&st), expect, "state {st:?}");
+                if expect {
+                    assert_eq!(a.apply(&st, &domains).unwrap(), vec![s0, s0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_templates_split_clusters_when_needed() {
+        // Two groups with incompatible targets from the same pre set:
+        // (0,1) → 0 and (0,2) → 1: Copy fits the first (pre x0=0 → post
+        // 0), Const(1)/Shift fit the second; a single cluster survives iff
+        // some template matches both — Copy(0) works for g1 only, so the
+        // cluster set adapts. Just assert round-trip semantics.
+        let p = ring3();
+        let added = vec![
+            GroupDesc { process: ProcIdx(0), pre: vec![0, 1], post: vec![0] },
+            GroupDesc { process: ProcIdx(0), pre: vec![0, 2], post: vec![1] },
+        ];
+        let actions = extract_actions(&p, &added);
+        // Whatever the clustering, the union of action semantics equals
+        // the union of group semantics.
+        let domains = [3u32, 3u32];
+        for s0 in 0..3u32 {
+            for s1 in 0..3u32 {
+                let st = vec![s0, s1];
+                let expected: Vec<Vec<u32>> = added
+                    .iter()
+                    .filter(|g| g.applies_to(&p, &st))
+                    .map(|g| g.apply(&p, &st))
+                    .collect();
+                let got: Vec<Vec<u32>> =
+                    actions.iter().filter_map(|a| a.apply(&st, &domains)).collect();
+                let mut e = expected.clone();
+                let mut g = got.clone();
+                e.sort();
+                e.dedup();
+                g.sort();
+                g.dedup();
+                assert_eq!(e, g, "state {st:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_protocol_validates() {
+        let p = ring3();
+        let added = vec![GroupDesc { process: ProcIdx(0), pre: vec![0, 1], post: vec![0] }];
+        let pss = merge_into_protocol(&p, &added, &[]);
+        assert_eq!(pss.actions().len(), 1);
+        assert_eq!(pss.num_processes(), 1);
+    }
+
+    #[test]
+    fn describe_renders_readably() {
+        let p = ring3();
+        let added = vec![GroupDesc { process: ProcIdx(0), pre: vec![2, 0], post: vec![2] }];
+        let text = describe(&p, &added);
+        assert!(text.contains("x0 == 2"), "{text}");
+        assert!(text.contains("x1 :="), "{text}");
+        assert!(text.contains("-->"), "{text}");
+    }
+
+    #[test]
+    fn rendering_parenthesizes_modular_arithmetic() {
+        let p = ring3();
+        let a = Action::labeled(
+            "R",
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(
+                VarIdx(1),
+                Expr::var(VarIdx(0)).add(Expr::int(2)).modulo(Expr::int(3)),
+            )],
+        );
+        let text = render_action(&p, &a);
+        assert!(text.contains("(x0 + 2) % 3"), "{text}");
+    }
+
+    #[test]
+    fn value_names_used_in_rendering() {
+        let vars = vec![
+            VarDecl::with_names("m0", &["left", "right", "self"]),
+            VarDecl::with_names("m1", &["left", "right", "self"]),
+        ];
+        let procs = vec![ProcessDecl::new(
+            "P0",
+            vec![VarIdx(0), VarIdx(1)],
+            vec![VarIdx(0)],
+        )
+        .unwrap()];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let added = vec![GroupDesc { process: ProcIdx(0), pre: vec![2, 0], post: vec![0] }];
+        let text = describe(&p, &added);
+        assert!(text.contains("m0 == self"), "{text}");
+        assert!(text.contains("m1 == left"), "{text}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Problem III.1 — *Adding Convergence* — as a library interface.
+//!
+//! Input: a protocol `p`, a state predicate `I` closed in `p`, the desired
+//! convergence strength, and the topology (already carried by `p`).
+//! Output: `p_ss` with `I` unchanged, `δ_pss|I = δ_p|I`, and `p_ss`
+//! converging to `I` — or a diagnosed failure.
+
+use crate::heuristic::{synthesize, Outcome};
+use crate::schedule::Schedule;
+use stsyn_protocol::expr::{Expr, Ty};
+use stsyn_protocol::Protocol;
+use stsyn_symbolic::scc::SccAlgorithm;
+use std::fmt;
+
+/// Tunable knobs for a synthesis run.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Which symbolic SCC algorithm `Identify_Resolve_Cycles` uses.
+    pub scc: SccAlgorithm,
+    /// When set, recovery groups are added orbit-atomically under this
+    /// topology automorphism, so the synthesized protocol is symmetric by
+    /// construction (§VIII "Symmetry"). `None` reproduces the paper's
+    /// plain heuristic.
+    pub symmetry: Option<crate::symmetry::Symmetry>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scc: SccAlgorithm::Skeleton, symmetry: None }
+    }
+}
+
+/// Why a synthesis attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The invariant expression is not boolean-typed.
+    InvariantNotBool,
+    /// The invariant denotes the empty set — nothing to converge to.
+    EmptyInvariant,
+    /// `I` is not closed in `p` (violates the problem's input condition).
+    NotClosed,
+    /// Preprocessing found a non-progress cycle in `δ_p | ¬I` whose
+    /// participating groups have groupmates originating in `I`; breaking
+    /// the cycle would change `δ_p | I`, so the instance is rejected
+    /// (paper §V, preprocessing step).
+    CycleUnremovable,
+    /// `ComputeRanks` found states with rank ∞: by Theorem IV.1 **no**
+    /// stabilizing version of `p` exists at all.
+    NoStabilizingVersion {
+        /// How many states cannot reach `I` under any candidate recovery.
+        unreachable_states: f64,
+    },
+    /// The (incomplete) heuristic could not resolve every deadlock; a
+    /// different schedule may still succeed.
+    DeadlocksRemain {
+        /// Number of unresolved deadlock states after Pass 3.
+        remaining: f64,
+    },
+    /// The supplied schedule is not a permutation of the processes.
+    BadSchedule,
+    /// Every schedule tried by a parallel exploration failed; carries the
+    /// error of the first schedule.
+    AllSchedulesFailed(Box<SynthesisError>),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvariantNotBool => write!(f, "invariant is not boolean-typed"),
+            SynthesisError::EmptyInvariant => write!(f, "invariant denotes the empty set"),
+            SynthesisError::NotClosed => {
+                write!(f, "I is not closed in p (input condition of Problem III.1)")
+            }
+            SynthesisError::CycleUnremovable => write!(
+                f,
+                "δ_p|¬I contains a non-progress cycle whose groups reach into I; cannot break it without changing δ_p|I"
+            ),
+            SynthesisError::NoStabilizingVersion { unreachable_states } => write!(
+                f,
+                "no stabilizing version exists: {unreachable_states} states have rank ∞ (Theorem IV.1)"
+            ),
+            SynthesisError::DeadlocksRemain { remaining } => write!(
+                f,
+                "heuristic failure: {remaining} deadlock states remain after Pass 3 (try another schedule)"
+            ),
+            SynthesisError::BadSchedule => {
+                write!(f, "schedule is not a permutation of the protocol's processes")
+            }
+            SynthesisError::AllSchedulesFailed(first) => {
+                write!(f, "every schedule failed; first error: {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// An instance of Problem III.1: protocol plus legitimate-state predicate.
+#[derive(Debug, Clone)]
+pub struct AddConvergence {
+    protocol: Protocol,
+    invariant: Expr,
+}
+
+impl AddConvergence {
+    /// Bundle an instance; the invariant must typecheck as boolean.
+    /// (Closure of `I` in `p` is checked symbolically at synthesis time.)
+    pub fn new(protocol: Protocol, invariant: Expr) -> Result<Self, SynthesisError> {
+        match invariant.typecheck() {
+            Ok(Ty::Bool) => Ok(AddConvergence { protocol, invariant }),
+            _ => Err(SynthesisError::InvariantNotBool),
+        }
+    }
+
+    /// The protocol `p`.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// The predicate `I`.
+    pub fn invariant(&self) -> &Expr {
+        &self.invariant
+    }
+
+    /// The default recovery schedule `(P1, …, P_{k-1}, P0)` — the order
+    /// the paper uses for its running example.
+    pub fn default_schedule(&self) -> Schedule {
+        let k = self.protocol.num_processes();
+        if k == 0 {
+            Schedule::identity(0)
+        } else {
+            Schedule::rotated(k, 1 % k)
+        }
+    }
+
+    /// Add **strong** convergence with the default schedule.
+    pub fn synthesize(&self, opts: &Options) -> Result<Outcome, SynthesisError> {
+        self.synthesize_with(opts, self.default_schedule())
+    }
+
+    /// Add strong convergence with an explicit recovery schedule.
+    pub fn synthesize_with(
+        &self,
+        opts: &Options,
+        schedule: Schedule,
+    ) -> Result<Outcome, SynthesisError> {
+        synthesize(&self.protocol, &self.invariant, opts, schedule)
+    }
+
+    /// Add **weak** convergence (Theorem IV.1: sound and complete).
+    pub fn synthesize_weak(&self) -> Result<Outcome, SynthesisError> {
+        crate::weak::synthesize_weak(&self.protocol, &self.invariant)
+    }
+
+    /// Race several schedules, one per thread (the paper's Fig. 1 runs one
+    /// synthesizer instance per schedule on separate machines). Returns
+    /// the first success in schedule order, or — when every schedule
+    /// fails — `AllSchedulesFailed` carrying the first schedule's error.
+    pub fn synthesize_parallel(
+        &self,
+        opts: &Options,
+        schedules: Vec<Schedule>,
+    ) -> Result<Outcome, SynthesisError> {
+        assert!(!schedules.is_empty(), "need at least one schedule");
+        let results: Vec<Result<Outcome, SynthesisError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = schedules
+                .into_iter()
+                .map(|sch| {
+                    let opts = opts.clone();
+                    scope.spawn(move || synthesize(&self.protocol, &self.invariant, &opts, sch))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("synthesis thread panicked")).collect()
+        });
+        let mut first_err: Option<SynthesisError> = None;
+        for r in results {
+            match r {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(SynthesisError::AllSchedulesFailed(Box::new(first_err.unwrap())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::action::Action;
+    use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+
+    fn v(i: usize) -> Expr {
+        Expr::var(VarIdx(i))
+    }
+
+    #[test]
+    fn rejects_integer_invariant() {
+        let vars = vec![VarDecl::new("a", 2)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        assert!(matches!(
+            AddConvergence::new(p, Expr::int(1)),
+            Err(SynthesisError::InvariantNotBool)
+        ));
+    }
+
+    #[test]
+    fn default_schedule_rotates() {
+        let vars: Vec<VarDecl> = (0..3).map(|i| VarDecl::new(format!("x{i}"), 2)).collect();
+        let procs: Vec<ProcessDecl> = (0..3)
+            .map(|j| ProcessDecl::new(format!("P{j}"), vec![VarIdx(j)], vec![VarIdx(j)]).unwrap())
+            .collect();
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let prob = AddConvergence::new(p, Expr::Bool(true)).unwrap();
+        assert_eq!(prob.default_schedule(), Schedule::rotated(3, 1));
+    }
+
+    #[test]
+    fn parallel_synthesis_returns_a_success() {
+        // Two independent bits, I = both zero; any schedule works.
+        let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
+        let procs = vec![
+            ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap(),
+            ProcessDecl::new("P1", vec![VarIdx(1)], vec![VarIdx(1)]).unwrap(),
+        ];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let i = v(0).eq(Expr::int(0)).and(v(1).eq(Expr::int(0)));
+        let prob = AddConvergence::new(p, i).unwrap();
+        let mut out = prob
+            .synthesize_parallel(&Options::default(), Schedule::all_rotations(2))
+            .unwrap();
+        assert!(out.verify_strong());
+    }
+
+    #[test]
+    fn unremovable_cycle_is_rejected() {
+        // P0 reads/writes only `a`; `b` is readable by nobody's writes…
+        // Action: toggle a unconditionally. Its two groups each cover both
+        // values of b. I = {b == 0} is closed (b never written). ¬I has
+        // the cycle (0,1) ↔ (1,1) whose groups also act inside I.
+        let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let toggle = Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(VarIdx(0), Expr::int(1).sub(v(0)))],
+        );
+        let p = Protocol::new(vars, procs, vec![toggle]).unwrap();
+        let i = v(1).eq(Expr::int(0));
+        let prob = AddConvergence::new(p, i).unwrap();
+        assert!(matches!(
+            prob.synthesize(&Options::default()),
+            Err(SynthesisError::CycleUnremovable)
+        ));
+    }
+
+    #[test]
+    fn all_schedules_failed_propagates_first_error() {
+        // Unwritable variable pinned by I: every schedule fails with
+        // NoStabilizingVersion.
+        let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
+        let procs = vec![
+            ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap(),
+            ProcessDecl::new("P1", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap(),
+        ];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let i = v(1).eq(Expr::int(0)).and(v(0).eq(Expr::int(0)));
+        let prob = AddConvergence::new(p, i).unwrap();
+        match prob.synthesize_parallel(&Options::default(), Schedule::all_rotations(2)) {
+            Err(SynthesisError::AllSchedulesFailed(inner)) => {
+                assert!(matches!(*inner, SynthesisError::NoStabilizingVersion { .. }));
+            }
+            other => panic!("expected AllSchedulesFailed, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(SynthesisError::NotClosed.to_string().contains("closed"));
+        assert!(SynthesisError::NoStabilizingVersion { unreachable_states: 3.0 }
+            .to_string()
+            .contains("Theorem IV.1"));
+        assert!(SynthesisError::DeadlocksRemain { remaining: 2.0 }
+            .to_string()
+            .contains("schedule"));
+    }
+}

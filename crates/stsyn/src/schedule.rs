@@ -1,0 +1,125 @@
+//! Recovery schedules.
+//!
+//! From an illegitimate state, which process gets the first chance to
+//! contribute a recovery transition matters: the heuristic commits to a
+//! fixed *recovery schedule* — a permutation of the processes — and tries
+//! them in that order inside `Add_Convergence`. Different schedules can
+//! yield different stabilizing protocols (or fail where another succeeds),
+//! which is why the paper's Fig. 1 runs one synthesizer instance per
+//! schedule on separate machines; [`crate::problem::AddConvergence::
+//! synthesize_parallel`] runs one per thread instead.
+
+use stsyn_protocol::ProcIdx;
+
+/// A permutation of the protocol's processes used as the recovery order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule(Vec<ProcIdx>);
+
+impl Schedule {
+    /// Build a schedule from an explicit process order; must be a
+    /// permutation of `0..k` for the protocol it is used with.
+    pub fn new(order: Vec<ProcIdx>) -> Self {
+        Schedule(order)
+    }
+
+    /// The identity schedule `P0, P1, …, P(k-1)`.
+    pub fn identity(k: usize) -> Self {
+        Schedule((0..k).map(ProcIdx).collect())
+    }
+
+    /// The schedule rotated left by `r`: `P_r, P_{r+1}, …, P_{r-1}`.
+    /// `rotated(k, 1)` gives the paper's TR schedule `P1, P2, P3, P0`.
+    pub fn rotated(k: usize, r: usize) -> Self {
+        Schedule((0..k).map(|i| ProcIdx((i + r) % k)).collect())
+    }
+
+    /// All `k` rotations, for parallel exploration.
+    pub fn all_rotations(k: usize) -> Vec<Schedule> {
+        (0..k).map(|r| Self::rotated(k, r)).collect()
+    }
+
+    /// The process order.
+    pub fn order(&self) -> &[ProcIdx] {
+        &self.0
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the schedule empty? (Only for degenerate zero-process protocols.)
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Is this a valid permutation of `0..k`?
+    pub fn is_permutation_of(&self, k: usize) -> bool {
+        if self.0.len() != k {
+            return false;
+        }
+        let mut seen = vec![false; k];
+        for p in &self.0 {
+            if p.0 >= k || seen[p.0] {
+                return false;
+            }
+            seen[p.0] = true;
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "P{}", p.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_rotation() {
+        let id = Schedule::identity(4);
+        assert_eq!(id.order(), &[ProcIdx(0), ProcIdx(1), ProcIdx(2), ProcIdx(3)]);
+        let rot = Schedule::rotated(4, 1);
+        assert_eq!(rot.order(), &[ProcIdx(1), ProcIdx(2), ProcIdx(3), ProcIdx(0)]);
+        assert_eq!(Schedule::rotated(4, 0), id);
+        assert_eq!(Schedule::rotated(4, 4), id);
+    }
+
+    #[test]
+    fn all_rotations_are_distinct_permutations() {
+        let all = Schedule::all_rotations(5);
+        assert_eq!(all.len(), 5);
+        for s in &all {
+            assert!(s.is_permutation_of(5));
+        }
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_validation() {
+        assert!(Schedule::new(vec![ProcIdx(1), ProcIdx(0)]).is_permutation_of(2));
+        assert!(!Schedule::new(vec![ProcIdx(0), ProcIdx(0)]).is_permutation_of(2));
+        assert!(!Schedule::new(vec![ProcIdx(0)]).is_permutation_of(2));
+        assert!(!Schedule::new(vec![ProcIdx(0), ProcIdx(2)]).is_permutation_of(2));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Schedule::rotated(4, 1).to_string(), "(P1, P2, P3, P0)");
+    }
+}

@@ -1,0 +1,288 @@
+//! Symmetry-enforcing synthesis (§VIII, "Symmetry").
+//!
+//! The plain heuristic often produces *asymmetric* protocols (the paper
+//! observed this on maximal matching), because each process gets a
+//! different chance at each deadlock. The paper lists heuristics that
+//! enforce symmetry as ongoing work; this module implements the natural
+//! one: recovery groups are added **orbit-atomically** — whenever a group
+//! is selected for one process, the corresponding group of every other
+//! process (under a topology automorphism) is added in the same step, and
+//! cycle resolution rejects or accepts whole orbits.
+//!
+//! A [`Symmetry`] is a generator automorphism: a permutation of processes
+//! together with a compatible permutation of variables. For ring-shaped
+//! protocols [`Symmetry::ring_rotation`] derives the canonical rotation
+//! automatically.
+
+use crate::candidates::CandidateSet;
+use stsyn_protocol::group::GroupDesc;
+use stsyn_protocol::topology::{ProcIdx, VarIdx};
+use stsyn_protocol::Protocol;
+use std::collections::HashMap;
+
+/// A generator of a cyclic symmetry group on a protocol: process `j`
+/// maps to `proc_map[j]` and variable `v` to `var_map[v]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symmetry {
+    proc_map: Vec<usize>,
+    var_map: Vec<usize>,
+}
+
+/// Why a symmetry specification was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymmetryError {
+    /// A map is not a permutation of the right size.
+    NotAPermutation,
+    /// The variable permutation changes a domain size.
+    DomainMismatch,
+    /// The process permutation does not carry localities onto localities
+    /// (reads/writes are not preserved under the variable permutation).
+    TopologyMismatch,
+}
+
+impl std::fmt::Display for SymmetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymmetryError::NotAPermutation => write!(f, "map is not a permutation"),
+            SymmetryError::DomainMismatch => write!(f, "variable permutation changes domains"),
+            SymmetryError::TopologyMismatch => {
+                write!(f, "permutation does not preserve the read/write topology")
+            }
+        }
+    }
+}
+
+fn is_permutation(map: &[usize]) -> bool {
+    let mut seen = vec![false; map.len()];
+    map.iter().all(|&m| {
+        if m < seen.len() && !seen[m] {
+            seen[m] = true;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+impl Symmetry {
+    /// Build and validate a symmetry from explicit maps.
+    pub fn new(
+        protocol: &Protocol,
+        proc_map: Vec<usize>,
+        var_map: Vec<usize>,
+    ) -> Result<Symmetry, SymmetryError> {
+        if proc_map.len() != protocol.num_processes()
+            || var_map.len() != protocol.num_vars()
+            || !is_permutation(&proc_map)
+            || !is_permutation(&var_map)
+        {
+            return Err(SymmetryError::NotAPermutation);
+        }
+        for (v, &m) in var_map.iter().enumerate() {
+            if protocol.vars()[v].domain != protocol.vars()[m].domain {
+                return Err(SymmetryError::DomainMismatch);
+            }
+        }
+        // Localities must be carried onto localities.
+        for (j, &pj) in proc_map.iter().enumerate() {
+            let src = &protocol.processes()[j];
+            let dst = &protocol.processes()[pj];
+            let mut mapped_reads: Vec<VarIdx> =
+                src.reads.iter().map(|r| VarIdx(var_map[r.0])).collect();
+            mapped_reads.sort_unstable();
+            if mapped_reads != dst.reads {
+                return Err(SymmetryError::TopologyMismatch);
+            }
+            let mut mapped_writes: Vec<VarIdx> =
+                src.writes.iter().map(|w| VarIdx(var_map[w.0])).collect();
+            mapped_writes.sort_unstable();
+            if mapped_writes != dst.writes {
+                return Err(SymmetryError::TopologyMismatch);
+            }
+        }
+        Ok(Symmetry { proc_map, var_map })
+    }
+
+    /// The canonical rotation `P_j ↦ P_{j+1}`, `v_i ↦ v_{i+1}` for
+    /// ring-shaped protocols with one variable per process (matching,
+    /// coloring). Fails on topologies the rotation does not preserve.
+    pub fn ring_rotation(protocol: &Protocol) -> Result<Symmetry, SymmetryError> {
+        let k = protocol.num_processes();
+        if protocol.num_vars() != k {
+            return Err(SymmetryError::TopologyMismatch);
+        }
+        let proc_map: Vec<usize> = (0..k).map(|j| (j + 1) % k).collect();
+        let var_map: Vec<usize> = (0..k).map(|v| (v + 1) % k).collect();
+        Symmetry::new(protocol, proc_map, var_map)
+    }
+
+    /// Map one group descriptor under the generator.
+    pub fn apply_group(&self, protocol: &Protocol, g: &GroupDesc) -> GroupDesc {
+        let j = g.process.0;
+        let pj = self.proc_map[j];
+        let src_proc = &protocol.processes()[j];
+        let dst_proc = &protocol.processes()[pj];
+        // pre: value of mapped variable `var_map[r]` equals value of `r`.
+        let pre: Vec<u32> = dst_proc
+            .reads
+            .iter()
+            .map(|r_new| {
+                let r_old = self
+                    .var_map
+                    .iter()
+                    .position(|&m| m == r_new.0)
+                    .expect("permutation is total");
+                let pos = src_proc
+                    .reads
+                    .iter()
+                    .position(|r| r.0 == r_old)
+                    .expect("topology preserved");
+                g.pre[pos]
+            })
+            .collect();
+        let post: Vec<u32> = dst_proc
+            .writes
+            .iter()
+            .map(|w_new| {
+                let w_old = self
+                    .var_map
+                    .iter()
+                    .position(|&m| m == w_new.0)
+                    .expect("permutation is total");
+                let pos = src_proc
+                    .writes
+                    .iter()
+                    .position(|w| w.0 == w_old)
+                    .expect("topology preserved");
+                g.post[pos]
+            })
+            .collect();
+        GroupDesc { process: ProcIdx(pj), pre, post }
+    }
+
+    /// The full orbit of a group under the cyclic group generated by this
+    /// symmetry (the group itself first).
+    pub fn orbit(&self, protocol: &Protocol, g: &GroupDesc) -> Vec<GroupDesc> {
+        let mut out = vec![g.clone()];
+        let mut cur = self.apply_group(protocol, g);
+        while &cur != g {
+            out.push(cur.clone());
+            cur = self.apply_group(protocol, &cur);
+        }
+        out
+    }
+
+    /// Resolve an orbit into candidate indices. Returns `None` when some
+    /// orbit member is not a candidate — which happens exactly when the
+    /// invariant (or the input protocol) is not symmetric under this
+    /// generator, making orbit-atomic addition impossible for this group.
+    pub fn orbit_indices(
+        &self,
+        protocol: &Protocol,
+        cands: &CandidateSet,
+        index: &HashMap<GroupDesc, usize>,
+        ci: usize,
+    ) -> Option<Vec<usize>> {
+        let g = &cands.all[ci].desc;
+        self.orbit(protocol, g)
+            .into_iter()
+            .map(|member| index.get(&member).copied())
+            .collect()
+    }
+}
+
+/// Build the descriptor → candidate-index map used for orbit lookups.
+pub fn candidate_index(cands: &CandidateSet) -> HashMap<GroupDesc, usize> {
+    cands
+        .all
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.desc.clone(), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_cases::{coloring, matching, token_ring};
+
+    #[test]
+    fn ring_rotation_valid_for_coloring_and_matching() {
+        let (p, _) = coloring(5);
+        assert!(Symmetry::ring_rotation(&p).is_ok());
+        let (p, _) = matching(6);
+        assert!(Symmetry::ring_rotation(&p).is_ok());
+    }
+
+    #[test]
+    fn orbit_has_full_length_on_rings() {
+        let (p, _) = coloring(5);
+        let sym = Symmetry::ring_rotation(&p).unwrap();
+        let g = GroupDesc { process: ProcIdx(1), pre: vec![0, 1, 2], post: vec![2] };
+        let orbit = sym.orbit(&p, &g);
+        assert_eq!(orbit.len(), 5);
+        // All orbit members distinct, one per process.
+        let procs: std::collections::HashSet<usize> =
+            orbit.iter().map(|g| g.process.0).collect();
+        assert_eq!(procs.len(), 5);
+        // Applying the generator 5 times returns the original.
+        assert_eq!(&orbit[0], &g);
+    }
+
+    #[test]
+    fn rotation_maps_values_along_the_ring() {
+        // Coloring P1 reads {c0, c1, c2}; pre (a, b, c) in sorted-variable
+        // order must rotate to P2's reads {c1, c2, c3} with the same
+        // values attached to the same *relative* positions.
+        let (p, _) = coloring(4);
+        let sym = Symmetry::ring_rotation(&p).unwrap();
+        let g = GroupDesc { process: ProcIdx(1), pre: vec![7 % 3, 1, 2], post: vec![0] };
+        let mapped = sym.apply_group(&p, &g);
+        assert_eq!(mapped.process, ProcIdx(2));
+        assert_eq!(mapped.pre, g.pre); // sorted reads rotate uniformly
+        assert_eq!(mapped.post, g.post);
+    }
+
+    #[test]
+    fn rotation_wraps_correctly_at_the_seam() {
+        // P_{k-1} reads {c0, c_{k-2}, c_{k-1}} (sorted), which is NOT in
+        // the same relative order as the interior processes — the value
+        // mapping must follow variables, not positions.
+        let (p, _) = coloring(4);
+        let sym = Symmetry::ring_rotation(&p).unwrap();
+        // P2 reads {c1,c2,c3}: pre = (v(c1), v(c2), v(c3)) = (0, 1, 2).
+        let g = GroupDesc { process: ProcIdx(2), pre: vec![0, 1, 2], post: vec![0] };
+        let mapped = sym.apply_group(&p, &g);
+        // P3 reads sorted {c0, c2, c3}; c2→c3 carries value 1, c3→c0
+        // carries 2, c1→c2 carries 0. So pre over {c0, c2, c3} = (2, 0, 1).
+        assert_eq!(mapped.process, ProcIdx(3));
+        assert_eq!(mapped.pre, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn token_ring_rotation_rejected() {
+        // TR's P0 differs from the followers: the rotation is a valid
+        // *topology* automorphism (reads/writes do line up), but the
+        // protocol-level symmetry would be wrong — ensure at least the
+        // topology validation runs; TR topology is in fact rotation
+        // symmetric, so this must succeed at the topology level.
+        let (p, _) = token_ring(4, 3);
+        assert!(Symmetry::ring_rotation(&p).is_ok());
+        // (Protocol-level asymmetry shows up later: orbit members of a
+        //  candidate may be missing because S1 is rotation-asymmetric.)
+    }
+
+    #[test]
+    fn invalid_maps_rejected() {
+        let (p, _) = coloring(4);
+        assert_eq!(
+            Symmetry::new(&p, vec![0, 0, 1, 2], vec![1, 2, 3, 0]).unwrap_err(),
+            SymmetryError::NotAPermutation
+        );
+        // Identity on processes but rotation on variables breaks locality.
+        assert_eq!(
+            Symmetry::new(&p, vec![0, 1, 2, 3], vec![1, 2, 3, 0]).unwrap_err(),
+            SymmetryError::TopologyMismatch
+        );
+    }
+}

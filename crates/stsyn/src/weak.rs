@@ -1,0 +1,138 @@
+//! Weak-stabilization synthesis (Theorem IV.1).
+//!
+//! `ComputeRanks` is a *sound and complete* decision procedure for weak
+//! stabilization: run it on the maximal candidate protocol `p_im`; if no
+//! state has rank ∞, `p_im` itself is a weakly stabilizing version of `p`
+//! (every state has *some* computation reaching `I`); otherwise no
+//! stabilizing version of `p` exists at all.
+
+use crate::candidates::CandidateSet;
+use crate::heuristic::Outcome;
+use crate::problem::SynthesisError;
+use crate::schedule::Schedule;
+use crate::stats::SynthesisStats;
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::Protocol;
+use stsyn_symbolic::check::closure_holds;
+use stsyn_symbolic::ranks::compute_ranks;
+use stsyn_symbolic::SymbolicContext;
+use std::time::Instant;
+
+/// Produce the weakly stabilizing `p_im`, or prove none exists.
+pub fn synthesize_weak(protocol: &Protocol, invariant: &Expr) -> Result<Outcome, SynthesisError> {
+    let start = Instant::now();
+    let mut ctx = SymbolicContext::new(protocol.clone());
+    let i = ctx.compile(invariant);
+    if i.is_false() {
+        return Err(SynthesisError::EmptyInvariant);
+    }
+    let delta_p = ctx.protocol_relation();
+    if !closure_holds(&mut ctx, delta_p, i) {
+        return Err(SynthesisError::NotClosed);
+    }
+    let mut cands = CandidateSet::build(&mut ctx, i);
+    let pim = cands.pim(&mut ctx, delta_p);
+
+    let rank_start = Instant::now();
+    let ranks = compute_ranks(&mut ctx, pim, i);
+    let ranking_time = rank_start.elapsed();
+    if !ranks.complete() {
+        let count = ctx.count_states(ranks.infinite);
+        return Err(SynthesisError::NoStabilizingVersion { unreachable_states: count });
+    }
+
+    // Every candidate not already contained in δ_p counts as added.
+    let mut added = Vec::new();
+    for c in &mut cands.all {
+        c.included = true;
+        if !ctx.mgr().implies_holds(c.relation, delta_p) {
+            added.push(c.desc.clone());
+        }
+    }
+    let stats = SynthesisStats {
+        ranking_time,
+        total_time: start.elapsed(),
+        max_rank: ranks.max_rank(),
+        candidates: cands.len(),
+        groups_added: added.len(),
+        program_nodes: ctx.mgr_ref().node_count(pim),
+        peak_live_nodes: ctx.mgr_ref().stats().peak_live_nodes,
+        ..SynthesisStats::default()
+    };
+    let k = protocol.num_processes();
+    Ok(Outcome {
+        i,
+        delta_p,
+        pss: pim,
+        added,
+        removed_from_p: Vec::new(),
+        stats,
+        schedule: Schedule::identity(k),
+        ctx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::action::Action;
+    use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+
+    fn v(i: usize) -> Expr {
+        Expr::var(VarIdx(i))
+    }
+
+    #[test]
+    fn weak_synthesis_of_empty_protocol() {
+        let vars = vec![VarDecl::new("a", 4)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let i = v(0).eq(Expr::int(0));
+        let mut out = synthesize_weak(&p, &i).unwrap();
+        assert!(out.verify_weak());
+        assert!(out.preserves_i_behavior());
+        assert!(!out.added.is_empty());
+    }
+
+    #[test]
+    fn weak_version_may_not_be_strong() {
+        // p_im typically contains ¬I cycles: weak but not strong. With a
+        // 3-value variable and I = {0}, p_im has 1↔2 cycles.
+        let vars = vec![VarDecl::new("a", 3)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let i = v(0).eq(Expr::int(0));
+        let mut out = synthesize_weak(&p, &i).unwrap();
+        assert!(out.verify_weak());
+        assert!(!out.verify_strong()); // cycle 1↔2 exists in p_im
+    }
+
+    #[test]
+    fn completeness_detects_impossible_instances() {
+        // I pins an unwritable variable: Theorem IV.1 says "no stabilizing
+        // version exists", weak or strong.
+        let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
+        let procs = vec![ProcessDecl::new(
+            "P0",
+            vec![VarIdx(0), VarIdx(1)],
+            vec![VarIdx(0)],
+        )
+        .unwrap()];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let i = v(1).eq(Expr::int(0)).and(v(0).eq(Expr::int(0)));
+        assert!(matches!(
+            synthesize_weak(&p, &i),
+            Err(SynthesisError::NoStabilizingVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn weak_rejects_unclosed() {
+        let vars = vec![VarDecl::new("a", 2)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let esc = Action::new(ProcIdx(0), v(0).eq(Expr::int(0)), vec![(VarIdx(0), Expr::int(1))]);
+        let p = Protocol::new(vars, procs, vec![esc]).unwrap();
+        let i = v(0).eq(Expr::int(0));
+        assert!(matches!(synthesize_weak(&p, &i), Err(SynthesisError::NotClosed)));
+    }
+}

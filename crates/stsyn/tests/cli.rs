@@ -1,0 +1,149 @@
+//! End-to-end tests of the `stsyn` command-line tool, driving the real
+//! binary the way a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn stsyn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stsyn"))
+}
+
+/// A protocol file in a fresh temp dir; returns (dir, path).
+fn write_protocol(name: &str, body: &str) -> (tempdir::TempDir, PathBuf) {
+    let dir = tempdir::TempDir::new(name);
+    let path = dir.path.join(format!("{name}.stsyn"));
+    std::fs::write(&path, body).unwrap();
+    (dir, path)
+}
+
+/// Minimal self-cleaning temp dir (no external crate).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempDir {
+        pub path: PathBuf,
+    }
+
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "stsyn-cli-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+const RAMP: &str = r#"
+    protocol Ramp {
+      var c : 0..3;
+      process P0 reads c writes c { }
+      invariant c == 3;
+    }
+"#;
+
+#[test]
+fn synthesizes_a_file_and_reports_success() {
+    let (_dir, path) = write_protocol("ramp", RAMP);
+    let out = stsyn().arg(&path).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verification: PASS"), "{stdout}");
+    assert!(stdout.contains("recovery actions added"), "{stdout}");
+    assert!(stdout.contains("statistics:"), "{stdout}");
+}
+
+#[test]
+fn quiet_suppresses_statistics() {
+    let (_dir, path) = write_protocol("quiet", RAMP);
+    let out = stsyn().arg(&path).arg("--quiet").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("statistics:"), "{stdout}");
+}
+
+#[test]
+fn weak_mode_reports_weak_stabilization() {
+    let (_dir, path) = write_protocol("weak", RAMP);
+    let out = stsyn().arg(&path).arg("--weak").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("weak stabilization"), "{stdout}");
+    assert!(stdout.contains("verification: PASS"), "{stdout}");
+}
+
+#[test]
+fn emit_dsl_writes_a_reparsable_stabilizing_protocol() {
+    let (dir, path) = write_protocol("emit", RAMP);
+    let out_path = dir.path.join("out.stsyn");
+    let out = stsyn()
+        .arg(&path)
+        .arg("--quiet")
+        .arg("--emit-dsl")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let emitted = std::fs::read_to_string(&out_path).unwrap();
+    assert!(emitted.starts_with("protocol Ramp_SS"), "{emitted}");
+    // Feeding the emitted file back: already stabilizing, still passes.
+    let again = stsyn().arg(&out_path).arg("--quiet").output().unwrap();
+    assert!(again.status.success());
+    let stdout = String::from_utf8_lossy(&again.stdout);
+    assert!(stdout.contains("no recovery needed"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_exit_nonzero_with_location() {
+    let (_dir, path) = write_protocol("bad", "protocol Bad {\n  var a @ 0..1;\n}");
+    let out = stsyn().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn unclosed_invariant_fails_with_explanation() {
+    let src = r#"
+        protocol Escape {
+          var a : 0..2;
+          process P0 reads a writes a {
+            when a == 0 then a := 1;
+          }
+          invariant a == 0;
+        }
+    "#;
+    let (_dir, path) = write_protocol("escape", src);
+    let out = stsyn().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("closed"), "{stderr}");
+}
+
+#[test]
+fn explicit_schedule_is_used() {
+    let (_dir, path) = write_protocol("sched", RAMP);
+    let out = stsyn().arg(&path).arg("--schedule").arg("0").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(P0)"), "{stdout}");
+}
+
+#[test]
+fn missing_file_fails_gracefully() {
+    let out = stsyn().arg("/nonexistent/path.stsyn").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

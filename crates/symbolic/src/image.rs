@@ -1,0 +1,157 @@
+//! Image, preimage and reachability over a symbolic transition relation.
+
+use crate::encode::SymbolicContext;
+use stsyn_bdd::Bdd;
+
+impl SymbolicContext {
+    /// Forward image: the states reachable from `x` in exactly one
+    /// transition of `t`. `img(t, x) = (∃cur. t ∧ x)[primed ↦ cur]`.
+    pub fn img(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        let cur = self.cur_set();
+        let map = self.primed_to_cur();
+        let shifted = self.mgr().and_exists(t, x, cur);
+        self.mgr().rename(shifted, map)
+    }
+
+    /// Backward image: the states with a `t`-successor in `x`.
+    /// `pre(t, x) = ∃primed. t ∧ x[cur ↦ primed]`.
+    pub fn pre(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        let primed = self.primed_set();
+        let map = self.cur_to_primed();
+        let xp = self.mgr().rename(x, map);
+        self.mgr().and_exists(t, xp, primed)
+    }
+
+    /// States with at least one outgoing `t` transition.
+    pub fn enabled(&mut self, t: Bdd) -> Bdd {
+        let primed = self.primed_set();
+        self.mgr().exists(t, primed)
+    }
+
+    /// All states reachable from `x` (reflexive-transitive forward
+    /// closure).
+    pub fn forward_closure(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        let mut reach = x;
+        loop {
+            let step = self.img(t, reach);
+            let next = self.mgr().or(reach, step);
+            if next == reach {
+                return reach;
+            }
+            reach = next;
+        }
+    }
+
+    /// All states that can reach `x` (reflexive-transitive backward
+    /// closure).
+    pub fn backward_closure(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        let mut reach = x;
+        loop {
+            let step = self.pre(t, reach);
+            let next = self.mgr().or(reach, step);
+            if next == reach {
+                return reach;
+            }
+            reach = next;
+        }
+    }
+
+    /// Restrict a relation to transitions that start **and** end inside
+    /// `x` — the paper's `δ|X` projection.
+    pub fn restrict_relation(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        let map = self.cur_to_primed();
+        let xp = self.mgr().rename(x, map);
+        let t1 = self.mgr().and(t, x);
+        self.mgr().and(t1, xp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::action::Action;
+    use stsyn_protocol::expr::Expr;
+    use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+    use stsyn_protocol::Protocol;
+
+    /// A 4-counter that increments forever (one cycle through 0..3).
+    fn counter() -> Protocol {
+        let vars = vec![VarDecl::new("c", 4)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let a = Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(
+                VarIdx(0),
+                Expr::var(VarIdx(0)).add(Expr::int(1)).modulo(Expr::int(4)),
+            )],
+        );
+        Protocol::new(vars, procs, vec![a]).unwrap()
+    }
+
+    /// A ramp: increments only while c < 3 (converges to c == 3).
+    fn ramp() -> Protocol {
+        let vars = vec![VarDecl::new("c", 4)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let a = Action::new(
+            ProcIdx(0),
+            Expr::var(VarIdx(0)).lt(Expr::int(3)),
+            vec![(VarIdx(0), Expr::var(VarIdx(0)).add(Expr::int(1)))],
+        );
+        Protocol::new(vars, procs, vec![a]).unwrap()
+    }
+
+    #[test]
+    fn img_and_pre_are_adjoint_on_counter() {
+        let mut ctx = SymbolicContext::new(counter());
+        let t = ctx.protocol_relation();
+        let s1 = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(1)));
+        let s2 = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(2)));
+        assert_eq!(ctx.img(t, s1), s2);
+        assert_eq!(ctx.pre(t, s2), s1);
+    }
+
+    #[test]
+    fn closures_on_counter_reach_everything() {
+        let mut ctx = SymbolicContext::new(counter());
+        let t = ctx.protocol_relation();
+        let s0 = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(0)));
+        let all = ctx.all_states();
+        assert_eq!(ctx.forward_closure(t, s0), all);
+        assert_eq!(ctx.backward_closure(t, s0), all);
+    }
+
+    #[test]
+    fn closures_on_ramp_are_directional() {
+        let mut ctx = SymbolicContext::new(ramp());
+        let t = ctx.protocol_relation();
+        let top = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(3)));
+        let all = ctx.all_states();
+        // Everything reaches the top...
+        assert_eq!(ctx.backward_closure(t, top), all);
+        // ...but the top reaches only itself.
+        assert_eq!(ctx.forward_closure(t, top), top);
+    }
+
+    #[test]
+    fn enabled_states_of_ramp() {
+        let mut ctx = SymbolicContext::new(ramp());
+        let t = ctx.protocol_relation();
+        let en = ctx.enabled(t);
+        let expect = ctx.compile(&Expr::var(VarIdx(0)).lt(Expr::int(3)));
+        assert_eq!(en, expect);
+    }
+
+    #[test]
+    fn restrict_relation_cuts_boundary() {
+        let mut ctx = SymbolicContext::new(counter());
+        let t = ctx.protocol_relation();
+        let low = ctx.compile(&Expr::var(VarIdx(0)).lt(Expr::int(2)));
+        let r = ctx.restrict_relation(t, low);
+        // Only 0→1 survives (1→2 leaves `low`).
+        let s0 = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(0)));
+        let s1 = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(1)));
+        assert_eq!(ctx.img(r, s0), s1);
+        assert!(ctx.img(r, s1).is_false());
+    }
+}

@@ -1,0 +1,40 @@
+//! # stsyn-symbolic — BDD encodings and symbolic graph algorithms
+//!
+//! This crate bridges the modelling layer (`stsyn-protocol`) and the BDD
+//! substrate (`stsyn-bdd`), providing everything §IV–V of the paper
+//! compute symbolically:
+//!
+//! * [`SymbolicContext`] — log-encodes every finite-domain protocol
+//!   variable onto *interleaved* current/primed boolean variables, compiles
+//!   predicate expressions to BDDs, and builds per-group transition
+//!   relations (`group relation = readable-source cube ∧ written-target
+//!   cube ∧ frame`),
+//! * [`image`] — image/preimage and forward/backward reachability,
+//! * [`ranks`] — `ComputeRanks` (Fig. 2): the rank layering of `¬I` that
+//!   both decides weak stabilization (Theorem IV.1) and guides the
+//!   heuristic,
+//! * [`scc`] — symbolic SCC decomposition: the skeleton-based SCC-Find of
+//!   Gentilini–Piazza–Policriti (the algorithm the paper's
+//!   `Detect_SCC` implements), plus the lockstep and Xie–Beerel
+//!   algorithms for cross-validation and ablation, plus a cheap
+//!   trimming-based cycle-existence test,
+//! * [`check`] — symbolic closure / deadlock / strong- and weak-
+//!   convergence checking (Proposition II.1), used to *verify* every
+//!   synthesized protocol,
+//! * [`trace`] — concrete counterexample/witness executions (paths,
+//!   non-progress cycles, recovery demonstrations) extracted from the
+//!   symbolic representation.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod encode;
+pub mod image;
+pub mod ranks;
+pub mod scc;
+pub mod trace;
+
+pub use check::{closure_holds, deadlock_states, strong_convergence, weak_convergence, Verdict};
+pub use encode::{SymbolicContext, VarOrder};
+pub use ranks::{compute_ranks, RankTable};
+pub use scc::{has_cycle, scc_decomposition, SccAlgorithm};

@@ -1,0 +1,161 @@
+//! `ComputeRanks` (Fig. 2 of the paper): the backward-BFS layering of the
+//! state space that approximates strong convergence.
+//!
+//! Given a transition relation `T` (normally the *maximal candidate
+//! protocol* `p_im`) and a closed predicate `I`, `Rank[i]` is the set of
+//! states whose shortest `T`-path to `I` has length exactly `i`
+//! (`Rank[0] = I`). States never reached by the backward search have rank
+//! ∞; by Theorem IV.1 their existence proves **no** stabilizing version of
+//! the protocol exists, and their absence makes `p_im` itself a weakly
+//! stabilizing version — `ComputeRanks` is a sound and complete decision
+//! procedure for weak stabilization.
+
+use crate::encode::SymbolicContext;
+use stsyn_bdd::Bdd;
+
+/// The result of `ComputeRanks`.
+#[derive(Debug, Clone)]
+pub struct RankTable {
+    /// `ranks[i]` is the predicate `Rank[i]`; `ranks[0] = I`.
+    pub ranks: Vec<Bdd>,
+    /// Union of every rank — the backward-reachable set `explored`.
+    pub explored: Bdd,
+    /// States with rank ∞ (empty iff a weakly stabilizing version exists).
+    pub infinite: Bdd,
+}
+
+impl RankTable {
+    /// Highest finite rank `M`.
+    pub fn max_rank(&self) -> usize {
+        self.ranks.len() - 1
+    }
+
+    /// The predicate `Rank[i]`, or `false` when `i` exceeds `M`.
+    pub fn rank(&self, i: usize) -> Bdd {
+        self.ranks.get(i).copied().unwrap_or(Bdd::FALSE)
+    }
+
+    /// Is every state covered by some finite rank? (Theorem IV.1: iff a
+    /// weakly stabilizing version exists.)
+    pub fn complete(&self) -> bool {
+        self.infinite.is_false()
+    }
+}
+
+/// Compute the rank layering of `relation` towards `i` (which must be a
+/// current-vocabulary predicate). Mirrors Fig. 2: repeated one-step
+/// backward images, each minus the already-explored set, until a fixpoint.
+pub fn compute_ranks(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> RankTable {
+    let mut ranks = vec![i];
+    let mut explored = i;
+    loop {
+        let back = ctx.pre(relation, explored);
+        let not_explored = ctx.mgr().not(explored);
+        let fresh = ctx.mgr().and(back, not_explored);
+        if fresh.is_false() {
+            break;
+        }
+        ranks.push(fresh);
+        explored = ctx.mgr().or(explored, fresh);
+    }
+    let infinite = ctx.not_states(explored);
+    RankTable { ranks, explored, infinite }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::action::Action;
+    use stsyn_protocol::expr::Expr;
+    use stsyn_protocol::explicit::{predicate_states, ExplicitGraph};
+    use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+    use stsyn_protocol::Protocol;
+
+    fn ramp(n: u32) -> (Protocol, Expr) {
+        let vars = vec![VarDecl::new("c", n)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let a = Action::new(
+            ProcIdx(0),
+            Expr::var(VarIdx(0)).lt(Expr::int((n - 1) as i64)),
+            vec![(VarIdx(0), Expr::var(VarIdx(0)).add(Expr::int(1)))],
+        );
+        let p = Protocol::new(vars, procs, vec![a]).unwrap();
+        let i = Expr::var(VarIdx(0)).eq(Expr::int((n - 1) as i64));
+        (p, i)
+    }
+
+    #[test]
+    fn ranks_of_ramp_are_distances() {
+        let (p, i) = ramp(5);
+        let mut ctx = SymbolicContext::new(p);
+        let t = ctx.protocol_relation();
+        let i_bdd = ctx.compile(&i);
+        let table = compute_ranks(&mut ctx, t, i_bdd);
+        assert_eq!(table.max_rank(), 4);
+        assert!(table.complete());
+        for r in 0..=4u32 {
+            let pred = table.rank(r as usize);
+            assert_eq!(ctx.count_states(pred), 1.0);
+            let s = ctx.pick_state(pred).unwrap();
+            assert_eq!(s[0], 4 - r);
+        }
+        assert!(table.rank(99).is_false());
+    }
+
+    #[test]
+    fn ranks_match_explicit_bfs() {
+        let (p, i) = ramp(7);
+        let graph = ExplicitGraph::of_protocol(&p);
+        let i_set = predicate_states(&p, &i);
+        let explicit = graph.backward_ranks(&i_set);
+        let mut ctx = SymbolicContext::new(p.clone());
+        let t = ctx.protocol_relation();
+        let i_bdd = ctx.compile(&i);
+        let table = compute_ranks(&mut ctx, t, i_bdd);
+        for (id, s) in p.space().states().enumerate() {
+            let cube = ctx.state_cube(&s);
+            let symbolic_rank = (0..=table.max_rank())
+                .find(|&r| {
+                    let pred = table.rank(r);
+                    !ctx.mgr().and(cube, pred).is_false()
+                })
+                .map(|r| r as u32)
+                .unwrap_or(u32::MAX);
+            assert_eq!(symbolic_rank, explicit[id], "state {s:?}");
+        }
+    }
+
+    #[test]
+    fn infinite_ranks_detected() {
+        // No actions: every ¬I state has rank ∞ — no stabilizing version.
+        let vars = vec![VarDecl::new("c", 3)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let p = Protocol::new(vars, procs, vec![]).unwrap();
+        let i = Expr::var(VarIdx(0)).eq(Expr::int(0));
+        let mut ctx = SymbolicContext::new(p);
+        let t = ctx.protocol_relation(); // empty
+        let i_bdd = ctx.compile(&i);
+        let table = compute_ranks(&mut ctx, t, i_bdd);
+        assert!(!table.complete());
+        assert_eq!(ctx.count_states(table.infinite), 2.0);
+        assert_eq!(table.max_rank(), 0);
+    }
+
+    #[test]
+    fn rank_zero_is_exactly_i() {
+        let (p, i) = ramp(4);
+        let mut ctx = SymbolicContext::new(p);
+        let t = ctx.protocol_relation();
+        let i_bdd = ctx.compile(&i);
+        let table = compute_ranks(&mut ctx, t, i_bdd);
+        assert_eq!(table.rank(0), i_bdd);
+        // Ranks partition the explored set.
+        let mut union = Bdd::FALSE;
+        for r in 0..=table.max_rank() {
+            let pred = table.rank(r);
+            assert!(ctx.mgr().and(union, pred).is_false(), "ranks overlap");
+            union = ctx.mgr().or(union, pred);
+        }
+        assert_eq!(union, table.explored);
+    }
+}

@@ -1,0 +1,224 @@
+//! Counterexample and witness traces, extracted symbolically.
+//!
+//! §VIII positions the synthesizer as a companion to model checkers:
+//! "model checkers generate a scenario as to how a protocol fails to
+//! self-stabilize". This module produces those scenarios from the BDD
+//! side, so every verdict the checker returns can be justified with a
+//! concrete execution:
+//!
+//! * [`SymbolicContext::extract_path`] — a shortest path between two
+//!   predicates under a transition relation,
+//! * [`SymbolicContext::extract_cycle`] — a concrete non-progress cycle
+//!   inside a region (the witness for a strong-convergence failure),
+//! * [`SymbolicContext::recovery_trace`] — a convergence demonstration:
+//!   from a given state to the legitimate set.
+
+use crate::encode::SymbolicContext;
+use stsyn_bdd::Bdd;
+use stsyn_protocol::state::State;
+
+impl SymbolicContext {
+    /// A shortest path `s_0 → s_1 → … → s_m` with `s_0 ∈ from`,
+    /// `s_m ∈ to`, every transition drawn from `relation`. `None` when
+    /// `to` is unreachable from `from`. (`from ∩ to ≠ ∅` yields the
+    /// single-state path.)
+    pub fn extract_path(&mut self, relation: Bdd, from: Bdd, to: Bdd) -> Option<Vec<State>> {
+        if from.is_false() {
+            return None;
+        }
+        // Forward BFS layers until `to` is hit.
+        let mut layers: Vec<Bdd> = vec![from];
+        let mut explored = from;
+        loop {
+            let current = *layers.last().unwrap();
+            let hit = self.mgr().and(current, to);
+            if !hit.is_false() {
+                break;
+            }
+            let next = self.img(relation, current);
+            let not_explored = self.mgr().not(explored);
+            let fresh = self.mgr().and(next, not_explored);
+            if fresh.is_false() {
+                return None; // `to` unreachable
+            }
+            explored = self.mgr().or(explored, fresh);
+            layers.push(fresh);
+        }
+        // Backtrack: pick a state in the final intersection, then walk
+        // predecessors layer by layer.
+        let last = *layers.last().unwrap();
+        let target_hit = self.mgr().and(last, to);
+        let mut state = self.pick_state(target_hit).expect("non-empty hit");
+        let mut path = vec![state.clone()];
+        for layer in layers.iter().rev().skip(1) {
+            let cube = self.singleton(&state);
+            let preds = self.pre(relation, cube);
+            let in_layer = self.mgr().and(preds, *layer);
+            state = self.pick_state(in_layer).expect("BFS layer must contain a predecessor");
+            path.push(state.clone());
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// A concrete cycle of `relation` inside `x`: a state sequence
+    /// `s_0 → … → s_m = s_0` (the first state repeated at the end).
+    /// `None` when `relation | x` is acyclic.
+    pub fn extract_cycle(&mut self, relation: Bdd, x: Bdd) -> Option<Vec<State>> {
+        // The forward core: states with infinite forward paths inside x.
+        let mut core = x;
+        loop {
+            if core.is_false() {
+                return None;
+            }
+            let with_succ = self.pre(relation, core);
+            let next = self.mgr().and(core, with_succ);
+            if next == core {
+                break;
+            }
+            core = next;
+        }
+        // Every core state has a successor inside the core; follow them
+        // until a repeat. (Bounded by |core|.)
+        let start = self.pick_state(core).expect("non-empty core");
+        let mut seen: Vec<State> = vec![start.clone()];
+        let mut cur = start;
+        loop {
+            let cube = self.singleton(&cur);
+            let succs = self.img(relation, cube);
+            let in_core = self.mgr().and(succs, core);
+            let next = self.pick_state(in_core).expect("core state must have core successor");
+            if let Some(pos) = seen.iter().position(|s| *s == next) {
+                let mut cycle = seen.split_off(pos);
+                cycle.push(next);
+                return Some(cycle);
+            }
+            seen.push(next.clone());
+            cur = next;
+        }
+    }
+
+    /// A convergence demonstration: a shortest execution of `relation`
+    /// from `state` into `i`. `None` if `state` cannot reach `i`.
+    pub fn recovery_trace(&mut self, relation: Bdd, state: &State, i: Bdd) -> Option<Vec<State>> {
+        let from = self.singleton(state);
+        self.extract_path(relation, from, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::action::Action;
+    use stsyn_protocol::expr::Expr;
+    use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
+    use stsyn_protocol::Protocol;
+
+    fn c() -> Expr {
+        Expr::var(VarIdx(0))
+    }
+
+    fn one_var(n: u32, actions: Vec<Action>) -> SymbolicContext {
+        let vars = vec![VarDecl::new("c", n)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        SymbolicContext::new(Protocol::new(vars, procs, actions).unwrap())
+    }
+
+    fn inc_mod(n: u32) -> Action {
+        Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(VarIdx(0), c().add(Expr::int(1)).modulo(Expr::int(n as i64)))],
+        )
+    }
+
+    #[test]
+    fn path_on_counter() {
+        let mut ctx = one_var(6, vec![inc_mod(6)]);
+        let t = ctx.protocol_relation();
+        let from = ctx.compile(&c().eq(Expr::int(1)));
+        let to = ctx.compile(&c().eq(Expr::int(4)));
+        let path = ctx.extract_path(t, from, to).unwrap();
+        assert_eq!(path, vec![vec![1], vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn path_to_self_is_single_state() {
+        let mut ctx = one_var(4, vec![inc_mod(4)]);
+        let t = ctx.protocol_relation();
+        let s = ctx.compile(&c().eq(Expr::int(2)));
+        let path = ctx.extract_path(t, s, s).unwrap();
+        assert_eq!(path, vec![vec![2]]);
+    }
+
+    #[test]
+    fn unreachable_target_gives_none() {
+        // Ramp up to 2 only: 3 is unreachable from 0 when the action stops
+        // at 2.
+        let ramp = Action::new(
+            ProcIdx(0),
+            c().lt(Expr::int(2)),
+            vec![(VarIdx(0), c().add(Expr::int(1)))],
+        );
+        let mut ctx = one_var(4, vec![ramp]);
+        let t = ctx.protocol_relation();
+        let from = ctx.compile(&c().eq(Expr::int(0)));
+        let to = ctx.compile(&c().eq(Expr::int(3)));
+        assert!(ctx.extract_path(t, from, to).is_none());
+    }
+
+    #[test]
+    fn cycle_on_counter() {
+        let mut ctx = one_var(4, vec![inc_mod(4)]);
+        let t = ctx.protocol_relation();
+        let all = ctx.all_states();
+        let cycle = ctx.extract_cycle(t, all).unwrap();
+        // A 4-cycle: 5 entries with the first repeated at the end.
+        assert_eq!(cycle.len(), 5);
+        assert_eq!(cycle.first(), cycle.last());
+        // Consecutive entries really are transitions.
+        for w in cycle.windows(2) {
+            assert_eq!(w[1][0], (w[0][0] + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let ramp = Action::new(
+            ProcIdx(0),
+            c().lt(Expr::int(3)),
+            vec![(VarIdx(0), c().add(Expr::int(1)))],
+        );
+        let mut ctx = one_var(4, vec![ramp]);
+        let t = ctx.protocol_relation();
+        let all = ctx.all_states();
+        assert!(ctx.extract_cycle(t, all).is_none());
+    }
+
+    #[test]
+    fn cycle_respects_region_restriction() {
+        let mut ctx = one_var(4, vec![inc_mod(4)]);
+        let t = ctx.protocol_relation();
+        // Exclude state 0: the 4-cycle is broken, no cycle remains.
+        let s0 = ctx.compile(&c().eq(Expr::int(0)));
+        let region = ctx.not_states(s0);
+        let restricted = ctx.restrict_relation(t, region);
+        assert!(ctx.extract_cycle(restricted, region).is_none());
+    }
+
+    #[test]
+    fn recovery_trace_is_shortest() {
+        let ramp = Action::new(
+            ProcIdx(0),
+            c().lt(Expr::int(5)),
+            vec![(VarIdx(0), c().add(Expr::int(1)))],
+        );
+        let mut ctx = one_var(6, vec![ramp]);
+        let t = ctx.protocol_relation();
+        let i = ctx.compile(&c().eq(Expr::int(5)));
+        let trace = ctx.recovery_trace(t, &vec![2], i).unwrap();
+        assert_eq!(trace.len(), 4); // 2 → 3 → 4 → 5
+        assert_eq!(trace[0], vec![2]);
+        assert_eq!(trace[3], vec![5]);
+    }
+}

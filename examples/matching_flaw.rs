@@ -1,0 +1,61 @@
+//! §VI-A reproduction: synthesize maximal matching on a 5-ring, then
+//! expose the non-progress cycle in the *manually designed* protocol of
+//! Gouda & Acharya that the paper's tool discovered.
+//!
+//! ```text
+//! cargo run --release --example matching_flaw
+//! ```
+
+use stsyn_repro::cases::{gouda_acharya_matching, matching, MATCH_LEFT, MATCH_SELF};
+use stsyn_repro::protocol::explicit::{predicate_states, ExplicitGraph};
+use stsyn_repro::synth::{AddConvergence, Options};
+
+fn name(v: u32) -> &'static str {
+    ["left", "right", "self"][v as usize]
+}
+
+fn main() {
+    // 1. Automatic synthesis from the *empty* protocol.
+    let (p, i_mm) = matching(5);
+    println!("synthesizing maximal matching, K = 5 (|S| = {} states)…", p.space().size());
+    let problem = AddConvergence::new(p, i_mm).unwrap();
+    let mut outcome = problem.synthesize(&Options::default()).unwrap();
+    let verified = outcome.verify_strong();
+    println!(
+        "  done in {:.2?} (pass {}, {} groups, {} SCCs resolved), verified: {}",
+        outcome.stats.total_time,
+        outcome.stats.finished_in_pass,
+        outcome.stats.groups_added,
+        outcome.stats.sccs_found,
+        verified,
+    );
+    println!("\nsynthesized actions of P0 (asymmetric, unlike the manual design):");
+    for line in outcome.describe_recovery().lines() {
+        if line.starts_with("R0") {
+            println!("  {line}");
+        }
+    }
+
+    // 2. The flaw in the manual design.
+    let (ga, i_mm) = gouda_acharya_matching(5);
+    let i_set = predicate_states(&ga, &i_mm);
+    let not_i = i_set.complement();
+    let graph = ExplicitGraph::of_protocol(&ga);
+    let restricted = graph.restrict(&not_i);
+    let cycle = restricted.find_cycle().expect("the published flaw");
+    println!(
+        "\nGouda–Acharya manual protocol: found a non-progress cycle of length {} outside I_MM:",
+        cycle.len()
+    );
+    for sid in &cycle {
+        let s = ga.space().decode(*sid);
+        let pretty: Vec<&str> = s.iter().map(|&v| name(v)).collect();
+        println!("  ⟨{}⟩", pretty.join(", "));
+    }
+    let witness = ga.space().encode(&vec![MATCH_LEFT, MATCH_SELF, MATCH_LEFT, MATCH_SELF, MATCH_LEFT]);
+    let cyc = restricted.cyclic_states();
+    println!(
+        "\npaper's witness ⟨left,self,left,self,left⟩ lies on a ¬I cycle: {}",
+        cyc.contains(witness)
+    );
+}

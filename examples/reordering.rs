@@ -1,0 +1,44 @@
+//! Dynamic variable reordering in action: build the token-ring transition
+//! relation under a deliberately bad (blocked) variable order, then let
+//! Rudell's sifting recover the compact order automatically — the remedy
+//! for the "BDDs not effectively optimized" irregularities §VII of the
+//! paper reports.
+//!
+//! ```text
+//! cargo run --release --example reordering
+//! ```
+
+use std::time::Instant;
+use stsyn_repro::cases::dijkstra_token_ring;
+use stsyn_repro::symbolic::{SymbolicContext, VarOrder};
+
+fn main() {
+    println!(
+        "{:<10} {:<13} {:>14} {:>12} {:>10}",
+        "instance", "order", "relation size", "after sift", "time"
+    );
+    for (n, d) in [(4usize, 3u32), (5, 4), (6, 4)] {
+        for order in [VarOrder::Interleaved, VarOrder::Blocked] {
+            let (p, _) = dijkstra_token_ring(n, d);
+            let mut ctx = SymbolicContext::with_order(p, order);
+            let t = ctx.protocol_relation();
+            let before = ctx.mgr_ref().node_count(t);
+            let start = Instant::now();
+            let (_, after) = ctx.mgr().sift(&[t]);
+            println!(
+                "{:<10} {:<13} {:>14} {:>12} {:>10.1?}",
+                format!("TR({n},{d})"),
+                format!("{order:?}"),
+                before,
+                after,
+                start.elapsed()
+            );
+        }
+    }
+    println!(
+        "\nsifting recovers the interleaved order's compactness from the blocked\n\
+         layout without any knowledge of the protocol structure — handles stay\n\
+         valid, functions are preserved (property-tested), and only interned\n\
+         varsets/rename maps must be re-created afterwards."
+    );
+}

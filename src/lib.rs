@@ -1,0 +1,19 @@
+//! # stsyn-repro — umbrella crate
+//!
+//! This workspace reproduces *"A Lightweight Method for Automated Design of
+//! Convergence"* (Ebnenasir & Farahat, IPDPS 2011). The umbrella crate
+//! re-exports the member crates so the runnable `examples/` and the
+//! cross-crate `tests/` have one coherent import surface:
+//!
+//! * [`bdd`] — the symbolic substrate (replaces CUDD/GLU),
+//! * [`protocol`] — finite-state shared-memory protocols, transition
+//!   groups, the textual DSL and the explicit-state oracle engine,
+//! * [`symbolic`] — BDD encodings, ranks, SCCs and convergence checking,
+//! * [`synth`] — the STSyn synthesis heuristic itself,
+//! * [`cases`] — the paper's four case-study protocols.
+
+pub use stsyn_bdd as bdd;
+pub use stsyn_cases as cases;
+pub use stsyn_core as synth;
+pub use stsyn_protocol as protocol;
+pub use stsyn_symbolic as symbolic;

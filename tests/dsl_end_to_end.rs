@@ -1,0 +1,71 @@
+//! The tool path: protocol files → parser → synthesizer → verified output,
+//! exactly what the `stsyn` binary does.
+
+use stsyn_repro::protocol::dsl;
+use stsyn_repro::synth::{AddConvergence, Options};
+
+fn synthesize_file(path: &str) -> stsyn_repro::synth::Outcome {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let parsed = dsl::parse(&src).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let problem = AddConvergence::new(parsed.protocol, parsed.invariant).unwrap();
+    problem.synthesize(&Options::default()).unwrap_or_else(|e| panic!("synthesize {path}: {e}"))
+}
+
+#[test]
+fn token_ring_file() {
+    let mut outcome = synthesize_file("examples/protocols/token_ring4.stsyn");
+    assert!(outcome.verify_strong());
+    assert_eq!(outcome.stats.finished_in_pass, 2);
+}
+
+#[test]
+fn coloring_file() {
+    let mut outcome = synthesize_file("examples/protocols/coloring5.stsyn");
+    assert!(outcome.verify_strong());
+    assert_eq!(outcome.stats.sccs_found, 0);
+}
+
+#[test]
+fn matching_file() {
+    let mut outcome = synthesize_file("examples/protocols/matching5.stsyn");
+    assert!(outcome.verify_strong());
+    assert!(outcome.stats.sccs_found > 0);
+}
+
+#[test]
+fn two_ring_file() {
+    // Multi-assignment actions (a0 := …, turn := …) through the full
+    // pipeline.
+    let mut outcome = synthesize_file("examples/protocols/two_ring_2x3.stsyn");
+    assert!(outcome.verify_strong());
+    assert!(outcome.preserves_i_behavior());
+}
+
+#[test]
+fn dsl_value_names_survive_to_output() {
+    let src = std::fs::read_to_string("examples/protocols/matching5.stsyn").unwrap();
+    let parsed = dsl::parse(&src).unwrap();
+    let problem = AddConvergence::new(parsed.protocol, parsed.invariant).unwrap();
+    let outcome = problem.synthesize(&Options::default()).unwrap();
+    let text = outcome.describe_recovery();
+    assert!(text.contains("left") && text.contains("right") && text.contains("self"), "{text}");
+}
+
+#[test]
+fn unclosed_invariant_in_file_is_rejected() {
+    let src = r#"
+        protocol Bad {
+          var a : 0..2;
+          process P0 reads a writes a {
+            when a == 0 then a := 1;
+          }
+          invariant a == 0;
+        }
+    "#;
+    let parsed = dsl::parse(src).unwrap();
+    let problem = AddConvergence::new(parsed.protocol, parsed.invariant).unwrap();
+    assert!(matches!(
+        problem.synthesize(&Options::default()),
+        Err(stsyn_repro::synth::SynthesisError::NotClosed)
+    ));
+}

@@ -1,0 +1,58 @@
+//! Maximal independent set: synthesis of a workload the paper never saw —
+//! the generalization test for the method.
+
+use stsyn_repro::cases::mis;
+use stsyn_repro::protocol::explicit::check_convergence;
+use stsyn_repro::synth::analysis::{local_correctability, LocalCorrectability};
+use stsyn_repro::synth::{AddConvergence, Options, Schedule};
+
+#[test]
+fn mis_synthesizes_and_verifies() {
+    // k = 4 is excluded: see `mis4_documents_heuristic_incompleteness`.
+    for k in [3usize, 5, 6] {
+        let (p, i) = mis(k);
+        let problem = AddConvergence::new(p, i.clone()).unwrap();
+        let mut outcome = problem
+            .synthesize(&Options::default())
+            .unwrap_or_else(|e| panic!("MIS k={k} failed: {e}"));
+        assert!(outcome.verify_strong(), "k = {k}");
+        assert!(outcome.preserves_i_behavior(), "k = {k}");
+        let pss = outcome.extract_protocol();
+        assert!(check_convergence(&pss, &i).strongly_converges(), "k = {k}");
+    }
+}
+
+#[test]
+fn mis4_documents_heuristic_incompleteness() {
+    // The 4-ring MIS (only two legitimate states, ⟨1,0,1,0⟩ and
+    // ⟨0,1,0,1⟩) is a live witness for §V's "Comment on completeness":
+    // a weakly stabilizing version exists (ComputeRanks completes — see
+    // `mis_weak_synthesis_succeeds`), but the conservative cycle
+    // resolution strands deadlock states under *every* schedule, so the
+    // heuristic reports failure rather than an unsound result.
+    use stsyn_repro::synth::SynthesisError;
+    let (p, i) = mis(4);
+    let problem = AddConvergence::new(p, i).unwrap();
+    match problem.synthesize_parallel(&Options::default(), Schedule::all_rotations(4)) {
+        Err(SynthesisError::AllSchedulesFailed(inner)) => {
+            assert!(matches!(*inner, SynthesisError::DeadlocksRemain { .. }));
+        }
+        Ok(_) => panic!("expected incompleteness on MIS(4)"),
+        Err(other) => panic!("expected DeadlocksRemain, got {other}"),
+    }
+}
+
+#[test]
+fn mis_is_not_locally_correctable() {
+    // Maximality couples neighbours exactly like matching does.
+    let (p, i) = mis(5);
+    assert_ne!(local_correctability(&p, &i), LocalCorrectability::Yes);
+}
+
+#[test]
+fn mis_weak_synthesis_succeeds() {
+    let (p, i) = mis(5);
+    let problem = AddConvergence::new(p, i).unwrap();
+    let mut outcome = problem.synthesize_weak().unwrap();
+    assert!(outcome.verify_weak());
+}

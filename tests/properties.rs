@@ -1,0 +1,298 @@
+//! Property-based differential tests: every symbolic computation is
+//! checked against the explicit-state oracle on randomly generated
+//! protocols, and every synthesis outcome is re-verified both symbolically
+//! and explicitly.
+
+use proptest::prelude::*;
+use stsyn_repro::protocol::action::Action;
+use stsyn_repro::protocol::explicit::{predicate_states, ExplicitGraph, StateSet};
+use stsyn_repro::protocol::topology::{ProcessDecl, VarDecl};
+use stsyn_repro::protocol::{Expr, ProcIdx, Protocol, VarIdx};
+use stsyn_repro::symbolic::scc::{scc_decomposition, SccAlgorithm};
+use stsyn_repro::symbolic::{compute_ranks, SymbolicContext};
+use stsyn_repro::synth::{AddConvergence, Options, Schedule, SynthesisError};
+
+/// A small random protocol description, produced by the proptest
+/// strategies below and assembled into a real `Protocol`.
+#[derive(Debug, Clone)]
+struct RandomProtocol {
+    domains: Vec<u32>,
+    /// For each process: (reads bitmask, writes bitmask ⊆ reads).
+    localities: Vec<(u8, u8)>,
+    /// For each action: (process, guard literals (var, val), assignments
+    /// (write-slot, source: None = constant `val`, Some(read-slot) = copy
+    /// of that readable variable modulo the target domain), val).
+    actions: Vec<(usize, Vec<(usize, u32)>, usize, Option<usize>, u32)>,
+    /// Invariant: a disjunction of conjunctions of `var == val` literals.
+    invariant: Vec<Vec<(usize, u32)>>,
+}
+
+impl RandomProtocol {
+    fn build(&self) -> Option<(Protocol, Expr)> {
+        let nvars = self.domains.len();
+        let vars: Vec<VarDecl> = self
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VarDecl::new(format!("v{i}"), d))
+            .collect();
+        let mut procs = Vec::new();
+        for (j, &(rmask, wmask)) in self.localities.iter().enumerate() {
+            let reads: Vec<VarIdx> =
+                (0..nvars).filter(|i| rmask >> i & 1 == 1).map(VarIdx).collect();
+            let writes: Vec<VarIdx> = (0..nvars)
+                .filter(|i| (wmask & rmask) >> i & 1 == 1)
+                .map(VarIdx)
+                .collect();
+            if reads.is_empty() || writes.is_empty() {
+                return None;
+            }
+            procs.push(ProcessDecl::new(format!("P{j}"), reads, writes).ok()?);
+        }
+        let mut actions = Vec::new();
+        for (pj, guard_lits, wslot, src, val) in &self.actions {
+            let pj = pj % procs.len();
+            let proc = &procs[pj];
+            let guard = Expr::conj(
+                guard_lits
+                    .iter()
+                    .map(|&(slot, v)| {
+                        let var = proc.reads[slot % proc.reads.len()];
+                        Expr::var(var).eq(Expr::int((v % self.domains[var.0]) as i64))
+                    })
+                    .collect(),
+            );
+            let target = proc.writes[wslot % proc.writes.len()];
+            let d = self.domains[target.0] as i64;
+            let rhs = match src {
+                Some(rslot) => {
+                    let from = proc.reads[rslot % proc.reads.len()];
+                    Expr::var(from).modulo(Expr::int(d))
+                }
+                None => Expr::int((*val as i64) % d),
+            };
+            actions.push(Action::new(ProcIdx(pj), guard, vec![(target, rhs)]));
+        }
+        let invariant = Expr::disj(
+            self.invariant
+                .iter()
+                .map(|conj| {
+                    Expr::conj(
+                        conj.iter()
+                            .map(|&(vi, val)| {
+                                let vi = vi % nvars;
+                                Expr::var(VarIdx(vi))
+                                    .eq(Expr::int((val % self.domains[vi]) as i64))
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let p = Protocol::new(vars, procs, actions).ok()?;
+        Some((p, invariant))
+    }
+}
+
+fn arb_protocol(max_actions: usize) -> impl Strategy<Value = RandomProtocol> {
+    (
+        proptest::collection::vec(2u32..=3, 2..=3),
+        proptest::collection::vec((1u8..8, 1u8..8), 1..=3),
+        proptest::collection::vec(
+            (
+                0usize..3,
+                proptest::collection::vec((0usize..3, 0u32..3), 0..=2),
+                0usize..3,
+                proptest::option::of(0usize..3),
+                0u32..3,
+            ),
+            0..=max_actions,
+        ),
+        proptest::collection::vec(
+            proptest::collection::vec((0usize..3, 0u32..3), 1..=2),
+            1..=2,
+        ),
+    )
+        .prop_map(|(domains, localities, actions, invariant)| RandomProtocol {
+            domains,
+            localities,
+            actions,
+            invariant,
+        })
+}
+
+/// Explicit-state rank of every state, for comparison.
+fn explicit_ranks(p: &Protocol, i: &Expr) -> Vec<u32> {
+    let g = ExplicitGraph::of_protocol(p);
+    let target = predicate_states(p, i);
+    g.backward_ranks(&target)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn symbolic_ranks_match_explicit_bfs(rp in arb_protocol(6)) {
+        let Some((p, i_expr)) = rp.build() else { return Ok(()); };
+        let explicit = explicit_ranks(&p, &i_expr);
+        let mut ctx = SymbolicContext::new(p.clone());
+        let t = ctx.protocol_relation();
+        let i = ctx.compile(&i_expr);
+        let table = compute_ranks(&mut ctx, t, i);
+        for (id, s) in p.space().states().enumerate() {
+            let cube = ctx.state_cube(&s);
+            let symbolic = (0..=table.max_rank())
+                .find(|&r| {
+                    let pred = table.rank(r);
+                    !ctx.mgr().and(cube, pred).is_false()
+                })
+                .map(|r| r as u32)
+                .unwrap_or(u32::MAX);
+            // Explicit BFS ranks count I-states as rank 0 even if
+            // unreachable... both engines use the same convention.
+            prop_assert_eq!(symbolic, explicit[id], "state {:?}", s);
+        }
+    }
+
+    #[test]
+    fn symbolic_sccs_match_tarjan(rp in arb_protocol(8)) {
+        let Some((p, _)) = rp.build() else { return Ok(()); };
+        let graph = ExplicitGraph::of_protocol(&p);
+        let n = graph.num_states();
+        // Explicit non-trivial SCC partition as a canonical set of sets.
+        let (comp, ncomp) = graph.tarjan_scc();
+        let mut members: Vec<Vec<u64>> = vec![Vec::new(); ncomp];
+        for s in 0..n {
+            members[comp[s] as usize].push(s as u64);
+        }
+        let mut explicit: Vec<Vec<u64>> = members
+            .into_iter()
+            .filter(|m| {
+                m.len() > 1
+                    || (m.len() == 1 && graph.successors(m[0]).contains(&(m[0] as u32)))
+            })
+            .collect();
+        explicit.sort();
+
+        let mut ctx = SymbolicContext::new(p.clone());
+        let t = ctx.protocol_relation();
+        let all = ctx.all_states();
+        for algo in [SccAlgorithm::Skeleton, SccAlgorithm::Lockstep, SccAlgorithm::XieBeerel] {
+            let sccs = scc_decomposition(&mut ctx, t, all, algo);
+            let mut symbolic: Vec<Vec<u64>> = sccs
+                .iter()
+                .map(|&scc| {
+                    let mut states = Vec::new();
+                    for (id, s) in p.space().states().enumerate() {
+                        let cube = ctx.state_cube(&s);
+                        if !ctx.mgr().and(cube, scc).is_false() {
+                            states.push(id as u64);
+                        }
+                    }
+                    states
+                })
+                .collect();
+            symbolic.sort();
+            prop_assert_eq!(&symbolic, &explicit, "algorithm {:?}", algo);
+        }
+    }
+
+    #[test]
+    fn synthesis_outcomes_always_verify(rp in arb_protocol(0)) {
+        // Empty action set: closure holds trivially, so every instance is
+        // a valid Problem III.1 input (if I is non-empty).
+        let Some((p, i_expr)) = rp.build() else { return Ok(()); };
+        let problem = AddConvergence::new(p.clone(), i_expr.clone()).unwrap();
+        match problem.synthesize(&Options::default()) {
+            Ok(mut outcome) => {
+                prop_assert!(outcome.verify_strong(), "verification failed");
+                prop_assert!(outcome.preserves_i_behavior());
+                // The extracted protocol passes the explicit model check.
+                let pss = outcome.extract_protocol();
+                let report =
+                    stsyn_repro::protocol::explicit::check_convergence(&pss, &i_expr);
+                prop_assert!(report.strongly_converges(), "explicit check failed");
+            }
+            Err(SynthesisError::EmptyInvariant) => {}
+            Err(SynthesisError::NoStabilizingVersion { .. }) => {
+                // Cross-check with the explicit oracle: the maximal
+                // candidate relation really cannot reach I from everywhere.
+                let i_set = predicate_states(&p, &i_expr);
+                prop_assert!(i_set.count() > 0, "empty I must raise EmptyInvariant");
+                // Build p_im explicitly: all transitions whose source is
+                // outside I and that respect some process's locality.
+                let mut edges = Vec::new();
+                let space = p.space();
+                for (sid, s) in space.states().enumerate() {
+                    if i_expr.holds(&s) { continue; }
+                    for j in 0..p.num_processes() {
+                        for g in stsyn_repro::protocol::group::all_groups_of(&p, ProcIdx(j)) {
+                            if g.is_self_loop(&p) || !g.applies_to(&p, &s) {
+                                continue;
+                            }
+                            // C1: no groupmate may start in I.
+                            let source_ok = space
+                                .states()
+                                .filter(|s2| g.applies_to(&p, s2))
+                                .all(|s2| !i_expr.holds(&s2));
+                            if source_ok {
+                                edges.push((sid as u64, space.encode(&g.apply(&p, &s))));
+                            }
+                        }
+                    }
+                }
+                let n = space.size() as usize;
+                let graph = ExplicitGraph::from_edges(n, edges);
+                let ranks = graph.backward_ranks(&i_set);
+                let unreachable = ranks.iter().filter(|&&r| r == u32::MAX).count();
+                prop_assert!(unreachable > 0, "explicit oracle says weakly stabilizable");
+            }
+            Err(SynthesisError::DeadlocksRemain { .. }) => {
+                // Heuristic incompleteness — allowed; nothing to check.
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn weak_verdict_matches_explicit_reachability(rp in arb_protocol(0)) {
+        let Some((p, i_expr)) = rp.build() else { return Ok(()); };
+        let i_set = predicate_states(&p, &i_expr);
+        if i_set.count() == 0 { return Ok(()); }
+        let problem = AddConvergence::new(p.clone(), i_expr.clone()).unwrap();
+        match problem.synthesize_weak() {
+            Ok(mut outcome) => {
+                prop_assert!(outcome.verify_weak());
+                prop_assert!(outcome.preserves_i_behavior());
+            }
+            Err(SynthesisError::NoStabilizingVersion { unreachable_states }) => {
+                prop_assert!(unreachable_states > 0.0);
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn schedules_never_affect_soundness(rp in arb_protocol(0)) {
+        let Some((p, i_expr)) = rp.build() else { return Ok(()); };
+        let k = p.num_processes();
+        let problem = AddConvergence::new(p, i_expr).unwrap();
+        for schedule in Schedule::all_rotations(k) {
+            if let Ok(mut outcome) = problem.synthesize_with(&Options::default(), schedule) {
+                prop_assert!(outcome.verify_strong());
+                prop_assert!(outcome.preserves_i_behavior());
+            }
+        }
+    }
+}
+
+#[test]
+fn stateset_iter_roundtrip() {
+    // Deterministic sanity for the helper the property tests lean on.
+    let mut s = StateSet::empty(100);
+    for id in [0u64, 63, 64, 99] {
+        s.insert(id);
+    }
+    let collected: Vec<u64> = s.iter().collect();
+    assert_eq!(collected, vec![0, 63, 64, 99]);
+}

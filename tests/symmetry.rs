@@ -1,0 +1,115 @@
+//! Symmetry-enforcing synthesis (§VIII): recovery added orbit-atomically
+//! under the ring rotation yields protocols that are symmetric *by
+//! construction* — including a correct symmetric maximal matching, where
+//! the published manual symmetric design (Gouda–Acharya) harbours a
+//! non-progress cycle.
+
+use std::collections::HashSet;
+use stsyn_repro::cases::{coloring, matching};
+use stsyn_repro::protocol::explicit::check_convergence;
+use stsyn_repro::synth::symmetry::Symmetry;
+use stsyn_repro::synth::{AddConvergence, Options};
+
+fn symmetric_options(p: &stsyn_repro::protocol::Protocol) -> Options {
+    Options {
+        symmetry: Some(Symmetry::ring_rotation(p).expect("ring topology")),
+        ..Options::default()
+    }
+}
+
+/// The added group set must be closed under the rotation orbit.
+fn assert_orbit_closed(
+    outcome: &stsyn_repro::synth::Outcome,
+    sym: &Symmetry,
+) {
+    let p = outcome.protocol().clone();
+    let added: HashSet<_> = outcome.added.iter().cloned().collect();
+    for g in &outcome.added {
+        for member in sym.orbit(&p, g) {
+            assert!(
+                added.contains(&member),
+                "orbit of {g:?} not fully included: missing {member:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn symmetric_coloring_verifies_and_is_orbit_closed() {
+    let (p, i) = coloring(5);
+    let sym = Symmetry::ring_rotation(&p).unwrap();
+    let problem = AddConvergence::new(p.clone(), i.clone()).unwrap();
+    let mut outcome = problem.synthesize(&symmetric_options(&p)).unwrap();
+    assert!(outcome.verify_strong());
+    assert!(outcome.preserves_i_behavior());
+    assert_orbit_closed(&outcome, &sym);
+    let pss = outcome.extract_protocol();
+    assert!(check_convergence(&pss, &i).strongly_converges());
+}
+
+#[test]
+fn symmetric_matching_exists_and_verifies() {
+    // The headline of this extension: a *symmetric* self-stabilizing
+    // maximal matching on a 5-ring exists and the orbit-atomic heuristic
+    // finds it — in contrast to the flawed manual symmetric protocol.
+    let (p, i) = matching(5);
+    let sym = Symmetry::ring_rotation(&p).unwrap();
+    let problem = AddConvergence::new(p.clone(), i.clone()).unwrap();
+    let mut outcome = problem.synthesize(&symmetric_options(&p)).unwrap();
+    assert!(outcome.verify_strong());
+    assert!(outcome.preserves_i_behavior());
+    assert_orbit_closed(&outcome, &sym);
+    // Every process carries the same number of recovery groups.
+    let mut per_proc = vec![0usize; 5];
+    for g in &outcome.added {
+        per_proc[g.process.0] += 1;
+    }
+    assert!(per_proc.windows(2).all(|w| w[0] == w[1]), "{per_proc:?}");
+    let pss = outcome.extract_protocol();
+    assert!(check_convergence(&pss, &i).strongly_converges());
+}
+
+#[test]
+fn symmetric_tables_are_rotations_of_each_other() {
+    let (p, i) = matching(5);
+    let problem = AddConvergence::new(p.clone(), i).unwrap();
+    let outcome = problem.synthesize(&symmetric_options(&p)).unwrap();
+    // Normalize each process's groups to (left, self, right) order and
+    // compare the tables — they must all coincide.
+    let tables: Vec<HashSet<(Vec<u32>, Vec<u32>)>> = (0..5)
+        .map(|j| {
+            outcome
+                .added
+                .iter()
+                .filter(|g| g.process.0 == j)
+                .map(|g| {
+                    let reads = &p.processes()[j].reads;
+                    let left = (j + 4) % 5;
+                    let right = (j + 1) % 5;
+                    let pick = |v: usize| {
+                        g.pre[reads.iter().position(|r| r.0 == v).unwrap()]
+                    };
+                    (vec![pick(left), pick(j), pick(right)], g.post.clone())
+                })
+                .collect()
+        })
+        .collect();
+    assert!(
+        tables.windows(2).all(|w| w[0] == w[1]),
+        "symmetric mode must produce identical local tables"
+    );
+}
+
+#[test]
+fn plain_mode_remains_asymmetric_for_matching() {
+    // Sanity contrast: without the symmetry option the same instance
+    // produces asymmetric tables (checked in tests/matching.rs) but with
+    // fewer groups — symmetry costs generality.
+    let (p, i) = matching(5);
+    let problem = AddConvergence::new(p, i).unwrap();
+    let plain = problem.synthesize(&Options::default()).unwrap();
+    let (p2, i2) = matching(5);
+    let problem2 = AddConvergence::new(p2.clone(), i2).unwrap();
+    let symmetric = problem2.synthesize(&symmetric_options(&p2)).unwrap();
+    assert!(symmetric.stats.groups_added >= plain.stats.groups_added);
+}

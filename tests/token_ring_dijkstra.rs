@@ -1,0 +1,98 @@
+//! §V end-to-end: adding convergence to the 4-process token ring with the
+//! paper's schedule `(P1, P2, P3, P0)` must produce Dijkstra's protocol.
+
+use stsyn_cases::{dijkstra_token_ring, token_ring};
+use stsyn_core::{AddConvergence, Options, Schedule};
+use stsyn_protocol::ProcIdx;
+use stsyn_symbolic::SymbolicContext;
+
+#[test]
+fn synthesized_tr4_equals_dijkstra() {
+    let (p, s1) = token_ring(4, 3);
+    let problem = AddConvergence::new(p, s1).unwrap();
+    // The paper's recovery schedule (P1, P2, P3, P0) is the default.
+    let mut outcome = problem.synthesize(&Options::default()).unwrap();
+    assert!(outcome.verify_strong());
+    assert!(outcome.preserves_i_behavior());
+
+    // Pass 1 adds nothing for TR (the paper: "We could not add any
+    // recovery transitions in the first phase"); the solution lands in
+    // pass 2.
+    assert_eq!(outcome.stats.finished_in_pass, 2);
+
+    // Relation-level equality with Dijkstra's manual protocol.
+    let (dijkstra, _) = dijkstra_token_ring(4, 3);
+    let pss_rel = outcome.pss;
+    let ctx = outcome.ctx();
+    // Encode Dijkstra's actions in the *same* context by replacing the
+    // action set of the context's protocol.
+    let mut d_ctx = SymbolicContext::new(dijkstra);
+    let d_rel = d_ctx.protocol_relation();
+    // The two contexts allocate identical variable layouts (same variable
+    // order and domains), so raw BDD comparison via an isomorphic rebuild
+    // is valid: compare by transition-set equality through evaluation.
+    let p_explicit = stsyn_protocol::explicit::ExplicitGraph::of_protocol(ctx.protocol());
+    let _ = p_explicit;
+    assert_eq!(
+        ctx.mgr_ref().node_count(pss_rel),
+        d_ctx.mgr_ref().node_count(d_rel),
+        "same DAG shape expected for identical relations under identical encodings"
+    );
+    // Decisive check: state-by-state successor equality.
+    let (dijkstra, _) = dijkstra_token_ring(4, 3);
+    let synthesized = outcome.extract_protocol();
+    for s in synthesized.space().states() {
+        let mut a = synthesized.successors(&s);
+        let mut b = dijkstra.successors(&s);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "successor mismatch at {s:?}");
+    }
+}
+
+#[test]
+fn tr_scales_to_five_processes() {
+    // The paper synthesizes Dijkstra's ring up to 5 processes.
+    let (p, s1) = token_ring(5, 4);
+    let problem = AddConvergence::new(p, s1).unwrap();
+    let mut outcome = problem.synthesize(&Options::default()).unwrap();
+    assert!(outcome.verify_strong());
+    assert!(outcome.preserves_i_behavior());
+    assert!(outcome.stats.groups_added > 0);
+}
+
+#[test]
+fn tr_with_rotated_schedules_also_succeeds() {
+    // Alternative schedules give (possibly different) correct solutions —
+    // the paper reports three distinct synthesized TR versions.
+    for r in 0..4 {
+        let (p, s1) = token_ring(4, 3);
+        let problem = AddConvergence::new(p, s1).unwrap();
+        let mut outcome = problem
+            .synthesize_with(&Options::default(), Schedule::rotated(4, r))
+            .unwrap();
+        assert!(outcome.verify_strong(), "schedule rotation {r}");
+        assert!(outcome.preserves_i_behavior(), "schedule rotation {r}");
+    }
+}
+
+#[test]
+fn synthesized_tr_recovery_actions_mention_only_local_variables() {
+    let (p, s1) = token_ring(4, 3);
+    let problem = AddConvergence::new(p.clone(), s1).unwrap();
+    let outcome = problem.synthesize(&Options::default()).unwrap();
+    let pss = outcome.extract_protocol();
+    for a in pss.actions() {
+        let proc = &pss.processes()[a.process.0];
+        for v in a.guard.vars() {
+            assert!(proc.reads.contains(&v));
+        }
+        for (t, rhs) in &a.assigns {
+            assert!(proc.writes.contains(t));
+            for v in rhs.vars() {
+                assert!(proc.reads.contains(&v));
+            }
+        }
+    }
+    let _ = ProcIdx(0);
+}
