@@ -116,6 +116,11 @@ impl Manager {
     /// the given variables. `lits` must be sorted by level. Linear in the
     /// size of `f`; uses a per-call memo (no persistent cache pollution).
     pub fn cofactor(&mut self, f: Bdd, lits: &[(VarId, bool)]) -> Bdd {
+        crate::budget::expect_budget(self.try_cofactor(f, lits))
+    }
+
+    /// Fallible variant of [`Manager::cofactor`].
+    pub fn try_cofactor(&mut self, f: Bdd, lits: &[(VarId, bool)]) -> Result<Bdd, crate::BddError> {
         // Order by the current levels so the merge-walk below is valid
         // under any variable order.
         let mut ordered: Vec<(VarId, bool)> = lits.to_vec();
@@ -129,9 +134,10 @@ impl Manager {
         f: Bdd,
         lits: &[(VarId, bool)],
         memo: &mut FxHashMap<u32, u32>,
-    ) -> Bdd {
+    ) -> Result<Bdd, crate::BddError> {
+        self.tick()?;
         if f.is_const() || lits.is_empty() {
-            return f;
+            return Ok(f);
         }
         let top = self.level(f);
         // Skip literals above f.
@@ -149,17 +155,17 @@ impl Manager {
             }
         }
         if lits.is_empty() {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = memo.get(&f.0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
         let n = self.node(f);
-        let lo = self.cofactor_rec(Bdd(n.lo), lits, memo);
-        let hi = self.cofactor_rec(Bdd(n.hi), lits, memo);
+        let lo = self.cofactor_rec(Bdd(n.lo), lits, memo)?;
+        let hi = self.cofactor_rec(Bdd(n.hi), lits, memo)?;
         let r = self.mk(n.var, lo, hi);
         memo.insert(f.0, r.0);
-        r
+        Ok(r)
     }
 
     /// Number of distinct DAG nodes in `f`, terminals included (CUDD's
@@ -247,10 +253,7 @@ impl Manager {
     /// use this only over small local-variable predicates (guard
     /// extraction).
     pub fn cubes(&self, f: Bdd) -> CubeIter<'_> {
-        CubeIter {
-            mgr: self,
-            stack: if f.is_false() { vec![] } else { vec![(f, Vec::new())] },
-        }
+        CubeIter { mgr: self, stack: if f.is_false() { vec![] } else { vec![(f, Vec::new())] } }
     }
 }
 
@@ -404,7 +407,7 @@ mod tests {
         let c = m.var(vs[2]);
         let ab = m.and(a, b);
         let f = m.or(ab, c); // (a ∧ b) ∨ c
-        // f[a := 1] = b ∨ c
+                             // f[a := 1] = b ∨ c
         let f_a1 = m.cofactor(f, &[(vs[0], true)]);
         let b_or_c = m.or(b, c);
         assert_eq!(f_a1, b_or_c);

@@ -54,17 +54,19 @@
 
 #![warn(missing_docs)]
 
+mod budget;
+mod dot;
+mod explore;
 mod hash;
 mod manager;
 mod minimize;
 mod ops;
 mod quant;
-mod reorder;
 mod rename;
-mod explore;
-mod dot;
+mod reorder;
 mod varset;
 
+pub use budget::{BddError, Budget, Resource};
 pub use explore::CubeIter;
 pub use manager::{Bdd, Manager, ManagerStats, VarId};
 pub use rename::RenameId;

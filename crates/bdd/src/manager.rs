@@ -99,7 +99,7 @@ pub(crate) enum BinOp {
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
     pub(crate) unique: FxHashMap<(u32, u32, u32), u32>,
-    free: Vec<u32>,
+    pub(crate) free: Vec<u32>,
     num_vars: u32,
     /// Variable → level (position in the order). Identity until the first
     /// reordering.
@@ -127,6 +127,12 @@ pub struct Manager {
 
     gc_runs: usize,
     peak_live: usize,
+
+    // Resource budget, registered persistent roots and interleaved
+    // (current, primed) pairs for the degradation path (see `budget.rs`).
+    pub(crate) budget: crate::budget::BudgetState,
+    pub(crate) gc_roots: Vec<Bdd>,
+    pub(crate) reorder_pairs: Vec<(VarId, VarId)>,
 }
 
 impl Default for Manager {
@@ -162,6 +168,9 @@ impl Manager {
             rename_ids: FxHashMap::default(),
             gc_runs: 0,
             peak_live: 2,
+            budget: crate::budget::BudgetState::default(),
+            gc_roots: Vec::new(),
+            reorder_pairs: Vec::new(),
         }
     }
 
@@ -245,8 +254,7 @@ impl Manager {
             return lo;
         }
         debug_assert!(
-            self.perm[var as usize] < self.level(lo)
-                && self.perm[var as usize] < self.level(hi),
+            self.perm[var as usize] < self.level(lo) && self.perm[var as usize] < self.level(hi),
             "variable order violated in mk: var {} (level {}) above children at levels {}/{}",
             var,
             self.perm[var as usize],
@@ -373,8 +381,8 @@ impl Manager {
         // unmarked and not already an (unreused) free slot. Recomputing from
         // the mark bitmap covers both.
         self.free.clear();
-        for idx in 2..cap {
-            if !marked[idx] {
+        for (idx, &m) in marked.iter().enumerate().take(cap).skip(2) {
+            if !m {
                 self.free.push(idx as u32);
             }
         }
@@ -448,8 +456,8 @@ mod tests {
         let _dead = m.and(fa, fb);
         let allocated_before = m.stats().allocated_nodes; // 0,1,a,b,a∧b = 5
         m.gc(&[fa, fb]); // frees exactly the a∧b node
-        // xor(a,b) needs two fresh nodes (¬b and the root); one must land in
-        // the recycled slot, so the arena grows by only one slot.
+                         // xor(a,b) needs two fresh nodes (¬b and the root); one must land in
+                         // the recycled slot, so the arena grows by only one slot.
         let _reborn = m.xor(fa, fb);
         assert_eq!(m.stats().allocated_nodes, allocated_before + 1);
     }

@@ -21,12 +21,7 @@ impl Manager {
         self.constrain_rec(f, c, &mut memo)
     }
 
-    fn constrain_rec(
-        &mut self,
-        f: Bdd,
-        c: Bdd,
-        memo: &mut FxHashMap<(u32, u32), u32>,
-    ) -> Bdd {
+    fn constrain_rec(&mut self, f: Bdd, c: Bdd, memo: &mut FxHashMap<(u32, u32), u32>) -> Bdd {
         if c.is_true() || f.is_const() {
             return f;
         }
@@ -62,12 +57,7 @@ impl Manager {
         self.restrict_rec(f, c, &mut memo)
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: Bdd,
-        c: Bdd,
-        memo: &mut FxHashMap<(u32, u32), u32>,
-    ) -> Bdd {
+    fn restrict_rec(&mut self, f: Bdd, c: Bdd, memo: &mut FxHashMap<(u32, u32), u32>) -> Bdd {
         if c.is_true() || f.is_const() {
             return f;
         }
@@ -197,9 +187,8 @@ mod tests {
                 let mut f = Bdd::FALSE;
                 for row in 0..16u64 {
                     if (bits >> row) & 1 == 1 {
-                        let lits: Vec<Bdd> = (0..4)
-                            .map(|i| m.literal(vs[i], (row >> i) & 1 == 1))
-                            .collect();
+                        let lits: Vec<Bdd> =
+                            (0..4).map(|i| m.literal(vs[i], (row >> i) & 1 == 1)).collect();
                         let cube = m.and_many(&lits);
                         f = m.or(f, cube);
                     }

@@ -1,134 +1,203 @@
 //! Memoized boolean connectives: `not`, `and`, `or`, `xor`, `ite`, and the
 //! derived operations (`implies`, `iff`, `diff`) the synthesizer uses.
+//!
+//! Every operation comes in two flavours: a fallible `try_*` variant that
+//! charges the installed [`crate::Budget`] one tick per recursive step and
+//! returns [`crate::BddError`] on exhaustion, and the classic infallible
+//! name, a thin wrapper that panics only if a budget is installed *and*
+//! exhausted (budgeted callers must use `try_*`).
 
+use crate::budget::{expect_budget, BddError};
 use crate::manager::{Bdd, BinOp, Manager};
 
 impl Manager {
     /// Negation `¬f`.
     pub fn not(&mut self, f: Bdd) -> Bdd {
+        expect_budget(self.try_not(f))
+    }
+
+    /// Fallible negation `¬f`.
+    pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, BddError> {
+        self.tick()?;
         if f.is_false() {
-            return Bdd::TRUE;
+            return Ok(Bdd::TRUE);
         }
         if f.is_true() {
-            return Bdd::FALSE;
+            return Ok(Bdd::FALSE);
         }
         if let Some(&r) = self.not_cache.get(&f.0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
         let n = self.node(f);
-        let lo = self.not(Bdd(n.lo));
-        let hi = self.not(Bdd(n.hi));
+        let lo = self.try_not(Bdd(n.lo))?;
+        let hi = self.try_not(Bdd(n.hi))?;
         let r = self.mk(n.var, lo, hi);
         self.not_cache.insert(f.0, r.0);
-        r
+        Ok(r)
     }
 
     /// Conjunction `f ∧ g`.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        expect_budget(self.try_and(f, g))
+    }
+
+    /// Fallible conjunction `f ∧ g`.
+    pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         self.apply_bin(BinOp::And, f, g)
     }
 
     /// Disjunction `f ∨ g`.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        expect_budget(self.try_or(f, g))
+    }
+
+    /// Fallible disjunction `f ∨ g`.
+    pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         self.apply_bin(BinOp::Or, f, g)
     }
 
     /// Exclusive or `f ⊕ g`.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        expect_budget(self.try_xor(f, g))
+    }
+
+    /// Fallible exclusive or `f ⊕ g`.
+    pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         self.apply_bin(BinOp::Xor, f, g)
     }
 
     /// Implication `f ⇒ g`, i.e. `¬f ∨ g`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let nf = self.not(f);
-        self.or(nf, g)
+        expect_budget(self.try_implies(f, g))
+    }
+
+    /// Fallible implication `f ⇒ g`.
+    pub fn try_implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        let nf = self.try_not(f)?;
+        self.try_or(nf, g)
     }
 
     /// Biconditional `f ⇔ g`, i.e. `¬(f ⊕ g)`.
     pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let x = self.xor(f, g);
-        self.not(x)
+        expect_budget(self.try_iff(f, g))
+    }
+
+    /// Fallible biconditional `f ⇔ g`.
+    pub fn try_iff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        let x = self.try_xor(f, g)?;
+        self.try_not(x)
     }
 
     /// Set difference `f ∧ ¬g` (reads naturally when BDDs denote state sets).
     pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.and(f, ng)
+        expect_budget(self.try_diff(f, g))
+    }
+
+    /// Fallible set difference `f ∧ ¬g`.
+    pub fn try_diff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        let ng = self.try_not(g)?;
+        self.try_and(f, ng)
     }
 
     /// Conjunction of a slice of functions (right fold; `true` for empty).
     pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        expect_budget(self.try_and_many(fs))
+    }
+
+    /// Fallible conjunction of a slice of functions.
+    pub fn try_and_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BddError> {
         let mut acc = Bdd::TRUE;
         for &f in fs {
-            acc = self.and(acc, f);
+            acc = self.try_and(acc, f)?;
             if acc.is_false() {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Disjunction of a slice of functions (`false` for empty).
     pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        expect_budget(self.try_or_many(fs))
+    }
+
+    /// Fallible disjunction of a slice of functions.
+    pub fn try_or_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BddError> {
         let mut acc = Bdd::FALSE;
         for &f in fs {
-            acc = self.or(acc, f);
+            acc = self.try_or(acc, f)?;
             if acc.is_true() {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// If-then-else `(f ∧ g) ∨ (¬f ∧ h)` — the universal ternary connective.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        expect_budget(self.try_ite(f, g, h))
+    }
+
+    /// Fallible if-then-else.
+    pub fn try_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddError> {
+        self.tick()?;
         // Terminal and absorption cases.
         if f.is_true() {
-            return g;
+            return Ok(g);
         }
         if f.is_false() {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g.is_true() && h.is_false() {
-            return f;
+            return Ok(f);
         }
         if g.is_false() && h.is_true() {
-            return self.not(f);
+            return self.try_not(f);
         }
         if f == g {
-            return self.or(f, h); // ite(f,f,h) = f ∨ h
+            return self.try_or(f, h); // ite(f,f,h) = f ∨ h
         }
         if f == h {
-            return self.and(f, g); // ite(f,g,f) = f ∧ g
+            return self.try_and(f, g); // ite(f,g,f) = f ∧ g
         }
         let key = (f.0, g.0, h.0);
         if let Some(&r) = self.ite_cache.get(&key) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
+        let lo = self.try_ite(f0, g0, h0)?;
+        let hi = self.try_ite(f1, g1, h1)?;
         let r = self.mk_level(top, lo, hi);
         self.ite_cache.insert(key, r.0);
-        r
+        Ok(r)
     }
 
     /// Does `f ⇒ g` hold for all assignments? (Set inclusion when BDDs
     /// denote sets.) Computed without materializing the implication.
     pub fn implies_holds(&mut self, f: Bdd, g: Bdd) -> bool {
-        self.diff(f, g).is_false()
+        expect_budget(self.try_implies_holds(f, g))
+    }
+
+    /// Fallible set-inclusion test.
+    pub fn try_implies_holds(&mut self, f: Bdd, g: Bdd) -> Result<bool, BddError> {
+        Ok(self.try_diff(f, g)?.is_false())
     }
 
     /// Do `f` and `g` share a satisfying assignment? (Set intersection
     /// non-emptiness.)
     pub fn intersects(&mut self, f: Bdd, g: Bdd) -> bool {
-        !self.and(f, g).is_false()
+        expect_budget(self.try_intersects(f, g))
+    }
+
+    /// Fallible intersection-non-emptiness test.
+    pub fn try_intersects(&mut self, f: Bdd, g: Bdd) -> Result<bool, BddError> {
+        Ok(!self.try_and(f, g)?.is_false())
     }
 
     /// Both cofactors of `f` with respect to the variable at `level`
@@ -143,52 +212,53 @@ impl Manager {
         }
     }
 
-    fn apply_bin(&mut self, op: BinOp, mut f: Bdd, mut g: Bdd) -> Bdd {
+    fn apply_bin(&mut self, op: BinOp, mut f: Bdd, mut g: Bdd) -> Result<Bdd, BddError> {
+        self.tick()?;
         // Terminal cases per operator.
         match op {
             BinOp::And => {
                 if f.is_false() || g.is_false() {
-                    return Bdd::FALSE;
+                    return Ok(Bdd::FALSE);
                 }
                 if f.is_true() {
-                    return g;
+                    return Ok(g);
                 }
                 if g.is_true() {
-                    return f;
+                    return Ok(f);
                 }
                 if f == g {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Or => {
                 if f.is_true() || g.is_true() {
-                    return Bdd::TRUE;
+                    return Ok(Bdd::TRUE);
                 }
                 if f.is_false() {
-                    return g;
+                    return Ok(g);
                 }
                 if g.is_false() {
-                    return f;
+                    return Ok(f);
                 }
                 if f == g {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Xor => {
                 if f == g {
-                    return Bdd::FALSE;
+                    return Ok(Bdd::FALSE);
                 }
                 if f.is_false() {
-                    return g;
+                    return Ok(g);
                 }
                 if g.is_false() {
-                    return f;
+                    return Ok(f);
                 }
                 if f.is_true() {
-                    return self.not(g);
+                    return self.try_not(g);
                 }
                 if g.is_true() {
-                    return self.not(f);
+                    return self.try_not(f);
                 }
             }
         }
@@ -198,16 +268,16 @@ impl Manager {
         }
         let key = (op, f.0, g.0);
         if let Some(&r) = self.bin_cache.get(&key) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
         let top = self.level(f).min(self.level(g));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
-        let lo = self.apply_bin(op, f0, g0);
-        let hi = self.apply_bin(op, f1, g1);
+        let lo = self.apply_bin(op, f0, g0)?;
+        let hi = self.apply_bin(op, f1, g1)?;
         let r = self.mk_level(top, lo, hi);
         self.bin_cache.insert(key, r.0);
-        r
+        Ok(r)
     }
 }
 

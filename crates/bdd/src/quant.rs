@@ -4,25 +4,41 @@
 //! `∃V. f ∧ g` without materializing the conjunction — the workhorse of
 //! symbolic image/preimage computation (CUDD calls it `bddAndAbstract`).
 
+use crate::budget::{expect_budget, BddError};
 use crate::manager::{Bdd, Manager};
 use crate::varset::VarSetId;
 
 impl Manager {
     /// Existential quantification `∃ vars. f`.
     pub fn exists(&mut self, f: Bdd, vars: VarSetId) -> Bdd {
+        expect_budget(self.try_exists(f, vars))
+    }
+
+    /// Fallible existential quantification `∃ vars. f`.
+    pub fn try_exists(&mut self, f: Bdd, vars: VarSetId) -> Result<Bdd, BddError> {
         self.check_varset(vars);
         self.exists_rec(f, vars, 0)
     }
 
     /// Universal quantification `∀ vars. f = ¬∃ vars. ¬f`.
     pub fn forall(&mut self, f: Bdd, vars: VarSetId) -> Bdd {
-        let nf = self.not(f);
-        let e = self.exists(nf, vars);
-        self.not(e)
+        expect_budget(self.try_forall(f, vars))
+    }
+
+    /// Fallible universal quantification.
+    pub fn try_forall(&mut self, f: Bdd, vars: VarSetId) -> Result<Bdd, BddError> {
+        let nf = self.try_not(f)?;
+        let e = self.try_exists(nf, vars)?;
+        self.try_not(e)
     }
 
     /// The relational product `∃ vars. f ∧ g`.
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: VarSetId) -> Bdd {
+        expect_budget(self.try_and_exists(f, g, vars))
+    }
+
+    /// Fallible relational product `∃ vars. f ∧ g`.
+    pub fn try_and_exists(&mut self, f: Bdd, g: Bdd, vars: VarSetId) -> Result<Bdd, BddError> {
         self.check_varset(vars);
         self.and_exists_rec(f, g, vars, 0)
     }
@@ -31,9 +47,10 @@ impl Manager {
     /// of `vars` and only ever moves forward; the memo key is `(f, vars)`
     /// because levels before the cursor are guaranteed to be above `f`'s
     /// top level, hence irrelevant to the result.
-    fn exists_rec(&mut self, f: Bdd, vars: VarSetId, mut cursor: usize) -> Bdd {
+    fn exists_rec(&mut self, f: Bdd, vars: VarSetId, mut cursor: usize) -> Result<Bdd, BddError> {
+        self.tick()?;
         if f.is_const() {
-            return f;
+            return Ok(f);
         }
         let top = self.level(f);
         let levels = &self.varsets[vars.idx as usize];
@@ -41,34 +58,41 @@ impl Manager {
             cursor += 1;
         }
         if cursor == levels.len() {
-            return f; // no quantified variable occurs in f
+            return Ok(f); // no quantified variable occurs in f
         }
         let key = (f.0, vars.idx);
         if let Some(&r) = self.exists_cache.get(&key) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
         let quantify_here = self.varsets[vars.idx as usize][cursor] == top;
         let n = self.node(f);
         let r = if quantify_here {
-            let lo = self.exists_rec(Bdd(n.lo), vars, cursor + 1);
+            let lo = self.exists_rec(Bdd(n.lo), vars, cursor + 1)?;
             if lo.is_true() {
                 Bdd::TRUE
             } else {
-                let hi = self.exists_rec(Bdd(n.hi), vars, cursor + 1);
-                self.or(lo, hi)
+                let hi = self.exists_rec(Bdd(n.hi), vars, cursor + 1)?;
+                self.try_or(lo, hi)?
             }
         } else {
-            let lo = self.exists_rec(Bdd(n.lo), vars, cursor);
-            let hi = self.exists_rec(Bdd(n.hi), vars, cursor);
+            let lo = self.exists_rec(Bdd(n.lo), vars, cursor)?;
+            let hi = self.exists_rec(Bdd(n.hi), vars, cursor)?;
             self.mk_level(top, lo, hi)
         };
         self.exists_cache.insert(key, r.0);
-        r
+        Ok(r)
     }
 
-    fn and_exists_rec(&mut self, mut f: Bdd, mut g: Bdd, vars: VarSetId, mut cursor: usize) -> Bdd {
+    fn and_exists_rec(
+        &mut self,
+        mut f: Bdd,
+        mut g: Bdd,
+        vars: VarSetId,
+        mut cursor: usize,
+    ) -> Result<Bdd, BddError> {
+        self.tick()?;
         if f.is_false() || g.is_false() {
-            return Bdd::FALSE;
+            return Ok(Bdd::FALSE);
         }
         if f.is_true() {
             return self.exists_rec(g, vars, cursor);
@@ -88,31 +112,31 @@ impl Manager {
             }
             if cursor == levels.len() {
                 // No quantified variable remains in either operand.
-                return self.and(f, g);
+                return self.try_and(f, g);
             }
         }
         let key = (f.0, g.0, vars.idx);
         if let Some(&r) = self.and_exists_cache.get(&key) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
         let quantify_here = self.varsets[vars.idx as usize][cursor] == top;
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let r = if quantify_here {
-            let lo = self.and_exists_rec(f0, g0, vars, cursor + 1);
+            let lo = self.and_exists_rec(f0, g0, vars, cursor + 1)?;
             if lo.is_true() {
                 Bdd::TRUE
             } else {
-                let hi = self.and_exists_rec(f1, g1, vars, cursor + 1);
-                self.or(lo, hi)
+                let hi = self.and_exists_rec(f1, g1, vars, cursor + 1)?;
+                self.try_or(lo, hi)?
             }
         } else {
-            let lo = self.and_exists_rec(f0, g0, vars, cursor);
-            let hi = self.and_exists_rec(f1, g1, vars, cursor);
+            let lo = self.and_exists_rec(f0, g0, vars, cursor)?;
+            let hi = self.and_exists_rec(f1, g1, vars, cursor)?;
             self.mk_level(top, lo, hi)
         };
         self.and_exists_cache.insert(key, r.0);
-        r
+        Ok(r)
     }
 }
 

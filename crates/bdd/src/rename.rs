@@ -29,8 +29,10 @@ impl Manager {
     /// structural recursion in [`Manager::rename`] sound. Violations panic.
     pub fn rename_map(&mut self, pairs: &[(VarId, VarId)]) -> RenameId {
         // Validate monotonicity under the current order.
-        let mut by_level: Vec<(u32, u32)> =
-            pairs.iter().map(|&(a, b)| (self.perm[a.0 as usize], self.perm[b.0 as usize])).collect();
+        let mut by_level: Vec<(u32, u32)> = pairs
+            .iter()
+            .map(|&(a, b)| (self.perm[a.0 as usize], self.perm[b.0 as usize]))
+            .collect();
         by_level.sort_unstable();
         for w in by_level.windows(2) {
             assert!(w[0].0 < w[1].0, "duplicate source variable in rename map");
@@ -73,29 +75,35 @@ impl Manager {
     /// `f`'s support must be order-preserving; the debug-mode order check
     /// in the node constructor catches violations.
     pub fn rename(&mut self, f: Bdd, map: RenameId) -> Bdd {
+        crate::budget::expect_budget(self.try_rename(f, map))
+    }
+
+    /// Fallible variant of [`Manager::rename`].
+    pub fn try_rename(&mut self, f: Bdd, map: RenameId) -> Result<Bdd, crate::BddError> {
         self.check_rename(map);
         self.rename_rec(f, map)
     }
 
-    fn rename_rec(&mut self, f: Bdd, map: RenameId) -> Bdd {
+    fn rename_rec(&mut self, f: Bdd, map: RenameId) -> Result<Bdd, crate::BddError> {
+        self.tick()?;
         if f.is_const() {
-            return f;
+            return Ok(f);
         }
         let key = (f.0, map.idx);
         if let Some(&r) = self.rename_cache.get(&key) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
         let n = self.node(f);
-        let lo = self.rename_rec(Bdd(n.lo), map);
-        let hi = self.rename_rec(Bdd(n.hi), map);
-        let new_var =
-            match self.renames[map.idx as usize].binary_search_by_key(&n.var, |&(a, _)| a) {
-                Ok(i) => self.renames[map.idx as usize][i].1,
-                Err(_) => n.var,
-            };
+        let lo = self.rename_rec(Bdd(n.lo), map)?;
+        let hi = self.rename_rec(Bdd(n.hi), map)?;
+        let new_var = match self.renames[map.idx as usize].binary_search_by_key(&n.var, |&(a, _)| a)
+        {
+            Ok(i) => self.renames[map.idx as usize][i].1,
+            Err(_) => n.var,
+        };
         let r = self.mk(new_var, lo, hi);
         self.rename_cache.insert(key, r.0);
-        r
+        Ok(r)
     }
 }
 

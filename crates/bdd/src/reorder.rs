@@ -104,15 +104,12 @@ impl Manager {
             // standard heuristic: big levels first.
             let mut occupancy: Vec<(usize, VarId)> = (0..n)
                 .map(|v| {
-                    let count = self
-                        .unique
-                        .keys()
-                        .filter(|&&(var, _, _)| var as usize == v)
-                        .count();
+                    let count =
+                        self.unique.keys().filter(|&&(var, _, _)| var as usize == v).count();
                     (count, VarId(v as u32))
                 })
                 .collect();
-            occupancy.sort_by(|a, b| b.0.cmp(&a.0));
+            occupancy.sort_by_key(|e| std::cmp::Reverse(e.0));
             for (_, v) in occupancy {
                 self.sift_one(v, roots);
             }
@@ -167,6 +164,124 @@ impl Manager {
             level += 1;
         }
         debug_assert_eq!(self.perm[v.0 as usize], best_level);
+    }
+
+    /// Sift *pairs* of variables as indivisible 2-blocks, preserving the
+    /// interleaved `(current, primed)` layout the symbolic engine relies
+    /// on. Used by the budget degradation path ([`Manager::enforce_node_budget`])
+    /// because — unlike [`Manager::sift`] — it does **not** bump the reorder
+    /// generation: within-pair adjacency is maintained, so interned rename
+    /// maps (keyed by variable id) stay strictly monotone, and interned
+    /// varsets are remapped in place to their new level lists under the
+    /// same ids.
+    ///
+    /// `pairs` must tile the whole order as adjacent `(cur, primed)`
+    /// blocks with `cur` at an even level; if they do not (or there are
+    /// fewer than two blocks) the call is a no-op. Returns
+    /// `(nodes_before, nodes_after)` over the root cones.
+    pub fn sift_pairs(&mut self, pairs: &[(VarId, VarId)], roots: &[Bdd]) -> (usize, usize) {
+        self.gc(roots);
+        let before = self.node_count_many(roots);
+        let n = self.perm.len();
+        let tiles = n.is_multiple_of(2)
+            && pairs.len() * 2 == n
+            && pairs.iter().all(|&(c, p)| {
+                let lc = self.perm[c.0 as usize];
+                lc.is_multiple_of(2) && self.perm[p.0 as usize] == lc + 1
+            });
+        if !tiles || pairs.len() < 2 {
+            return (before, before);
+        }
+        // Varset ids survive this reordering: snapshot each interned level
+        // list as variable ids now, rewrite to the new levels afterwards.
+        let saved_varsets: Vec<Vec<u32>> = self
+            .varsets
+            .iter()
+            .map(|levels| levels.iter().map(|&l| self.invperm[l as usize]).collect())
+            .collect();
+
+        let nblocks = pairs.len();
+        let mut occupancy: Vec<(usize, VarId, VarId)> = pairs
+            .iter()
+            .map(|&(c, p)| {
+                let count =
+                    self.unique.keys().filter(|&&(var, _, _)| var == c.0 || var == p.0).count();
+                (count, c, p)
+            })
+            .collect();
+        occupancy.sort_by_key(|e| std::cmp::Reverse(e.0));
+        for (_, c, p) in occupancy {
+            self.sift_block(c, p, nblocks, roots);
+        }
+
+        // Rewrite the interned varsets to their level lists under the new
+        // order; indices (and thus outstanding `VarSetId`s) are unchanged,
+        // which is why the generation is *not* bumped.
+        for (idx, vars) in saved_varsets.iter().enumerate() {
+            let mut levels: Vec<u32> = vars.iter().map(|&v| self.perm[v as usize]).collect();
+            levels.sort_unstable();
+            self.varsets[idx] = levels;
+        }
+        self.varset_ids.clear();
+        for (idx, levels) in self.varsets.iter().enumerate() {
+            self.varset_ids.insert(levels.clone(), idx as u32);
+        }
+        self.clear_op_caches();
+        self.gc(roots);
+        (before, self.node_count_many(roots))
+    }
+
+    /// Exchange the adjacent 2-blocks at levels `[2k, 2k+1]` and
+    /// `[2k+2, 2k+3]` with four adjacent swaps; both blocks keep their
+    /// internal (cur, primed) order.
+    fn exchange_blocks(&mut self, k: usize) {
+        let l = 2 * k as u32;
+        // [x0 x1 y0 y1] → [x0 y0 x1 y1] → [y0 x0 x1 y1]
+        //              → [y0 x0 y1 x1] → [y0 y1 x0 x1]
+        self.swap_adjacent(l + 1);
+        self.swap_adjacent(l);
+        self.swap_adjacent(l + 2);
+        self.swap_adjacent(l + 1);
+    }
+
+    /// Sift one (cur, primed) block to the position minimizing the
+    /// root-cone size, mirroring [`Manager::sift_one`] at block
+    /// granularity.
+    fn sift_block(&mut self, c: VarId, p: VarId, nblocks: usize, roots: &[Bdd]) {
+        self.gc(roots);
+        let start_block = (self.perm[c.0 as usize] / 2) as usize;
+        let mut best_size = self.node_count_many(roots);
+        let mut best_block = start_block;
+        // Phase 1: sink to the bottom.
+        let mut block = start_block;
+        while block + 1 < nblocks {
+            self.exchange_blocks(block);
+            block += 1;
+            let size = self.node_count_many(roots);
+            if size < best_size {
+                best_size = size;
+                best_block = block;
+            }
+        }
+        self.gc(roots);
+        // Phase 2: float to the top.
+        while block > 0 {
+            self.exchange_blocks(block - 1);
+            block -= 1;
+            let size = self.node_count_many(roots);
+            if size < best_size {
+                best_size = size;
+                best_block = block;
+            }
+        }
+        self.gc(roots);
+        // Phase 3: descend to the best position seen.
+        while block < best_block {
+            self.exchange_blocks(block);
+            block += 1;
+        }
+        debug_assert_eq!(self.perm[c.0 as usize] as usize, 2 * best_block);
+        debug_assert_eq!(self.perm[p.0 as usize] as usize, 2 * best_block + 1);
     }
 
     /// Deterministically restore or impose a target variable order (e.g.
@@ -242,9 +357,8 @@ mod tests {
         let mut f = Bdd::FALSE;
         for row in 0..32u32 {
             if (table >> row) & 1 == 1 {
-                let lits: Vec<Bdd> = (0..5)
-                    .map(|i| m.literal(vars[i], (row >> i) & 1 == 1))
-                    .collect();
+                let lits: Vec<Bdd> =
+                    (0..5).map(|i| m.literal(vars[i], (row >> i) & 1 == 1)).collect();
                 let cube = m.and_many(&lits);
                 f = m.or(f, cube);
             }
@@ -359,6 +473,56 @@ mod tests {
         let e = m.exists(f, fresh);
         let b = m.var(vars[2]);
         assert_eq!(e, b);
+    }
+
+    #[test]
+    fn sift_pairs_preserves_varsets_and_renames() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(8); // four interleaved (cur, primed) pairs
+        let pairs: Vec<(VarId, VarId)> = (0..4).map(|i| (vs[2 * i], vs[2 * i + 1])).collect();
+        let cur: Vec<Bdd> = (0..4).map(|i| m.var(vs[2 * i])).collect();
+        // Pairs of *blocks* maximally separated: (c0 ∧ c2) ∨ (c1 ∧ c3).
+        let f = {
+            let a = m.and(cur[0], cur[2]);
+            let b = m.and(cur[1], cur[3]);
+            m.or(a, b)
+        };
+        let primed_set = m.varset(&[vs[1], vs[3], vs[5], vs[7]]);
+        let to_primed =
+            m.rename_map(&[(vs[0], vs[1]), (vs[2], vs[3]), (vs[4], vs[5]), (vs[6], vs[7])]);
+        let fp_before = m.rename(f, to_primed);
+        let back_before = m.exists(fp_before, primed_set);
+        assert!(back_before.is_true());
+
+        let (before, after) = m.sift_pairs(&pairs, &[f, fp_before]);
+        assert!(after <= before);
+        assert!(m.check_order_invariant());
+        // The pair layout is intact...
+        for &(c, p) in &pairs {
+            let lc = m.perm[c.0 as usize];
+            assert_eq!(lc % 2, 0);
+            assert_eq!(m.perm[p.0 as usize], lc + 1);
+        }
+        // ...and the *same* interned ids still work and agree.
+        let fp_after = m.rename(f, to_primed);
+        assert_eq!(fp_after, fp_before);
+        assert!(m.exists(fp_after, primed_set).is_true());
+    }
+
+    #[test]
+    fn sift_pairs_rejects_non_tiling_pairs() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(6);
+        let a = m.var(vs[0]);
+        let b = m.var(vs[2]);
+        let f = m.and(a, b);
+        m.gc(&[f]);
+        let live = m.node_count_many(&[f]);
+        // Swapped (primed, cur) pairs do not tile the order: no-op.
+        let bad: Vec<(VarId, VarId)> = (0..3).map(|i| (vs[2 * i + 1], vs[2 * i])).collect();
+        assert_eq!(m.sift_pairs(&bad, &[f]), (live, live));
+        // Too few pairs: no-op as well.
+        assert_eq!(m.sift_pairs(&[(vs[0], vs[1])], &[f]), (live, live));
     }
 
     #[test]

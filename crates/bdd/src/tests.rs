@@ -5,9 +5,7 @@ use crate::{Bdd, Manager, VarId};
 
 /// Build every assignment of `n` variables.
 fn assignments(n: usize) -> Vec<Vec<bool>> {
-    (0..1usize << n)
-        .map(|bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect())
-        .collect()
+    (0..1usize << n).map(|bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect()).collect()
 }
 
 /// A tiny random-expression generator (deterministic, seedless LCG) used to
@@ -22,14 +20,11 @@ impl Lcg {
     }
 }
 
+type BoolOracle = Box<dyn Fn(&[bool]) -> bool>;
+
 /// Evaluate the same random expression with BDDs and with plain bools.
-fn random_expr(
-    m: &mut Manager,
-    vars: &[VarId],
-    rng: &mut Lcg,
-    depth: u32,
-) -> (Bdd, Box<dyn Fn(&[bool]) -> bool>) {
-    if depth == 0 || rng.next() % 4 == 0 {
+fn random_expr(m: &mut Manager, vars: &[VarId], rng: &mut Lcg, depth: u32) -> (Bdd, BoolOracle) {
+    if depth == 0 || rng.next().is_multiple_of(4) {
         let i = (rng.next() as usize) % vars.len();
         let v = vars[i];
         return (m.var(v), Box::new(move |a: &[bool]| a[v.0 as usize]));
@@ -58,10 +53,7 @@ fn random_expr(
             let (f, ef) = random_expr(m, vars, rng, depth - 1);
             let (g, eg) = random_expr(m, vars, rng, depth - 1);
             let (h, eh) = random_expr(m, vars, rng, depth - 1);
-            (
-                m.ite(f, g, h),
-                Box::new(move |a: &[bool]| if ef(a) { eg(a) } else { eh(a) }),
-            )
+            (m.ite(f, g, h), Box::new(move |a: &[bool]| if ef(a) { eg(a) } else { eh(a) }))
         }
     }
 }
@@ -74,11 +66,7 @@ fn fuzz_algebra_against_truth_tables() {
         let vars = m.new_vars(5);
         let (f, oracle) = random_expr(&mut m, &vars, &mut rng, 5);
         for asg in assignments(5) {
-            assert_eq!(
-                m.eval(f, &asg),
-                oracle(&asg),
-                "round {round}: mismatch at {asg:?}"
-            );
+            assert_eq!(m.eval(f, &asg), oracle(&asg), "round {round}: mismatch at {asg:?}");
         }
         // Canonicity: rebuilding from cubes gives the identical handle.
         let cubes: Vec<_> = m.cubes(f).collect();
@@ -125,11 +113,7 @@ fn fuzz_and_exists_is_fused_correctly() {
         let vars = m.new_vars(5);
         let (f, _) = random_expr(&mut m, &vars, &mut rng, 4);
         let (g, _) = random_expr(&mut m, &vars, &mut rng, 4);
-        let q: Vec<VarId> = vars
-            .iter()
-            .copied()
-            .filter(|_| rng.next() % 2 == 0)
-            .collect();
+        let q: Vec<VarId> = vars.iter().copied().filter(|_| rng.next().is_multiple_of(2)).collect();
         let set = m.varset(&q);
         let fused = m.and_exists(f, g, set);
         let plain = {

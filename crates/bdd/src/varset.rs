@@ -56,10 +56,7 @@ impl Manager {
     /// The members of an interned set as [`VarId`]s.
     pub fn varset_vars(&self, id: VarSetId) -> Vec<VarId> {
         self.check_varset(id);
-        self.varsets[id.idx as usize]
-            .iter()
-            .map(|&l| VarId(self.invperm[l as usize]))
-            .collect()
+        self.varsets[id.idx as usize].iter().map(|&l| VarId(self.invperm[l as usize])).collect()
     }
 }
 

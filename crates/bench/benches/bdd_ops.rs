@@ -3,8 +3,8 @@
 //! image/preimage steps, and garbage collection — the operations whose
 //! cost §VII attributes the tool's bottlenecks to.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stsyn_cases::{coloring, dijkstra_token_ring};
 use stsyn_symbolic::SymbolicContext;
 

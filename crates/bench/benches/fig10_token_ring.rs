@@ -2,8 +2,8 @@
 //! ring at fixed domain size |D| = 4, growing the process count — the
 //! paper's least scalable case study (cycle resolution over large groups).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stsyn_cases::token_ring;
 use stsyn_core::{AddConvergence, Options};
 

@@ -4,8 +4,8 @@
 //! bench covers the statistically repeatable prefix — run
 //! `reproduce fig6` for the full single-shot sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stsyn_cases::matching;
 use stsyn_core::{AddConvergence, Options};
 

@@ -2,8 +2,8 @@
 //! the ring grows. The locally-correctable structure keeps SCC time at
 //! zero; the full sweep to K = 40 lives in `reproduce fig8`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stsyn_cases::coloring;
 use stsyn_core::{AddConvergence, Options};
 

@@ -3,8 +3,8 @@
 //! conditions balloon; sifting should restore most of the interleaved
 //! order's compactness without being told anything about the protocol.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, Criterion};
 use stsyn_cases::dijkstra_token_ring;
 use stsyn_symbolic::{SymbolicContext, VarOrder};
 

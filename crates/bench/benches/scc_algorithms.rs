@@ -4,8 +4,8 @@
 //! The paper uses the Gentilini skeleton algorithm; this bench justifies
 //! that default.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stsyn_cases::gouda_acharya_matching;
 use stsyn_symbolic::scc::{scc_decomposition, SccAlgorithm};
 use stsyn_symbolic::SymbolicContext;

@@ -4,8 +4,8 @@
 //! starts paying for itself (the paper's 3^40-state coloring instance is
 //! far beyond any explicit enumeration).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stsyn_cases::{dijkstra_token_ring, matching};
 use stsyn_protocol::explicit::{check_convergence, predicate_states, ExplicitGraph};
 use stsyn_symbolic::check::strong_convergence;

@@ -6,8 +6,8 @@
 //! unwritten `v`) linear, while the blocked order makes each conjunct
 //! span the entire order.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use stsyn_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stsyn_cases::dijkstra_token_ring;
 use stsyn_symbolic::{SymbolicContext, VarOrder};
 
@@ -36,9 +36,7 @@ fn bench_variable_order(c: &mut Criterion) {
 fn bench_order_image(c: &mut Criterion) {
     let mut group = c.benchmark_group("variable_order_preimage");
     group.sample_size(10);
-    for (label, order) in
-        [("interleaved", VarOrder::Interleaved), ("blocked", VarOrder::Blocked)]
-    {
+    for (label, order) in [("interleaved", VarOrder::Interleaved), ("blocked", VarOrder::Blocked)] {
         group.bench_function(label, |b| {
             let (p, i_expr) = dijkstra_token_ring(6, 4);
             let mut ctx = SymbolicContext::with_order(p, order);

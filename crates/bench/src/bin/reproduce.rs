@@ -19,17 +19,27 @@ fn main() {
     let mut wanted: BTreeSet<String> =
         args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if wanted.is_empty() || wanted.contains("all") {
-        wanted = ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tr2",
-                  "domains", "schedules"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        wanted = [
+            "table1",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "tr2",
+            "domains",
+            "schedules",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
     std::fs::create_dir_all("results").expect("create results dir");
 
     if wanted.contains("table1") {
         println!("== Table 1 (Fig. 5): Local Correctability of Case Studies ==\n");
-        println!("{:<18} {:<24} {:<10} {}", "Case Study", "Instance", "Locally", "Analyzer verdict");
+        println!("{:<18} {:<24} {:<10} Analyzer verdict", "Case Study", "Instance", "Locally");
         println!("{:<18} {:<24} {:<10}", "", "", "Correctable");
         let rows = table1_local_correctability();
         for r in &rows {
@@ -41,10 +51,8 @@ fn main() {
                 r.verdict
             );
         }
-        let json: Vec<String> = rows
-            .iter()
-            .map(|r| format!("{}: {}", r.case_study, r.locally_correctable))
-            .collect();
+        let json: Vec<String> =
+            rows.iter().map(|r| format!("{}: {}", r.case_study, r.locally_correctable)).collect();
         std::fs::write("results/table1.txt", json.join("\n")).unwrap();
         println!();
     }
@@ -68,7 +76,10 @@ fn main() {
         eprintln!("running coloring sweep K = {ks:?} (paper: 5..=40 step 5)…");
         let rows = coloring_sweep(&ks);
         if wanted.contains("fig8") {
-            println!("{}", format_time_figure("== Fig. 8: Execution Times for 3-Coloring ==", &rows));
+            println!(
+                "{}",
+                format_time_figure("== Fig. 8: Execution Times for 3-Coloring ==", &rows)
+            );
         }
         if wanted.contains("fig9") {
             println!("{}", format_space_figure("== Fig. 9: Memory Usage for 3-Coloring ==", &rows));
@@ -113,9 +124,15 @@ fn main() {
         eprintln!("running domain sweep: token ring n = 4, |D| = {ds:?}…");
         let rows = domain_sweep(4, &ds);
         println!("== Supplementary: effect of domain size (token ring, n = 4) ==");
-        println!("{:>8} {:>14} {:>14} {:>14} {:>10}", "|D|", "SCC (s)", "total (s)", "program", "verified");
+        println!(
+            "{:>8} {:>14} {:>14} {:>14} {:>10}",
+            "|D|", "SCC (s)", "total (s)", "program", "verified"
+        );
         for (d, r) in ds.iter().zip(&rows) {
-            println!("{:>8} {:>14.4} {:>14.4} {:>14} {:>10}", d, r.scc_secs, r.total_secs, r.program_nodes, r.verified);
+            println!(
+                "{:>8} {:>14.4} {:>14.4} {:>14} {:>10}",
+                d, r.scc_secs, r.total_secs, r.program_nodes, r.verified
+            );
         }
         println!();
         std::fs::write("results/domains.csv", rows_to_csv(&rows)).unwrap();
@@ -126,7 +143,10 @@ fn main() {
         eprintln!("running schedule sweep: matching({k}), all {k} rotations…");
         let rows = schedule_sweep_matching(k);
         println!("== Supplementary: effect of the recovery schedule (matching, K = {k}) ==");
-        println!("{:<30} {:>8} {:>12} {:>8} {:>6} {:>8}", "schedule", "success", "total (s)", "groups", "pass", "SCCs");
+        println!(
+            "{:<30} {:>8} {:>12} {:>8} {:>6} {:>8}",
+            "schedule", "success", "total (s)", "groups", "pass", "SCCs"
+        );
         for r in &rows {
             println!(
                 "{:<30} {:>8} {:>12.4} {:>8} {:>6} {:>8}",

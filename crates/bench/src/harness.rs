@@ -1,0 +1,187 @@
+//! A minimal, dependency-free micro-benchmark harness with a
+//! criterion-compatible surface.
+//!
+//! The workspace must build and run offline, so the external `criterion`
+//! crate is not available. The `benches/*.rs` targets only use a narrow
+//! slice of its API — `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`
+//! and the `criterion_group!`/`criterion_main!` macros — which this module
+//! reimplements with the same shapes, so the bench files read exactly like
+//! standard criterion benchmarks.
+//!
+//! Measurement model: one untimed warm-up call, then `sample_size` timed
+//! calls per benchmark; minimum / median / mean wall times are printed.
+//! This is deliberately simpler than criterion (no outlier analysis, no
+//! iteration batching) but is stable enough for the coarse, multi-ms
+//! synthesis workloads benchmarked here.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to every registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), sample_size: 20 }
+    }
+}
+
+/// A named benchmark identifier, `function/parameter` style.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and a sample count.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b.times);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b, input);
+        report(&self.name, &id.label, &b.times);
+        self
+    }
+
+    /// End the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples of one routine.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: one untimed warm-up call, then `sample_size` timed
+    /// calls. The routine's output is passed through [`std::hint::black_box`]
+    /// so the optimizer cannot delete the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, label: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{group}/{label}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{group}/{label}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Register benchmark functions under a group name, criterion style:
+/// `criterion_group!(benches, bench_a, bench_b);` defines `fn benches()`
+/// that runs each function with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main()` running the given groups, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly a filter); this
+            // harness runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("harness_smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| b.iter(|| n * n));
+        group.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &n| b.iter(|| n + n));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_collects_samples() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("img", 4).to_string(), "img/4");
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+    }
+}

@@ -24,7 +24,8 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod harness;
+
 use std::fmt::Write as _;
 use stsyn_cases::{coloring, matching, token_ring, two_ring};
 use stsyn_core::analysis::{local_correctability, LocalCorrectability};
@@ -32,7 +33,7 @@ use stsyn_core::{AddConvergence, Options};
 
 /// One synthesis run's measurements — a point on every series of one
 /// figure pair.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Number of processes.
     pub processes: usize,
@@ -136,7 +137,7 @@ pub fn domain_sweep(n: usize, ds: &[u32]) -> Vec<Row> {
 }
 
 /// One schedule-exploration measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduleRow {
     /// The schedule, in the paper's `(P1, P2, …)` notation.
     pub schedule: String,
@@ -189,8 +190,10 @@ pub fn schedule_sweep_matching(k: usize) -> Vec<ScheduleRow> {
 
 /// Render schedule rows as CSV.
 pub fn schedule_rows_to_csv(rows: &[ScheduleRow]) -> String {
-    let mut out = String::from("schedule,success,total_secs,groups_added,pass,sccs
-");
+    let mut out = String::from(
+        "schedule,success,total_secs,groups_added,pass,sccs
+",
+    );
     for r in rows {
         let _ = writeln!(
             out,
@@ -202,7 +205,7 @@ pub fn schedule_rows_to_csv(rows: &[ScheduleRow]) -> String {
 }
 
 /// One row of the paper's case-study table (Fig. 5).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CorrectabilityRow {
     /// Case-study name as in the paper.
     pub case_study: &'static str,

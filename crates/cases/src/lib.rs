@@ -28,7 +28,7 @@ pub mod token_ring;
 pub mod two_ring;
 
 pub use coloring::coloring;
-pub use mis::mis;
 pub use matching::{gouda_acharya_matching, matching, MATCH_LEFT, MATCH_RIGHT, MATCH_SELF};
+pub use mis::mis;
 pub use token_ring::{dijkstra_token_ring, token_ring};
 pub use two_ring::two_ring;

@@ -31,9 +31,8 @@ pub const MATCH_SELF: u32 = 2;
 
 fn ring_topology(k: usize) -> (Vec<VarDecl>, Vec<ProcessDecl>) {
     assert!(k >= 3, "matching ring needs at least three processes");
-    let vars: Vec<VarDecl> = (0..k)
-        .map(|i| VarDecl::with_names(format!("m{i}"), &["left", "right", "self"]))
-        .collect();
+    let vars: Vec<VarDecl> =
+        (0..k).map(|i| VarDecl::with_names(format!("m{i}"), &["left", "right", "self"])).collect();
     let procs: Vec<ProcessDecl> = (0..k)
         .map(|i| {
             let left = (i + k - 1) % k;
@@ -58,9 +57,8 @@ pub fn local_conjunct(k: usize, i: usize) -> Expr {
     Expr::conj(vec![
         m(i).eq(lit(MATCH_LEFT)).implies(m(left).eq(lit(MATCH_RIGHT))),
         m(i).eq(lit(MATCH_RIGHT)).implies(m(right).eq(lit(MATCH_LEFT))),
-        m(i).eq(lit(MATCH_SELF)).implies(
-            m(left).eq(lit(MATCH_LEFT)).and(m(right).eq(lit(MATCH_RIGHT))),
-        ),
+        m(i).eq(lit(MATCH_SELF))
+            .implies(m(left).eq(lit(MATCH_LEFT)).and(m(right).eq(lit(MATCH_RIGHT)))),
     ])
 }
 

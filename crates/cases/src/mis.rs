@@ -24,12 +24,10 @@ pub fn local_conjunct(k: usize, i: usize) -> Expr {
     let x = |j: usize| Expr::var(VarIdx(j % k));
     let left = (i + k - 1) % k;
     let right = (i + 1) % k;
-    let independent = x(i)
-        .eq(Expr::int(1))
-        .implies(x(left).eq(Expr::int(0)).and(x(right).eq(Expr::int(0))));
-    let maximal = x(i)
-        .eq(Expr::int(0))
-        .implies(x(left).eq(Expr::int(1)).or(x(right).eq(Expr::int(1))));
+    let independent =
+        x(i).eq(Expr::int(1)).implies(x(left).eq(Expr::int(0)).and(x(right).eq(Expr::int(0))));
+    let maximal =
+        x(i).eq(Expr::int(0)).implies(x(left).eq(Expr::int(1)).or(x(right).eq(Expr::int(1))));
     independent.and(maximal)
 }
 

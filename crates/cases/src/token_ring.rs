@@ -57,11 +57,7 @@ pub fn token(n: usize, d: u32, j: usize) -> Expr {
 pub fn legitimate(n: usize, d: u32) -> Expr {
     let x = |i: usize| Expr::var(VarIdx(i));
     let eq_run = |range: std::ops::Range<usize>| -> Vec<Expr> {
-        range
-            .clone()
-            .zip(range.skip(1))
-            .map(|(i, j)| x(i).eq(x(j)))
-            .collect()
+        range.clone().zip(range.skip(1)).map(|(i, j)| x(i).eq(x(j))).collect()
     };
     let mut disj = Vec::new();
     // Token at P0: all equal.
@@ -85,15 +81,9 @@ pub fn token_ring(n: usize, d: u32) -> (Protocol, Expr) {
     for j in 0..n {
         let prev = (j + n - 1) % n;
         let (guard, rhs) = if j == 0 {
-            (
-                x(0).eq(x(prev)),
-                x(prev).add(Expr::int(1)).modulo(Expr::int(d as i64)),
-            )
+            (x(0).eq(x(prev)), x(prev).add(Expr::int(1)).modulo(Expr::int(d as i64)))
         } else {
-            (
-                x(j).add(Expr::int(1)).modulo(Expr::int(d as i64)).eq(x(prev)),
-                x(prev),
-            )
+            (x(j).add(Expr::int(1)).modulo(Expr::int(d as i64)).eq(x(prev)), x(prev))
         };
         actions.push(Action::labeled(format!("A{j}"), ProcIdx(j), guard, vec![(VarIdx(j), rhs)]));
     }
@@ -112,10 +102,7 @@ pub fn dijkstra_token_ring(n: usize, d: u32) -> (Protocol, Expr) {
     for j in 0..n {
         let prev = (j + n - 1) % n;
         let (guard, rhs) = if j == 0 {
-            (
-                x(0).eq(x(prev)),
-                x(prev).add(Expr::int(1)).modulo(Expr::int(d as i64)),
-            )
+            (x(0).eq(x(prev)), x(prev).add(Expr::int(1)).modulo(Expr::int(d as i64)))
         } else {
             (x(j).ne(x(prev)), x(prev))
         };

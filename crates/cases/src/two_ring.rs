@@ -37,10 +37,7 @@ pub fn token(r: usize, d: u32, proc: usize) -> Expr {
     let md = |e: Expr| e.modulo(Expr::int(d as i64));
     if proc == 0 {
         // PA_0
-        a(0).eq(a(r - 1))
-            .and(b(0).eq(b(r - 1)))
-            .and(a(0).eq(b(0)))
-            .and(turn.eq(Expr::int(1)))
+        a(0).eq(a(r - 1)).and(b(0).eq(b(r - 1))).and(a(0).eq(b(0))).and(turn.eq(Expr::int(1)))
     } else if proc < r {
         // PA_i, i ≥ 1: a_{i-1} = a_i ⊕ 1
         let i = proc;
@@ -156,10 +153,7 @@ pub fn two_ring(r: usize, d: u32) -> (Protocol, Expr) {
                 "AA0",
                 ProcIdx(0),
                 token(r, d, 0),
-                vec![
-                    (a_idx(0), md(a(r - 1).add(Expr::int(1)))),
-                    (turn_idx, Expr::int(0)),
-                ],
+                vec![(a_idx(0), md(a(r - 1).add(Expr::int(1)))), (turn_idx, Expr::int(0))],
             ));
         } else {
             procs.push(
@@ -190,10 +184,7 @@ pub fn two_ring(r: usize, d: u32) -> (Protocol, Expr) {
                 "AB0",
                 pidx,
                 token(r, d, r),
-                vec![
-                    (b_idx(0), md(b(r - 1).add(Expr::int(1)))),
-                    (turn_idx, Expr::int(1)),
-                ],
+                vec![(b_idx(0), md(b(r - 1).add(Expr::int(1)))), (turn_idx, Expr::int(1))],
             ));
         } else {
             procs.push(

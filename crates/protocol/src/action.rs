@@ -97,10 +97,7 @@ mod tests {
             "A0",
             ProcIdx(0),
             Expr::var(VarIdx(0)).eq(Expr::var(VarIdx(3))),
-            vec![(
-                VarIdx(0),
-                Expr::var(VarIdx(3)).add(Expr::int(1)).modulo(Expr::int(3)),
-            )],
+            vec![(VarIdx(0), Expr::var(VarIdx(3)).add(Expr::int(1)).modulo(Expr::int(3)))],
         )
     }
 
@@ -127,10 +124,7 @@ mod tests {
         let a = Action::new(
             ProcIdx(0),
             Expr::Bool(true),
-            vec![
-                (VarIdx(0), Expr::var(VarIdx(1))),
-                (VarIdx(1), Expr::var(VarIdx(0))),
-            ],
+            vec![(VarIdx(0), Expr::var(VarIdx(1))), (VarIdx(1), Expr::var(VarIdx(0)))],
         );
         let s = vec![1, 2];
         let next = a.apply(&s, &[3, 3]).unwrap();
@@ -140,11 +134,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside domain")]
     fn out_of_domain_assignment_panics() {
-        let a = Action::new(
-            ProcIdx(0),
-            Expr::Bool(true),
-            vec![(VarIdx(0), Expr::int(7))],
-        );
+        let a = Action::new(ProcIdx(0), Expr::Bool(true), vec![(VarIdx(0), Expr::int(7))]);
         a.apply(&vec![0], &[3]);
     }
 

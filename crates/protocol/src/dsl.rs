@@ -485,14 +485,13 @@ impl Parser {
                     } else if let Some(&c) = self.value_consts.get(&name) {
                         Ok(Expr::Int(c))
                     } else {
-                        Err(ParseError {
-                            line,
-                            message: format!("unknown identifier `{name}`"),
-                        })
+                        Err(ParseError { line, message: format!("unknown identifier `{name}`") })
                     }
                 }
             },
-            other => Err(ParseError { line, message: format!("expected expression, found {other:?}") }),
+            other => {
+                Err(ParseError { line, message: format!("expected expression, found {other:?}") })
+            }
         }
     }
 
@@ -501,10 +500,9 @@ impl Parser {
         loop {
             let line = self.line();
             let name = self.expect_ident("variable name")?;
-            let v = self.lookup_var(&name).ok_or(ParseError {
-                line,
-                message: format!("unknown variable `{name}`"),
-            })?;
+            let v = self
+                .lookup_var(&name)
+                .ok_or(ParseError { line, message: format!("unknown variable `{name}`") })?;
             out.push(v);
             if *self.peek() == Tok::Comma {
                 self.bump();
@@ -693,16 +691,17 @@ pub fn parse(src: &str) -> Result<ParsedProtocol, ParseError> {
         }
     }
 
-    let invariant = invariant.ok_or(ParseError {
-        line: 0,
-        message: "missing `invariant` declaration".into(),
-    })?;
+    let invariant = invariant
+        .ok_or(ParseError { line: 0, message: "missing `invariant` declaration".into() })?;
     match invariant.typecheck() {
         Ok(crate::expr::Ty::Bool) => {}
         _ => {
             return Err(ParseError { line: 0, message: "invariant must be boolean".into() });
         }
     }
+    invariant
+        .validate_moduli()
+        .map_err(|e| ParseError { line: 0, message: format!("invariant: {e}") })?;
     let protocol = Protocol::new(p.vars, processes, actions)
         .map_err(|e| ParseError { line: 0, message: e.to_string() })?;
     Ok(ParsedProtocol { name, protocol, invariant })

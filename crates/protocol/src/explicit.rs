@@ -97,10 +97,7 @@ impl StateSet {
 
     /// Complement within the universe.
     pub fn complement(&self) -> StateSet {
-        let mut out = StateSet {
-            words: self.words.iter().map(|w| !w).collect(),
-            len: self.len,
-        };
+        let mut out = StateSet { words: self.words.iter().map(|w| !w).collect(), len: self.len };
         out.trim();
         out
     }
@@ -334,10 +331,9 @@ impl ExplicitGraph {
             }
         }
         let mut out = StateSet::empty(self.n);
-        for s in 0..self.n {
-            let c = comp[s];
-            let nontrivial = size[c as usize] > 1
-                || self.successors(s as StateId).contains(&(s as u32));
+        for (s, &c) in comp.iter().enumerate() {
+            let nontrivial =
+                size[c as usize] > 1 || self.successors(s as StateId).contains(&(s as u32));
             if nontrivial {
                 out.insert(s as StateId);
             }
@@ -361,7 +357,8 @@ impl ExplicitGraph {
                 .successors(cur)
                 .iter()
                 .find(|&&t| cyc.contains(t as StateId))
-                .expect("cyclic state must have a cyclic successor") as StateId;
+                .expect("cyclic state must have a cyclic successor")
+                as StateId;
             if let Some(&i) = pos.get(&next) {
                 return Some(path[i..].to_vec());
             }
@@ -431,9 +428,8 @@ pub fn check_convergence(protocol: &Protocol, i: &Expr) -> ConvergenceReport {
     let cycle_outside = restricted.find_cycle();
 
     let ranks = graph.backward_ranks(&i_set);
-    let unreachable_from: Vec<StateId> = (0..graph.num_states() as StateId)
-        .filter(|&s| ranks[s as usize] == u32::MAX)
-        .collect();
+    let unreachable_from: Vec<StateId> =
+        (0..graph.num_states() as StateId).filter(|&s| ranks[s as usize] == u32::MAX).collect();
 
     ConvergenceReport {
         deadlocks_outside: deadlocks.iter().collect(),

@@ -130,11 +130,13 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not operator overloading
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not operator overloading
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
     }
@@ -175,6 +177,7 @@ impl Expr {
     }
 
     /// `!self`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not operator overloading
     pub fn not(self) -> Expr {
         Expr::Un(UnOp::Not, Box::new(self))
     }
@@ -297,6 +300,53 @@ impl Expr {
         self.eval(state).as_bool()
     }
 
+    /// Fold a variable-free integer subexpression to its value, or `None`
+    /// when it mentions a variable, is boolean-typed, or divides by zero.
+    fn const_value(&self) -> Option<i64> {
+        match self {
+            Expr::Int(i) => Some(*i),
+            Expr::Bool(_) | Expr::Var(_) => None,
+            Expr::Un(UnOp::Neg, e) => e.const_value().map(|v| -v),
+            Expr::Un(UnOp::Not, _) => None,
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.const_value()?, b.const_value()?);
+                use BinOp::*;
+                match op {
+                    Add => a.checked_add(b),
+                    Sub => a.checked_sub(b),
+                    Mul => a.checked_mul(b),
+                    Mod => (b != 0).then(|| a.rem_euclid(b)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Check every `%` divisor is a nonzero constant, so that evaluating
+    /// and compiling this expression can never divide by zero. Called on
+    /// every user-supplied expression (DSL parsing, [`crate::Protocol`]
+    /// validation, problem construction); downstream evaluators keep plain
+    /// assertions as internal invariants.
+    pub fn validate_moduli(&self) -> Result<(), TypeError> {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => Ok(()),
+            Expr::Un(_, e) => e.validate_moduli(),
+            Expr::Bin(op, a, b) => {
+                a.validate_moduli()?;
+                b.validate_moduli()?;
+                if *op == BinOp::Mod {
+                    match b.const_value() {
+                        Some(0) => Err(TypeError("modulo by zero".into())),
+                        Some(_) => Ok(()),
+                        None => Err(TypeError("modulo divisor must be a nonzero constant".into())),
+                    }
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Collect the variables this expression mentions, sorted and deduped.
     pub fn vars(&self) -> Vec<VarIdx> {
         let mut out = Vec::new();
@@ -325,6 +375,25 @@ mod tests {
 
     fn v(i: usize) -> Expr {
         Expr::var(VarIdx(i))
+    }
+
+    #[test]
+    fn validate_moduli_accepts_constant_divisors() {
+        assert!(v(0).add(Expr::int(1)).modulo(Expr::int(3)).validate_moduli().is_ok());
+        // Constant-folded divisor: (1 + 2) is fine.
+        assert!(v(0).modulo(Expr::int(1).add(Expr::int(2))).validate_moduli().is_ok());
+        assert!(v(0).eq(v(1)).validate_moduli().is_ok());
+    }
+
+    #[test]
+    fn validate_moduli_rejects_zero_and_variable_divisors() {
+        assert!(v(0).modulo(Expr::int(0)).validate_moduli().is_err());
+        // Folds to zero.
+        assert!(v(0).modulo(Expr::int(2).sub(Expr::int(2))).validate_moduli().is_err());
+        // A variable divisor can be zero at runtime.
+        assert!(v(0).modulo(v(1)).validate_moduli().is_err());
+        // Nested under other operators.
+        assert!(v(0).modulo(Expr::int(0)).eq(v(1)).validate_moduli().is_err());
     }
 
     #[test]

@@ -49,10 +49,7 @@ impl GroupDesc {
     /// the readable variables of `state` match `pre`?)
     pub fn applies_to(&self, protocol: &Protocol, state: &State) -> bool {
         let proc = &protocol.processes()[self.process.0];
-        proc.reads
-            .iter()
-            .zip(&self.pre)
-            .all(|(r, &pv)| state[r.0] == pv)
+        proc.reads.iter().zip(&self.pre).all(|(r, &pv)| state[r.0] == pv)
     }
 
     /// The target of this group's transition from `state` (caller must
@@ -74,11 +71,7 @@ impl GroupDesc {
     pub fn transitions(&self, protocol: &Protocol) -> Vec<(StateId, StateId)> {
         let space = protocol.space();
         let proc = &protocol.processes()[self.process.0];
-        let unread: Vec<usize> = protocol
-            .unreadable(self.process)
-            .iter()
-            .map(|v| v.0)
-            .collect();
+        let unread: Vec<usize> = protocol.unreadable(self.process).iter().map(|v| v.0).collect();
         let mut base: State = vec![0; protocol.num_vars()];
         for (r, &pv) in proc.reads.iter().zip(&self.pre) {
             base[r.0] = pv;
@@ -146,9 +139,7 @@ pub fn groups_of_actions(protocol: &Protocol, j: ProcIdx) -> Vec<GroupDesc> {
 /// All groups of all processes of `protocol`'s action set — the group
 /// decomposition of `δ_p`.
 pub fn groups_of_protocol(protocol: &Protocol) -> Vec<GroupDesc> {
-    (0..protocol.num_processes())
-        .flat_map(|j| groups_of_actions(protocol, ProcIdx(j)))
-        .collect()
+    (0..protocol.num_processes()).flat_map(|j| groups_of_actions(protocol, ProcIdx(j))).collect()
 }
 
 #[cfg(test)]

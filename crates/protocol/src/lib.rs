@@ -30,8 +30,8 @@ pub mod explicit;
 pub mod expr;
 pub mod group;
 pub mod printer;
-pub mod sim;
 pub mod protocol;
+pub mod sim;
 pub mod state;
 pub mod topology;
 

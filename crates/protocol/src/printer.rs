@@ -176,12 +176,7 @@ mod tests {
 
     /// Compare two protocols semantically: same spaces, same successor
     /// function, same invariant extension.
-    fn semantically_equal(
-        a: &crate::Protocol,
-        ia: &Expr,
-        b: &crate::Protocol,
-        ib: &Expr,
-    ) -> bool {
+    fn semantically_equal(a: &crate::Protocol, ia: &Expr, b: &crate::Protocol, ib: &Expr) -> bool {
         if a.space().size() != b.space().size() {
             return false;
         }

@@ -51,6 +51,9 @@ pub enum ProtocolError {
         /// Label (or index) of the offending action.
         action: String,
     },
+    /// The product of the variable domains exceeds `u64` (or a domain is
+    /// empty) — the instance cannot be represented.
+    StateSpaceTooLarge,
 }
 
 impl fmt::Display for ProtocolError {
@@ -74,6 +77,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::NoSuchProcess { action } => {
                 write!(f, "action {action}: process index out of range")
+            }
+            ProtocolError::StateSpaceTooLarge => {
+                write!(f, "state space exceeds u64 (or a variable domain is empty)")
             }
         }
     }
@@ -104,7 +110,7 @@ impl Protocol {
         processes: Vec<ProcessDecl>,
         actions: Vec<Action>,
     ) -> Result<Self, ProtocolError> {
-        let space = StateSpace::new(&vars);
+        let space = StateSpace::try_new(&vars).ok_or(ProtocolError::StateSpaceTooLarge)?;
         let p = Protocol { vars, processes, actions, space };
         p.validate()?;
         Ok(p)
@@ -129,6 +135,15 @@ impl Protocol {
                 Ok(Ty::Bool) => {}
                 Ok(Ty::Int) => return Err(ProtocolError::GuardNotBool { action: name }),
                 Err(e) => return Err(ProtocolError::Type(format!("action {name}: {e}"))),
+            }
+            // Moduli must be nonzero constants *before* the domain-safety
+            // loop below evaluates any expression.
+            a.guard
+                .validate_moduli()
+                .map_err(|e| ProtocolError::Type(format!("action {name}: {e}")))?;
+            for (_, rhs) in &a.assigns {
+                rhs.validate_moduli()
+                    .map_err(|e| ProtocolError::Type(format!("action {name}: {e}")))?;
             }
             for (t, rhs) in &a.assigns {
                 match rhs.typecheck() {
@@ -249,10 +264,7 @@ impl Protocol {
     /// sorted ascending — these induce the transition groups.
     pub fn unreadable(&self, j: ProcIdx) -> Vec<VarIdx> {
         let proc = &self.processes[j.0];
-        (0..self.vars.len())
-            .map(VarIdx)
-            .filter(|v| !proc.can_read(*v))
-            .collect()
+        (0..self.vars.len()).map(VarIdx).filter(|v| !proc.can_read(*v)).collect()
     }
 
     /// Successor states of `state` under all actions (δ_p image of a
@@ -298,17 +310,16 @@ mod tests {
             let xj = Expr::var(VarIdx(j));
             let xprev = Expr::var(VarIdx(prev));
             let (guard, rhs) = if j == 0 {
-                (
-                    xj.clone().eq(xprev.clone()),
-                    xprev.clone().add(Expr::int(1)).modulo(Expr::int(3)),
-                )
+                (xj.clone().eq(xprev.clone()), xprev.clone().add(Expr::int(1)).modulo(Expr::int(3)))
             } else {
-                (
-                    xj.clone().add(Expr::int(1)).modulo(Expr::int(3)).eq(xprev.clone()),
-                    xprev.clone(),
-                )
+                (xj.clone().add(Expr::int(1)).modulo(Expr::int(3)).eq(xprev.clone()), xprev.clone())
             };
-            actions.push(Action::labeled(format!("A{j}"), ProcIdx(j), guard, vec![(VarIdx(j), rhs)]));
+            actions.push(Action::labeled(
+                format!("A{j}"),
+                ProcIdx(j),
+                guard,
+                vec![(VarIdx(j), rhs)],
+            ));
         }
         Protocol::new(vars, processes, actions).unwrap()
     }
@@ -356,12 +367,8 @@ mod tests {
     #[test]
     fn rejects_unwritable_target() {
         let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
-        let procs = vec![ProcessDecl::new(
-            "P0",
-            vec![VarIdx(0), VarIdx(1)],
-            vec![VarIdx(0)],
-        )
-        .unwrap()];
+        let procs =
+            vec![ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap()];
         let bad = Action::new(ProcIdx(0), Expr::Bool(true), vec![(VarIdx(1), Expr::int(0))]);
         let err = Protocol::new(vars, procs, vec![bad]).unwrap_err();
         assert!(matches!(err, ProtocolError::WritesUnwritable { .. }));
@@ -403,15 +410,8 @@ mod tests {
             Protocol::new(vars.clone(), procs.clone(), vec![g]).unwrap_err(),
             ProtocolError::GuardNotBool { .. }
         ));
-        let r = Action::new(
-            ProcIdx(0),
-            Expr::Bool(true),
-            vec![(VarIdx(0), Expr::Bool(false))],
-        );
-        assert!(matches!(
-            Protocol::new(vars, procs, vec![r]).unwrap_err(),
-            ProtocolError::Type(_)
-        ));
+        let r = Action::new(ProcIdx(0), Expr::Bool(true), vec![(VarIdx(0), Expr::Bool(false))]);
+        assert!(matches!(Protocol::new(vars, procs, vec![r]).unwrap_err(), ProtocolError::Type(_)));
     }
 
     #[test]

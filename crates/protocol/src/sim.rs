@@ -11,15 +11,57 @@
 use crate::expr::Expr;
 use crate::protocol::Protocol;
 use crate::state::State;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// A small deterministic PRNG (xorshift* core seeded through SplitMix64),
+/// self-contained so the crate builds without registry access. Quality is
+/// far beyond what a fault-injection simulation needs; it is *not*
+/// cryptographic.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seed the generator. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 step so that small/adjacent seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        SimRng { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero. Uses
+    /// rejection sampling so the distribution is exactly uniform.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "gen_below bound must be nonzero");
+        // Largest multiple of bound that fits in u64.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
 
 /// A randomized interleaving scheduler plus fault injector over one
 /// protocol.
 pub struct Simulator<'p> {
     protocol: &'p Protocol,
     domains: Vec<u32>,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 /// Aggregate results of a convergence experiment.
@@ -41,13 +83,13 @@ impl<'p> Simulator<'p> {
         Simulator {
             protocol,
             domains: protocol.vars().iter().map(|v| v.domain).collect(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
         }
     }
 
     /// A uniformly random state.
     pub fn random_state(&mut self) -> State {
-        self.domains.iter().map(|&d| self.rng.gen_range(0..d)).collect()
+        self.domains.iter().map(|&d| self.rng.gen_below(d as u64) as u32).collect()
     }
 
     /// A transient fault: corrupt `count` randomly chosen variables with
@@ -55,8 +97,8 @@ impl<'p> Simulator<'p> {
     /// initialization).
     pub fn inject_fault(&mut self, state: &mut State, count: usize) {
         for _ in 0..count {
-            let v = self.rng.gen_range(0..state.len());
-            state[v] = self.rng.gen_range(0..self.domains[v]);
+            let v = self.rng.gen_below(state.len() as u64) as usize;
+            state[v] = self.rng.gen_below(self.domains[v] as u64) as u32;
         }
     }
 
@@ -68,19 +110,14 @@ impl<'p> Simulator<'p> {
         if enabled.is_empty() {
             return None;
         }
-        let pick = self.rng.gen_range(0..enabled.len());
+        let pick = self.rng.gen_below(enabled.len() as u64) as usize;
         Some(enabled[pick].clone())
     }
 
     /// Run until `target` holds, up to `max_steps`. Returns the number of
     /// steps on success. A silent state outside the target aborts the run
     /// (a deadlock — impossible for verified stabilizing protocols).
-    pub fn run_to(
-        &mut self,
-        mut state: State,
-        target: &Expr,
-        max_steps: usize,
-    ) -> Option<usize> {
+    pub fn run_to(&mut self, mut state: State, target: &Expr, max_steps: usize) -> Option<usize> {
         for steps in 0..=max_steps {
             if target.holds(&state) {
                 return Some(steps);
@@ -164,11 +201,7 @@ mod tests {
         }
         let p = Protocol::new(vars, procs, actions).unwrap();
         // S1 in step form.
-        let mut disj = vec![Expr::conj(vec![
-            x(0).eq(x(1)),
-            x(1).eq(x(2)),
-            x(2).eq(x(3)),
-        ])];
+        let mut disj = vec![Expr::conj(vec![x(0).eq(x(1)), x(1).eq(x(2)), x(2).eq(x(3))])];
         for j in 1..n {
             let mut conj: Vec<Expr> = (0..j - 1).map(|i| x(i).eq(x(i + 1))).collect();
             conj.extend((j..n - 1).map(|i| x(i).eq(x(i + 1))));
@@ -192,9 +225,7 @@ mod tests {
         let (p, i) = dijkstra4();
         let mut sim = Simulator::new(&p, 7);
         for _ in 0..50 {
-            let steps = sim
-                .fault_recovery(vec![1, 1, 1, 1], &i, 2, 500)
-                .expect("must recover");
+            let steps = sim.fault_recovery(vec![1, 1, 1, 1], &i, 2, 500).expect("must recover");
             let _ = steps;
         }
     }

@@ -24,17 +24,26 @@ pub struct StateSpace {
 
 impl StateSpace {
     /// Build the codec from variable declarations. Panics if the total
-    /// space exceeds `u64` (no realistic instance comes close).
+    /// space exceeds `u64` (no realistic instance comes close); callers on
+    /// user-input paths use [`StateSpace::try_new`] instead.
     pub fn new(vars: &[VarDecl]) -> Self {
+        Self::try_new(vars).expect("state space exceeds u64")
+    }
+
+    /// Fallible variant of [`StateSpace::new`]: `None` when the state
+    /// space does not fit in `u64` or a domain is empty.
+    pub fn try_new(vars: &[VarDecl]) -> Option<Self> {
         let radices: Vec<u32> = vars.iter().map(|v| v.domain).collect();
         let mut weights = Vec::with_capacity(radices.len());
         let mut acc: u64 = 1;
         for &r in &radices {
-            assert!(r >= 1, "variable domain must be non-empty");
+            if r < 1 {
+                return None;
+            }
             weights.push(acc);
-            acc = acc.checked_mul(r as u64).expect("state space exceeds u64");
+            acc = acc.checked_mul(r as u64)?;
         }
-        StateSpace { radices, weights, size: acc }
+        Some(StateSpace { radices, weights, size: acc })
     }
 
     /// Total number of states `|S_p|`.
@@ -118,11 +127,7 @@ mod tests {
     use super::*;
 
     fn decls(domains: &[u32]) -> Vec<VarDecl> {
-        domains
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| VarDecl::new(format!("x{i}"), d))
-            .collect()
+        domains.iter().enumerate().map(|(i, &d)| VarDecl::new(format!("x{i}"), d)).collect()
     }
 
     #[test]
@@ -132,8 +137,8 @@ mod tests {
         for id in 0..sp.size() {
             let s = sp.decode(id);
             assert_eq!(sp.encode(&s), id);
-            for i in 0..3 {
-                assert_eq!(sp.value_of(id, i), s[i]);
+            for (i, &val) in s.iter().enumerate() {
+                assert_eq!(sp.value_of(id, i), val);
             }
         }
     }

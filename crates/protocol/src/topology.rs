@@ -101,7 +101,10 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::WriteNotReadable { process, var } => {
-                write!(f, "process {process}: written variable {var} is not readable (w ⊆ r violated)")
+                write!(
+                    f,
+                    "process {process}: written variable {var} is not readable (w ⊆ r violated)"
+                )
             }
             TopologyError::DuplicateVar { process, var } => {
                 write!(f, "process {process}: variable {var} listed twice")
@@ -177,8 +180,7 @@ mod tests {
 
     #[test]
     fn duplicates_rejected() {
-        let err =
-            ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(0)], vec![]).unwrap_err();
+        let err = ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(0)], vec![]).unwrap_err();
         assert!(matches!(err, TopologyError::DuplicateVar { .. }));
     }
 

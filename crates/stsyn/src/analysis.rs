@@ -19,10 +19,10 @@
 //!
 //! Both checks run on the explicit engine — the table uses small instances.
 
+use std::collections::HashSet;
 use stsyn_protocol::expr::Expr;
 use stsyn_protocol::state::State;
 use stsyn_protocol::Protocol;
-use std::collections::HashSet;
 
 /// Verdict of the analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +42,9 @@ impl std::fmt::Display for LocalCorrectability {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LocalCorrectability::Yes => write!(f, "Yes"),
-            LocalCorrectability::NoDecomposition => write!(f, "No (invariant is not locally decomposable)"),
+            LocalCorrectability::NoDecomposition => {
+                write!(f, "No (invariant is not locally decomposable)")
+            }
             LocalCorrectability::NotCorrectable => write!(f, "No (local repairs interfere)"),
         }
     }
@@ -89,8 +91,7 @@ pub fn local_correctability(protocol: &Protocol, invariant: &Expr) -> LocalCorre
                 continue;
             }
             // Try every write valuation of P_j.
-            let writes: Vec<usize> =
-                protocol.processes()[j].writes.iter().map(|w| w.0).collect();
+            let writes: Vec<usize> = protocol.processes()[j].writes.iter().map(|w| w.0).collect();
             let mut fixable = false;
             'writes: for wval in space.valuations(&writes) {
                 let mut s2 = s.clone();
@@ -203,10 +204,8 @@ mod tests {
         // I = (a == b) is then *not decomposable* (each projection allows
         // everything)… so NotCorrectable needs partial overlap: a 2-ring
         // matching-like invariant below.
-        let vars = vec![
-            VarDecl::with_names("m0", &["l", "r"]),
-            VarDecl::with_names("m1", &["l", "r"]),
-        ];
+        let vars =
+            vec![VarDecl::with_names("m0", &["l", "r"]), VarDecl::with_names("m1", &["l", "r"])];
         let procs = vec![
             ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap(),
             ProcessDecl::new("P1", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(1)]).unwrap(),

@@ -6,14 +6,24 @@
 //!
 //! ```text
 //! stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric]
+//!            [--timeout SECS] [--max-nodes N]
 //!            [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]
 //! ```
+//!
+//! Exit codes: 0 success, 1 synthesis failure (including a verification
+//! FAIL), 2 usage error, 3 input error (unreadable file, parse or type
+//! error), 4 resource budget exhausted (`--timeout` / `--max-nodes`).
 
-use stsyn_core::{AddConvergence, Options, Schedule};
+use std::process::ExitCode;
+use std::time::Duration;
+use stsyn_core::{AddConvergence, Options, Schedule, SynthesisError};
 use stsyn_protocol::dsl;
 use stsyn_protocol::ProcIdx;
 use stsyn_symbolic::scc::SccAlgorithm;
-use std::process::ExitCode;
+use stsyn_symbolic::Budget;
+
+const EXIT_INPUT: u8 = 3;
+const EXIT_RESOURCES: u8 = 4;
 
 struct Args {
     file: String,
@@ -24,11 +34,14 @@ struct Args {
     emit_dsl: Option<String>,
     schedule: Option<Vec<usize>>,
     scc: SccAlgorithm,
+    timeout: Option<f64>,
+    max_nodes: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric] \
+         [--timeout SECS] [--max-nodes N] \
          [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]"
     );
     std::process::exit(2);
@@ -44,6 +57,8 @@ fn parse_args() -> Args {
         emit_dsl: None,
         schedule: None,
         scc: SccAlgorithm::Skeleton,
+        timeout: None,
+        max_nodes: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -72,6 +87,14 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => args.timeout = Some(secs),
+                _ => usage(),
+            },
+            "--max-nodes" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => args.max_nodes = Some(n),
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
             _ => usage(),
@@ -83,20 +106,31 @@ fn parse_args() -> Args {
     args
 }
 
+fn build_budget(args: &Args) -> Option<Budget> {
+    let mut budget = Budget::unlimited();
+    if let Some(secs) = args.timeout {
+        budget = budget.with_timeout(Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = args.max_nodes {
+        budget = budget.with_max_nodes(n);
+    }
+    budget.is_limited().then_some(budget)
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let src = match std::fs::read_to_string(&args.file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("stsyn: cannot read {}: {e}", args.file);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INPUT);
         }
     };
     let parsed = match dsl::parse(&src) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("stsyn: {}: {e}", args.file);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INPUT);
         }
     };
     let k = parsed.protocol.num_processes();
@@ -105,7 +139,7 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("stsyn: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INPUT);
         }
     };
     let symmetry = if args.symmetric {
@@ -113,16 +147,16 @@ fn main() -> ExitCode {
             Ok(sym) => Some(sym),
             Err(e) => {
                 eprintln!("stsyn: --symmetric rejected: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INPUT);
             }
         }
     } else {
         None
     };
-    let opts = Options { scc: args.scc, symmetry };
+    let opts = Options { scc: args.scc, symmetry, budget: build_budget(&args) };
 
     let result = if args.weak {
-        problem.synthesize_weak()
+        problem.synthesize_weak_with(&opts)
     } else if args.parallel {
         problem.synthesize_parallel(&opts, Schedule::all_rotations(k))
     } else if let Some(order) = &args.schedule {
@@ -133,8 +167,7 @@ fn main() -> ExitCode {
 
     match result {
         Ok(mut outcome) => {
-            let verified =
-                if args.weak { outcome.verify_weak() } else { outcome.verify_strong() };
+            let verified = if args.weak { outcome.verify_weak() } else { outcome.verify_strong() };
             println!(
                 "synthesized {} ({} stabilization) with schedule {}",
                 parsed.name,
@@ -171,12 +204,17 @@ fn main() -> ExitCode {
                 println!("  ranks (M)             : {}", s.max_rank);
                 println!("  finished in pass      : {}", s.finished_in_pass);
                 println!("  ranking time          : {:.3}s", s.ranking_secs());
-                println!("  SCC detection time    : {:.3}s ({} calls, {} SCCs)",
-                    s.scc_secs(), s.scc_calls, s.sccs_found);
+                println!(
+                    "  SCC detection time    : {:.3}s ({} calls, {} SCCs)",
+                    s.scc_secs(),
+                    s.scc_calls,
+                    s.sccs_found
+                );
                 println!("  total time            : {:.3}s", s.total_secs());
                 println!("  program size          : {} BDD nodes", s.program_nodes);
                 println!("  avg SCC size          : {:.1} BDD nodes", s.avg_scc_nodes());
                 println!("  peak live nodes       : {}", s.peak_live_nodes);
+                println!("  BDD ticks             : {}", s.bdd_ticks);
             }
             if verified {
                 ExitCode::SUCCESS
@@ -184,9 +222,42 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Err(SynthesisError::ResourceExhausted { phase, cause, partial }) => {
+            report_exhausted(&phase, &cause, &partial)
+        }
+        // Parallel exploration wraps per-schedule failures; when the budget
+        // killed every schedule, surface that as exhaustion, not as the
+        // heuristic failing.
+        Err(SynthesisError::AllSchedulesFailed(inner))
+            if matches!(*inner, SynthesisError::ResourceExhausted { .. }) =>
+        {
+            let SynthesisError::ResourceExhausted { phase, cause, partial } = *inner else {
+                unreachable!()
+            };
+            report_exhausted(&phase, &cause, &partial)
+        }
         Err(e) => {
             eprintln!("stsyn: synthesis failed: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn report_exhausted(
+    phase: &stsyn_core::Phase,
+    cause: &stsyn_symbolic::BddError,
+    partial: &stsyn_core::PartialProgress,
+) -> ExitCode {
+    eprintln!("stsyn: resource budget exhausted during {phase}: {cause}");
+    eprintln!(
+        "stsyn: partial progress: {} rank layers, {} recovery groups added, \
+         {} live BDD nodes, {} ticks (manager {})",
+        partial.ranks_layered,
+        partial.groups_added.len(),
+        partial.live_nodes,
+        partial.ticks,
+        if partial.manager_consistent { "consistent" } else { "INCONSISTENT" },
+    );
+    eprintln!("stsyn: raise --timeout / --max-nodes and retry");
+    ExitCode::from(EXIT_RESOURCES)
 }

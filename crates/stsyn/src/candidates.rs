@@ -11,10 +11,12 @@
 //! non-progress cycle that `Identify_Resolve_Cycles` would immediately have
 //! to remove.
 
-use stsyn_bdd::Bdd;
+use stsyn_bdd::{Bdd, BddError};
 use stsyn_protocol::group::{all_groups_of, GroupDesc};
 use stsyn_protocol::ProcIdx;
 use stsyn_symbolic::SymbolicContext;
+
+use crate::problem::INFALLIBLE;
 
 /// One candidate recovery group with its precomputed symbolic artifacts.
 #[derive(Debug, Clone)]
@@ -42,35 +44,45 @@ impl CandidateSet {
     /// Enumerate the candidates of every process: all non-self-loop groups
     /// whose source predicate is disjoint from `i`.
     pub fn build(ctx: &mut SymbolicContext, i: Bdd) -> CandidateSet {
+        Self::try_build(ctx, i).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`CandidateSet::build`] for budgeted runs.
+    pub fn try_build(ctx: &mut SymbolicContext, i: Bdd) -> Result<CandidateSet, BddError> {
         let protocol = ctx.protocol().clone();
         let k = protocol.num_processes();
         let mut all = Vec::new();
         let mut by_process = vec![Vec::new(); k];
-        for j in 0..k {
+        for (j, bucket) in by_process.iter_mut().enumerate() {
             for desc in all_groups_of(&protocol, ProcIdx(j)) {
                 if desc.is_self_loop(&protocol) {
                     continue;
                 }
-                let source = ctx.group_source(&desc);
-                if ctx.mgr().intersects(source, i) {
+                let source = ctx.try_group_source(&desc)?;
+                if ctx.mgr().try_intersects(source, i)? {
                     continue; // C1: a groupmate would start in I
                 }
-                let relation = ctx.group_relation(&desc);
-                by_process[j].push(all.len());
+                let relation = ctx.try_group_relation(&desc)?;
+                bucket.push(all.len());
                 all.push(Candidate { desc, relation, source, included: false });
             }
         }
-        CandidateSet { all, by_process }
+        Ok(CandidateSet { all, by_process })
     }
 
     /// The union of `delta_p` with every candidate relation — the maximal
     /// candidate protocol `p_im` whose ranks approximate convergence.
     pub fn pim(&self, ctx: &mut SymbolicContext, delta_p: Bdd) -> Bdd {
+        self.try_pim(ctx, delta_p).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`CandidateSet::pim`] for budgeted runs.
+    pub fn try_pim(&self, ctx: &mut SymbolicContext, delta_p: Bdd) -> Result<Bdd, BddError> {
         let mut rel = delta_p;
         for c in &self.all {
-            rel = ctx.mgr().or(rel, c.relation);
+            rel = ctx.mgr().try_or(rel, c.relation)?;
         }
-        rel
+        Ok(rel)
     }
 
     /// Number of candidates.
@@ -99,12 +111,8 @@ mod tests {
     /// Two ternary variables; P0 reads both, writes the first.
     fn two_var() -> Protocol {
         let vars = vec![VarDecl::new("a", 3), VarDecl::new("b", 3)];
-        let procs = vec![ProcessDecl::new(
-            "P0",
-            vec![VarIdx(0), VarIdx(1)],
-            vec![VarIdx(0)],
-        )
-        .unwrap()];
+        let procs =
+            vec![ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap()];
         Protocol::new(vars, procs, vec![]).unwrap()
     }
 

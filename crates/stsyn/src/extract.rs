@@ -15,12 +15,12 @@
 //!    whenever the terms differing only in one variable cover that
 //!    variable's whole domain, they collapse into a wildcard.
 
+use std::collections::BTreeMap;
 use stsyn_protocol::action::Action;
 use stsyn_protocol::expr::Expr;
 use stsyn_protocol::group::GroupDesc;
 use stsyn_protocol::topology::{ProcIdx, VarIdx};
 use stsyn_protocol::Protocol;
-use std::collections::BTreeMap;
 
 /// A right-hand-side template for one written variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -58,9 +58,9 @@ impl Template {
     fn to_expr(self, reads: &[VarIdx], d: u32) -> Expr {
         match self {
             Template::Copy(r) => Expr::var(reads[r]),
-            Template::Shift(r, delta) => Expr::var(reads[r])
-                .add(Expr::int(delta as i64))
-                .modulo(Expr::int(d as i64)),
+            Template::Shift(r, delta) => {
+                Expr::var(reads[r]).add(Expr::int(delta as i64)).modulo(Expr::int(d as i64))
+            }
             Template::Const(c) => Expr::int(c as i64),
         }
     }
@@ -126,12 +126,9 @@ pub fn extract_actions(protocol: &Protocol, added: &[GroupDesc]) -> Vec<Action> 
         let proc = &protocol.processes()[j];
         let reads = proc.reads.clone();
         let writes = proc.writes.clone();
-        let read_domains: Vec<u32> =
-            reads.iter().map(|r| protocol.vars()[r.0].domain).collect();
-        let write_domains: Vec<u32> =
-            writes.iter().map(|w| protocol.vars()[w.0].domain).collect();
-        let groups: Vec<&GroupDesc> =
-            added.iter().filter(|g| g.process == ProcIdx(j)).collect();
+        let read_domains: Vec<u32> = reads.iter().map(|r| protocol.vars()[r.0].domain).collect();
+        let write_domains: Vec<u32> = writes.iter().map(|w| protocol.vars()[w.0].domain).collect();
+        let groups: Vec<&GroupDesc> = added.iter().filter(|g| g.process == ProcIdx(j)).collect();
         if groups.is_empty() {
             continue;
         }
@@ -178,9 +175,7 @@ pub fn extract_actions(protocol: &Protocol, added: &[GroupDesc]) -> Vec<Action> 
                             t.iter()
                                 .enumerate()
                                 .filter_map(|(pos, v)| {
-                                    v.map(|val| {
-                                        Expr::var(reads[pos]).eq(Expr::int(val as i64))
-                                    })
+                                    v.map(|val| Expr::var(reads[pos]).eq(Expr::int(val as i64)))
                                 })
                                 .collect(),
                         )
@@ -196,12 +191,7 @@ pub fn extract_actions(protocol: &Protocol, added: &[GroupDesc]) -> Vec<Action> 
                     (w, t.to_expr(&reads, write_domains[wi]))
                 })
                 .collect();
-            actions.push(Action::labeled(
-                format!("R{j}_{ci}"),
-                ProcIdx(j),
-                guard,
-                assigns,
-            ));
+            actions.push(Action::labeled(format!("R{j}_{ci}"), ProcIdx(j), guard, assigns));
         }
     }
     actions
@@ -317,23 +307,15 @@ mod tests {
     fn ring3() -> Protocol {
         // One process P1 reading x0, x1, writing x1, domain 3.
         let vars = vec![VarDecl::new("x0", 3), VarDecl::new("x1", 3)];
-        let procs = vec![ProcessDecl::new(
-            "P1",
-            vec![VarIdx(0), VarIdx(1)],
-            vec![VarIdx(1)],
-        )
-        .unwrap()];
+        let procs =
+            vec![ProcessDecl::new("P1", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(1)]).unwrap()];
         Protocol::new(vars, procs, vec![]).unwrap()
     }
 
     #[test]
     fn merge_terms_collapses_full_domains() {
         // Terms (0,0), (1,0), (2,0) over domains (3,3) → (*, 0).
-        let terms = vec![
-            vec![Some(0), Some(0)],
-            vec![Some(1), Some(0)],
-            vec![Some(2), Some(0)],
-        ];
+        let terms = vec![vec![Some(0), Some(0)], vec![Some(1), Some(0)], vec![Some(2), Some(0)]];
         let merged = merge_terms(terms, &[3, 3]);
         assert_eq!(merged, vec![vec![None, Some(0)]]);
     }
@@ -365,11 +347,7 @@ mod tests {
         // pre (x0=v, x1=(v+1)%3), post x1 := v.
         let p = ring3();
         let added: Vec<GroupDesc> = (0..3u32)
-            .map(|v| GroupDesc {
-                process: ProcIdx(0),
-                pre: vec![v, (v + 1) % 3],
-                post: vec![v],
-            })
+            .map(|v| GroupDesc { process: ProcIdx(0), pre: vec![v, (v + 1) % 3], post: vec![v] })
             .collect();
         let actions = extract_actions(&p, &added);
         assert_eq!(actions.len(), 1, "one clustered action expected");
@@ -453,10 +431,7 @@ mod tests {
             "R",
             ProcIdx(0),
             Expr::Bool(true),
-            vec![(
-                VarIdx(1),
-                Expr::var(VarIdx(0)).add(Expr::int(2)).modulo(Expr::int(3)),
-            )],
+            vec![(VarIdx(1), Expr::var(VarIdx(0)).add(Expr::int(2)).modulo(Expr::int(3)))],
         );
         let text = render_action(&p, &a);
         assert!(text.contains("(x0 + 2) % 3"), "{text}");
@@ -468,12 +443,8 @@ mod tests {
             VarDecl::with_names("m0", &["left", "right", "self"]),
             VarDecl::with_names("m1", &["left", "right", "self"]),
         ];
-        let procs = vec![ProcessDecl::new(
-            "P0",
-            vec![VarIdx(0), VarIdx(1)],
-            vec![VarIdx(0)],
-        )
-        .unwrap()];
+        let procs =
+            vec![ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap()];
         let p = Protocol::new(vars, procs, vec![]).unwrap();
         let added = vec![GroupDesc { process: ProcIdx(0), pre: vec![2, 0], post: vec![0] }];
         let text = describe(&p, &added);

@@ -17,18 +17,44 @@
 //! case [`crate::SynthesisError::DeadlocksRemain`] reports the residue.
 
 use crate::candidates::CandidateSet;
-use crate::problem::{Options, SynthesisError};
+use crate::problem::{Options, PartialProgress, Phase, SynthesisError};
 use crate::schedule::Schedule;
 use crate::stats::SynthesisStats;
-use stsyn_bdd::Bdd;
+use std::time::Instant;
+use stsyn_bdd::{Bdd, BddError};
 use stsyn_protocol::expr::Expr;
 use stsyn_protocol::group::{groups_of_protocol, GroupDesc};
 use stsyn_protocol::Protocol;
-use stsyn_symbolic::check::{closure_holds, strong_convergence, weak_convergence};
-use stsyn_symbolic::ranks::compute_ranks;
-use stsyn_symbolic::scc::{has_cycle, scc_decomposition};
+use stsyn_symbolic::check::{
+    closure_holds, strong_convergence, try_closure_holds, try_strong_convergence,
+    try_weak_convergence, weak_convergence,
+};
+use stsyn_symbolic::ranks::try_compute_ranks;
+use stsyn_symbolic::scc::{try_has_cycle, try_scc_decomposition};
 use stsyn_symbolic::SymbolicContext;
-use std::time::Instant;
+
+/// Snapshot the manager state for a [`SynthesisError::ResourceExhausted`];
+/// `ranks_layered`/`groups_added` describe the salvaged partial progress.
+pub(crate) fn resource_err(
+    ctx: &SymbolicContext,
+    phase: Phase,
+    cause: BddError,
+    ranks_layered: usize,
+    groups_added: &[GroupDesc],
+) -> SynthesisError {
+    let mgr = ctx.mgr_ref();
+    SynthesisError::ResourceExhausted {
+        phase,
+        cause,
+        partial: Box::new(PartialProgress {
+            ranks_layered,
+            groups_added: groups_added.to_vec(),
+            live_nodes: mgr.stats().live_nodes,
+            ticks: mgr.ticks_used(),
+            manager_consistent: mgr.check_consistency().is_ok(),
+        }),
+    }
+}
 
 /// A successful synthesis: the symbolic context, the synthesized relation,
 /// the added groups, and the run's statistics.
@@ -70,10 +96,22 @@ impl Outcome {
             && strong_convergence(&mut self.ctx, self.pss, self.i).holds
     }
 
+    /// Fallible variant of [`Outcome::verify_strong`] for budgeted runs.
+    pub fn try_verify_strong(&mut self) -> Result<bool, BddError> {
+        Ok(try_closure_holds(&mut self.ctx, self.pss, self.i)?
+            && try_strong_convergence(&mut self.ctx, self.pss, self.i)?.holds)
+    }
+
     /// Independently verify weak stabilization.
     pub fn verify_weak(&mut self) -> bool {
         closure_holds(&mut self.ctx, self.pss, self.i)
             && weak_convergence(&mut self.ctx, self.pss, self.i).holds
+    }
+
+    /// Fallible variant of [`Outcome::verify_weak`] for budgeted runs.
+    pub fn try_verify_weak(&mut self) -> Result<bool, BddError> {
+        Ok(try_closure_holds(&mut self.ctx, self.pss, self.i)?
+            && try_weak_convergence(&mut self.ctx, self.pss, self.i)?.holds)
     }
 
     /// `δ_pss | I` must equal `δ_p | I` (Problem III.1, output constraint
@@ -136,9 +174,9 @@ impl Engine {
     /// (`ruled_out_deadlocks` carries the pass-1-only C4 component; the C1
     /// component is baked into the candidate set), then run
     /// `Identify_Resolve_Cycles` and keep only the cycle-free additions.
-    fn deadlocks(&mut self) -> Bdd {
-        let not_enabled = self.ctx.mgr().not(self.enabled_union);
-        self.ctx.mgr().and(self.not_i, not_enabled)
+    fn deadlocks(&mut self) -> Result<Bdd, BddError> {
+        let not_enabled = self.ctx.mgr().try_not(self.enabled_union)?;
+        self.ctx.mgr().try_and(self.not_i, not_enabled)
     }
 
     fn maybe_gc(&mut self, extra: &[Bdd]) {
@@ -165,7 +203,7 @@ impl Engine {
         to: Bdd,
         j: usize,
         ruled_out_deadlocks: Option<Bdd>,
-    ) -> bool {
+    ) -> Result<bool, BddError> {
         let scan_start = Instant::now();
         let mut picked: Vec<usize> = Vec::new();
         let idxs = self.cands.by_process[j].clone();
@@ -183,13 +221,13 @@ impl Engine {
             std::collections::HashMap::new();
         // Locality prefilter for `From` (src is a cube over the readables).
         let reads = self.ctx.protocol().processes()[j].reads.clone();
-        let from_local = self.ctx.project_onto(from, &reads);
+        let from_local = self.ctx.try_project_onto(from, &reads)?;
         for ci in idxs {
             if self.cands.all[ci].included {
                 continue;
             }
             let src = self.cands.all[ci].source;
-            if !self.ctx.mgr().intersects(src, from_local) {
+            if !self.ctx.mgr().try_intersects(src, from_local)? {
                 continue;
             }
             let post = self.cands.all[ci].desc.post.clone();
@@ -201,21 +239,23 @@ impl Engine {
                         lits.extend(self.ctx.cur_literals(*w, val));
                     }
                     lits.sort_unstable_by_key(|&(v, _)| v);
-                    let to_cof = self.ctx.mgr().cofactor(to, &lits);
-                    let from_to = self.ctx.mgr().and(from, to_cof);
-                    let dead_cof =
-                        ruled_out_deadlocks.map(|d| self.ctx.mgr().cofactor(d, &lits));
+                    let to_cof = self.ctx.mgr().try_cofactor(to, &lits)?;
+                    let from_to = self.ctx.mgr().try_and(from, to_cof)?;
+                    let dead_cof = match ruled_out_deadlocks {
+                        Some(d) => Some(self.ctx.mgr().try_cofactor(d, &lits)?),
+                        None => None,
+                    };
                     by_post.insert(post.clone(), (from_to, dead_cof));
                     (from_to, dead_cof)
                 }
             };
             // Must have a transition From → To.
-            if !self.ctx.mgr().intersects(src, from_to) {
+            if !self.ctx.mgr().try_intersects(src, from_to)? {
                 continue;
             }
             // Pass-1 constraint C4: no groupmate may reach a deadlock.
             if let Some(dc) = dead_cof {
-                if self.ctx.mgr().intersects(src, dc) {
+                if self.ctx.mgr().try_intersects(src, dc)? {
                     continue;
                 }
             }
@@ -258,19 +298,19 @@ impl Engine {
         for cluster in &clusters {
             for &ci in cluster {
                 let rel = self.cands.all[ci].relation;
-                union_added = self.ctx.mgr().or(union_added, rel);
+                union_added = self.ctx.mgr().try_or(union_added, rel)?;
             }
         }
         self.stats.scan_time += scan_start.elapsed();
         if clusters.is_empty() {
-            return false;
+            return Ok(false);
         }
         // Identify_Resolve_Cycles: SCCs of (pss ∪ added) | ¬I. The pss
         // part of the restriction is maintained incrementally.
-        let added_restricted = self.ctx.restrict_relation(union_added, self.not_i);
-        let restricted = self.ctx.mgr().or(self.pss_restricted, added_restricted);
+        let added_restricted = self.ctx.try_restrict_relation(union_added, self.not_i)?;
+        let restricted = self.ctx.mgr().try_or(self.pss_restricted, added_restricted)?;
         let scc_start = Instant::now();
-        let sccs = scc_decomposition(&mut self.ctx, restricted, self.not_i, self.opts.scc);
+        let sccs = try_scc_decomposition(&mut self.ctx, restricted, self.not_i, self.opts.scc)?;
         self.stats.scc_time += scc_start.elapsed();
         self.stats.scc_calls += 1;
         self.stats.sccs_found += sccs.len();
@@ -286,20 +326,20 @@ impl Engine {
                 let rel = self.cands.all[ci].relation;
                 for &scc in &sccs {
                     let m = self.ctx.cur_to_primed();
-                    let scc_primed = self.ctx.mgr().rename(scc, m);
-                    let inside = self.ctx.mgr().and(rel, scc);
-                    if self.ctx.mgr().intersects(inside, scc_primed) {
+                    let scc_primed = self.ctx.mgr().try_rename(scc, m)?;
+                    let inside = self.ctx.mgr().try_and(rel, scc)?;
+                    if self.ctx.mgr().try_intersects(inside, scc_primed)? {
                         continue 'cluster; // participates in a cycle: drop it
                     }
                 }
             }
             for ci in cluster {
                 let rel = self.cands.all[ci].relation;
-                self.pss = self.ctx.mgr().or(self.pss, rel);
-                let rel_restricted = self.ctx.restrict_relation(rel, self.not_i);
-                self.pss_restricted = self.ctx.mgr().or(self.pss_restricted, rel_restricted);
+                self.pss = self.ctx.mgr().try_or(self.pss, rel)?;
+                let rel_restricted = self.ctx.try_restrict_relation(rel, self.not_i)?;
+                self.pss_restricted = self.ctx.mgr().try_or(self.pss_restricted, rel_restricted)?;
                 let src = self.cands.all[ci].source;
-                self.enabled_union = self.ctx.mgr().or(self.enabled_union, src);
+                self.enabled_union = self.ctx.mgr().try_or(self.enabled_union, src)?;
                 self.cands.all[ci].included = true;
                 self.added.push(self.cands.all[ci].desc.clone());
                 self.stats.groups_added += 1;
@@ -307,7 +347,7 @@ impl Engine {
             changed = true;
         }
         self.stats.include_time += include_start.elapsed();
-        changed
+        Ok(changed)
     }
 
     /// `Add_Convergence` (Fig. 3): walk the recovery schedule, letting each
@@ -321,29 +361,34 @@ impl Engine {
         mut deadlocks: Bdd,
         pass: u8,
         schedule: &Schedule,
-    ) -> Bdd {
+    ) -> Result<Bdd, BddError> {
         let mut ruled_out = if pass == 1 { Some(deadlocks) } else { None };
         for p in schedule.order().to_vec() {
             self.maybe_gc(&[from, to, deadlocks]);
-            let changed = self.add_recovery(from, to, p.0, ruled_out);
+            let changed = self.add_recovery(from, to, p.0, ruled_out)?;
             if changed {
                 let dl_start = Instant::now();
-                deadlocks = self.deadlocks();
+                deadlocks = self.deadlocks()?;
                 self.stats.deadlock_time += dl_start.elapsed();
                 if deadlocks.is_false() {
-                    return deadlocks;
+                    return Ok(deadlocks);
                 }
             }
             if pass == 1 {
                 ruled_out = Some(deadlocks);
             }
         }
-        deadlocks
+        Ok(deadlocks)
     }
 }
 
 /// Run the full heuristic for one schedule. This is the engine behind
 /// [`crate::AddConvergence::synthesize`].
+///
+/// When [`Options::budget`] is set, every symbolic operation is budgeted;
+/// a violation aborts the run with [`SynthesisError::ResourceExhausted`]
+/// carrying the interrupted [`Phase`] and the partial progress salvaged so
+/// far (exact rank layers, cycle-checked recovery groups).
 pub fn synthesize(
     protocol: &Protocol,
     invariant: &Expr,
@@ -355,31 +400,44 @@ pub fn synthesize(
     }
     let start = Instant::now();
     let mut ctx = SymbolicContext::new(protocol.clone());
-    let i = ctx.compile(invariant);
+    if let Some(b) = &opts.budget {
+        ctx.set_budget(b);
+    }
+    // Everything before ranking maps a budget violation to `Phase::Setup`
+    // with empty partial progress.
+    macro_rules! setup {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(cause) => return Err(resource_err(&ctx, Phase::Setup, cause, 0, &[])),
+            }
+        };
+    }
+    let i = setup!(ctx.try_compile(invariant));
     if i.is_false() {
         return Err(SynthesisError::EmptyInvariant);
     }
-    let mut delta_p = ctx.protocol_relation();
-    if !closure_holds(&mut ctx, delta_p, i) {
+    let mut delta_p = setup!(ctx.try_protocol_relation());
+    if !setup!(try_closure_holds(&mut ctx, delta_p, i)) {
         return Err(SynthesisError::NotClosed);
     }
-    let not_i = ctx.not_states(i);
+    let not_i = setup!(ctx.try_not_states(i));
 
     // --- Preprocessing: non-progress cycles already in δ_p | ¬I ---------
     let mut removed_from_p: Vec<GroupDesc> = Vec::new();
-    let restricted_p = ctx.restrict_relation(delta_p, not_i);
-    if has_cycle(&mut ctx, restricted_p, not_i) {
-        let sccs = scc_decomposition(&mut ctx, restricted_p, not_i, opts.scc);
+    let restricted_p = setup!(ctx.try_restrict_relation(delta_p, not_i));
+    if setup!(try_has_cycle(&mut ctx, restricted_p, not_i)) {
+        let sccs = setup!(try_scc_decomposition(&mut ctx, restricted_p, not_i, opts.scc));
         let p_groups = groups_of_protocol(protocol);
         let mut keep = Bdd::FALSE;
         for g in &p_groups {
-            let rel = ctx.group_relation(&g.clone());
+            let rel = setup!(ctx.try_group_relation(&g.clone()));
             let mut cyclic = false;
             for &scc in &sccs {
                 let m = ctx.cur_to_primed();
-                let scc_primed = ctx.mgr().rename(scc, m);
-                let inside = ctx.mgr().and(rel, scc);
-                if ctx.mgr().intersects(inside, scc_primed) {
+                let scc_primed = setup!(ctx.mgr().try_rename(scc, m));
+                let inside = setup!(ctx.mgr().try_and(rel, scc));
+                if setup!(ctx.mgr().try_intersects(inside, scc_primed)) {
                     cyclic = true;
                     break;
                 }
@@ -387,19 +445,20 @@ pub fn synthesize(
             if cyclic {
                 // The paper's preprocessing exits when a cycle transition
                 // has a groupmate in p|I (removal would change δ_p|I).
-                let src = ctx.group_source(g);
-                if ctx.mgr().intersects(src, i) {
+                let src = setup!(ctx.try_group_source(g));
+                if setup!(ctx.mgr().try_intersects(src, i)) {
                     return Err(SynthesisError::CycleUnremovable);
                 }
                 removed_from_p.push(g.clone());
             } else {
-                keep = ctx.mgr().or(keep, rel);
+                keep = setup!(ctx.mgr().try_or(keep, rel));
             }
         }
         delta_p = keep;
     }
-    let pss_restricted = ctx.restrict_relation(delta_p, not_i);
-    let enabled_union = ctx.enabled(delta_p);
+    let pss_restricted = setup!(ctx.try_restrict_relation(delta_p, not_i));
+    let enabled_union = setup!(ctx.try_enabled(delta_p));
+    let cands = setup!(CandidateSet::try_build(&mut ctx, i));
     let mut engine = Engine {
         i,
         not_i,
@@ -408,20 +467,33 @@ pub fn synthesize(
         pss_restricted,
         enabled_union,
         rank_bdds: Vec::new(),
-        cands: CandidateSet::build(&mut ctx, i),
+        cands,
         cand_index: None,
         added: Vec::new(),
         stats: SynthesisStats::default(),
         opts: opts.clone(),
         ctx,
     };
+    // From here on a budget violation carries the engine's partial
+    // progress (rank layers so far, groups already added and verified).
+    macro_rules! phased {
+        ($phase:expr, $e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(cause) => {
+                    let layered = engine.rank_bdds.len();
+                    return Err(resource_err(&engine.ctx, $phase, cause, layered, &engine.added));
+                }
+            }
+        };
+    }
     engine.stats.candidates = engine.cands.len();
     // Groups of p itself that qualify as candidates are already present in
     // pss; mark them included once, up front.
     if !engine.delta_p.is_false() {
         for ci in 0..engine.cands.all.len() {
             let rel = engine.cands.all[ci].relation;
-            if engine.ctx.mgr().implies_holds(rel, engine.delta_p) {
+            if phased!(Phase::Setup, engine.ctx.mgr().try_implies_holds(rel, engine.delta_p)) {
                 engine.cands.all[ci].included = true;
             }
         }
@@ -429,8 +501,34 @@ pub fn synthesize(
 
     // --- §IV approximation: ComputeRanks over p_im ----------------------
     let rank_start = Instant::now();
-    let pim = engine.cands.pim(&mut engine.ctx, engine.delta_p);
-    let ranks = compute_ranks(&mut engine.ctx, pim, i);
+    let pim = phased!(Phase::Setup, engine.cands.try_pim(&mut engine.ctx, engine.delta_p));
+    // `ComputeRanks` hits node-ceiling safe points; every long-lived handle
+    // must be registered so graceful-degradation GC preserves it.
+    if opts.budget.is_some() {
+        let mut roots = engine.cands.roots();
+        roots.extend([
+            engine.i,
+            engine.not_i,
+            engine.delta_p,
+            engine.pss,
+            engine.pss_restricted,
+            engine.enabled_union,
+            pim,
+        ]);
+        engine.ctx.register_roots(&roots);
+    }
+    let ranks = match try_compute_ranks(&mut engine.ctx, pim, i) {
+        Ok(t) => t,
+        Err(interrupted) => {
+            return Err(resource_err(
+                &engine.ctx,
+                Phase::Ranking,
+                interrupted.cause,
+                interrupted.ranks_so_far.len(),
+                &[],
+            ))
+        }
+    };
     engine.stats.ranking_time = rank_start.elapsed();
     engine.stats.max_rank = ranks.max_rank();
     if !ranks.complete() {
@@ -439,7 +537,7 @@ pub fn synthesize(
     }
     engine.rank_bdds = ranks.ranks.clone();
 
-    let mut deadlocks = engine.deadlocks();
+    let mut deadlocks = phased!(Phase::Ranking, engine.deadlocks());
 
     // --- Passes 1–3 ------------------------------------------------------
     let mut finished = 0u8;
@@ -447,12 +545,18 @@ pub fn synthesize(
         'passes: for pass in 1u8..=3u8 {
             if pass <= 2 {
                 for ri in 1..=ranks.max_rank() {
-                    let from = engine.ctx.mgr().and(ranks.rank(ri), deadlocks);
+                    let from = phased!(
+                        Phase::Recovery { pass },
+                        engine.ctx.mgr().try_and(ranks.rank(ri), deadlocks)
+                    );
                     if from.is_false() {
                         continue;
                     }
                     let to = ranks.rank(ri - 1);
-                    deadlocks = engine.add_convergence(from, to, deadlocks, pass, &schedule);
+                    deadlocks = phased!(
+                        Phase::Recovery { pass },
+                        engine.add_convergence(from, to, deadlocks, pass, &schedule)
+                    );
                     if deadlocks.is_false() {
                         finished = pass;
                         break 'passes;
@@ -461,7 +565,10 @@ pub fn synthesize(
             } else {
                 // Pass 3: From = all remaining deadlocks, To = anywhere.
                 let to = engine.ctx.all_states();
-                deadlocks = engine.add_convergence(deadlocks, to, deadlocks, pass, &schedule);
+                deadlocks = phased!(
+                    Phase::Recovery { pass },
+                    engine.add_convergence(deadlocks, to, deadlocks, pass, &schedule)
+                );
                 if deadlocks.is_false() {
                     finished = pass;
                     break 'passes;
@@ -475,7 +582,6 @@ pub fn synthesize(
     }
 
     engine.stats.finished_in_pass = finished;
-    engine.stats.total_time = start.elapsed();
     engine.stats.program_nodes = engine.ctx.mgr_ref().node_count(engine.pss);
     engine.stats.peak_live_nodes = engine.ctx.mgr_ref().stats().peak_live_nodes;
 
@@ -490,8 +596,36 @@ pub fn synthesize(
         schedule,
     };
     // Soundness backstop (Theorem V.2): the heuristic's output is correct
-    // by construction; verify anyway and treat failure as a bug.
-    debug_assert!(outcome.verify_strong(), "synthesized protocol failed verification");
+    // by construction; verify anyway (debug builds) and treat failure as a
+    // bug. The verification pass itself runs under the budget.
+    #[cfg(debug_assertions)]
+    {
+        if opts.budget.is_some() {
+            let roots = [outcome.pss, outcome.i, outcome.delta_p];
+            outcome.ctx.register_roots(&roots);
+        }
+        match outcome.try_verify_strong() {
+            Ok(verified) => {
+                assert!(verified, "synthesized protocol failed verification")
+            }
+            Err(cause) => {
+                let layered = outcome.stats.max_rank + 1;
+                let added = outcome.added.clone();
+                return Err(resource_err(
+                    &outcome.ctx,
+                    Phase::Verification,
+                    cause,
+                    layered,
+                    &added,
+                ));
+            }
+        }
+    }
+    outcome.stats.bdd_ticks = outcome.ctx.mgr_ref().ticks_used();
+    outcome.stats.total_time = start.elapsed();
+    // Hand the context back unbudgeted: follow-up queries on the outcome
+    // (extraction, re-verification) must not trip a stale budget.
+    outcome.ctx.clear_budget();
     Ok(outcome)
 }
 
@@ -528,11 +662,8 @@ mod tests {
     #[test]
     fn already_stabilizing_protocol_needs_nothing() {
         // c < 3 → c := c + 1 already converges to c == 3.
-        let inc = Action::new(
-            ProcIdx(0),
-            c().lt(Expr::int(3)),
-            vec![(VarIdx(0), c().add(Expr::int(1)))],
-        );
+        let inc =
+            Action::new(ProcIdx(0), c().lt(Expr::int(3)), vec![(VarIdx(0), c().add(Expr::int(1)))]);
         let p = one_var(4, vec![inc]);
         let i = c().eq(Expr::int(3));
         let mut out = synthesize(&p, &i, &Options::default(), Schedule::identity(1)).unwrap();
@@ -578,12 +709,8 @@ mod tests {
         // Two vars; P0 can only read (not write) `b`, and I pins b == 0:
         // states with b == 1 can never recover (rank ∞).
         let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
-        let procs = vec![ProcessDecl::new(
-            "P0",
-            vec![VarIdx(0), VarIdx(1)],
-            vec![VarIdx(0)],
-        )
-        .unwrap()];
+        let procs =
+            vec![ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap()];
         let p = Protocol::new(vars, procs, vec![]).unwrap();
         let i = Expr::var(VarIdx(1)).eq(Expr::int(0)).and(Expr::var(VarIdx(0)).eq(Expr::int(0)));
         match synthesize(&p, &i, &Options::default(), Schedule::identity(1)) {

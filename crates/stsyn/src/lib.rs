@@ -69,6 +69,6 @@ pub mod symmetry;
 pub mod weak;
 
 pub use heuristic::Outcome;
-pub use problem::{AddConvergence, Options, SynthesisError};
+pub use problem::{AddConvergence, Options, PartialProgress, Phase, SynthesisError};
 pub use schedule::Schedule;
 pub use stats::SynthesisStats;

@@ -7,10 +7,19 @@
 
 use crate::heuristic::{synthesize, Outcome};
 use crate::schedule::Schedule;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use stsyn_protocol::expr::{Expr, Ty};
+use stsyn_protocol::group::GroupDesc;
 use stsyn_protocol::Protocol;
 use stsyn_symbolic::scc::SccAlgorithm;
-use std::fmt;
+use stsyn_symbolic::{BddError, Budget};
+
+/// Panic message for infallible wrappers around `try_*` operations: when
+/// no budget is installed the fallible core cannot fail.
+pub(crate) const INFALLIBLE: &str = "budget exhausted inside an infallible synthesis \
+     operation (use the budgeted entry points when a budget is installed)";
 
 /// Tunable knobs for a synthesis run.
 #[derive(Debug, Clone)]
@@ -22,12 +31,67 @@ pub struct Options {
     /// construction (§VIII "Symmetry"). `None` reproduces the paper's
     /// plain heuristic.
     pub symmetry: Option<crate::symmetry::Symmetry>,
+    /// Resource budget (node ceiling, tick count, wall-clock deadline,
+    /// cooperative cancellation) enforced throughout the run. `None` runs
+    /// unbudgeted; exhaustion surfaces as
+    /// [`SynthesisError::ResourceExhausted`] carrying well-formed partial
+    /// progress.
+    pub budget: Option<Budget>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scc: SccAlgorithm::Skeleton, symmetry: None }
+        Options { scc: SccAlgorithm::Skeleton, symmetry: None, budget: None }
     }
+}
+
+/// Which stage of the synthesis pipeline a budget violation interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Compilation, closure checking, preprocessing and candidate
+    /// enumeration — before any rank was layered.
+    Setup,
+    /// `ComputeRanks` over the maximal candidate protocol `p_im`.
+    Ranking,
+    /// One of the three recovery passes of `Add_Convergence`.
+    Recovery {
+        /// The pass (1–3) that was running.
+        pass: u8,
+    },
+    /// The independent model-checking pass over the synthesized protocol.
+    Verification,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Setup => write!(f, "setup"),
+            Phase::Ranking => write!(f, "ranking"),
+            Phase::Recovery { pass } => write!(f, "recovery pass {pass}"),
+            Phase::Verification => write!(f, "verification"),
+        }
+    }
+}
+
+/// Well-formed partial progress salvaged from a budget-interrupted run.
+/// The rank prefix is correctly layered (`ranks_layered` backward-BFS
+/// layers were completed, each exact) and every group in `groups_added`
+/// had passed `Identify_Resolve_Cycles` when the run stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialProgress {
+    /// Number of exact rank layers `ComputeRanks` completed (0 when the
+    /// run died before or at the start of ranking).
+    pub ranks_layered: usize,
+    /// Recovery groups already added *and* cycle-checked.
+    pub groups_added: Vec<GroupDesc>,
+    /// Live BDD nodes in the manager at the moment of interruption.
+    pub live_nodes: usize,
+    /// BDD operation ticks consumed.
+    pub ticks: u64,
+    /// Did the manager pass its unique-table/root consistency audit after
+    /// the interruption? (Always expected `true`; exposed so harnesses can
+    /// assert it.)
+    pub manager_consistent: bool,
 }
 
 /// Why a synthesis attempt failed.
@@ -58,9 +122,26 @@ pub enum SynthesisError {
     },
     /// The supplied schedule is not a permutation of the processes.
     BadSchedule,
+    /// The invariant expression is structurally invalid (e.g. a modulo
+    /// divisor that is zero or non-constant).
+    InvalidExpression(String),
     /// Every schedule tried by a parallel exploration failed; carries the
     /// error of the first schedule.
     AllSchedulesFailed(Box<SynthesisError>),
+    /// A parallel synthesis worker panicked (an internal bug, reported
+    /// instead of poisoning the whole exploration).
+    WorkerPanicked,
+    /// The resource budget ran out. Carries the phase that was
+    /// interrupted, the underlying BDD-level violation, and well-formed
+    /// partial progress.
+    ResourceExhausted {
+        /// The pipeline stage that was running.
+        phase: Phase,
+        /// The BDD-level budget violation.
+        cause: BddError,
+        /// Progress salvaged from the interrupted run.
+        partial: Box<PartialProgress>,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -86,14 +167,33 @@ impl fmt::Display for SynthesisError {
             SynthesisError::BadSchedule => {
                 write!(f, "schedule is not a permutation of the protocol's processes")
             }
+            SynthesisError::InvalidExpression(m) => write!(f, "invalid expression: {m}"),
             SynthesisError::AllSchedulesFailed(first) => {
                 write!(f, "every schedule failed; first error: {first}")
             }
+            SynthesisError::WorkerPanicked => {
+                write!(f, "a parallel synthesis worker panicked (internal error)")
+            }
+            SynthesisError::ResourceExhausted { phase, cause, partial } => write!(
+                f,
+                "resource budget exhausted during {phase}: {cause} \
+                 ({} rank layers, {} groups added before interruption)",
+                partial.ranks_layered,
+                partial.groups_added.len()
+            ),
         }
     }
 }
 
-impl std::error::Error for SynthesisError {}
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::ResourceExhausted { cause, .. } => Some(cause),
+            SynthesisError::AllSchedulesFailed(first) => Some(&**first),
+            _ => None,
+        }
+    }
+}
 
 /// An instance of Problem III.1: protocol plus legitimate-state predicate.
 #[derive(Debug, Clone)]
@@ -107,9 +207,13 @@ impl AddConvergence {
     /// (Closure of `I` in `p` is checked symbolically at synthesis time.)
     pub fn new(protocol: Protocol, invariant: Expr) -> Result<Self, SynthesisError> {
         match invariant.typecheck() {
-            Ok(Ty::Bool) => Ok(AddConvergence { protocol, invariant }),
-            _ => Err(SynthesisError::InvariantNotBool),
+            Ok(Ty::Bool) => {}
+            _ => return Err(SynthesisError::InvariantNotBool),
         }
+        invariant
+            .validate_moduli()
+            .map_err(|e| SynthesisError::InvalidExpression(e.to_string()))?;
+        Ok(AddConvergence { protocol, invariant })
     }
 
     /// The protocol `p`.
@@ -147,35 +251,76 @@ impl AddConvergence {
         synthesize(&self.protocol, &self.invariant, opts, schedule)
     }
 
-    /// Add **weak** convergence (Theorem IV.1: sound and complete).
+    /// Add **weak** convergence (Theorem IV.1: sound and complete) with
+    /// default options.
     pub fn synthesize_weak(&self) -> Result<Outcome, SynthesisError> {
-        crate::weak::synthesize_weak(&self.protocol, &self.invariant)
+        self.synthesize_weak_with(&Options::default())
+    }
+
+    /// Add weak convergence under explicit options (only the budget is
+    /// consulted — weak synthesis has no SCC or symmetry knobs).
+    pub fn synthesize_weak_with(&self, opts: &Options) -> Result<Outcome, SynthesisError> {
+        crate::weak::synthesize_weak(&self.protocol, &self.invariant, opts)
     }
 
     /// Race several schedules, one per thread (the paper's Fig. 1 runs one
     /// synthesizer instance per schedule on separate machines). Returns
     /// the first success in schedule order, or — when every schedule
     /// fails — `AllSchedulesFailed` carrying the first schedule's error.
+    ///
+    /// The workers share a cooperative cancellation flag: the first to
+    /// succeed cancels the rest, whose `ResourceExhausted(Cancelled)`
+    /// results are not counted as failures. A worker panic is contained
+    /// and reported as [`SynthesisError::WorkerPanicked`] rather than
+    /// aborting the exploration.
     pub fn synthesize_parallel(
         &self,
         opts: &Options,
         schedules: Vec<Schedule>,
     ) -> Result<Outcome, SynthesisError> {
-        assert!(!schedules.is_empty(), "need at least one schedule");
+        if schedules.is_empty() {
+            return Err(SynthesisError::BadSchedule);
+        }
+        let cancel = Arc::new(AtomicBool::new(false));
         let results: Vec<Result<Outcome, SynthesisError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = schedules
                 .into_iter()
                 .map(|sch| {
-                    let opts = opts.clone();
-                    scope.spawn(move || synthesize(&self.protocol, &self.invariant, &opts, sch))
+                    let mut opts = opts.clone();
+                    let cancel = Arc::clone(&cancel);
+                    opts.budget = Some(
+                        opts.budget.take().unwrap_or_default().with_cancel(Arc::clone(&cancel)),
+                    );
+                    scope.spawn(move || {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            synthesize(&self.protocol, &self.invariant, &opts, sch)
+                        }));
+                        match r {
+                            Ok(Ok(out)) => {
+                                // Tell the siblings to stop working.
+                                cancel.store(true, Ordering::Relaxed);
+                                Ok(out)
+                            }
+                            Ok(Err(e)) => Err(e),
+                            Err(_) => Err(SynthesisError::WorkerPanicked),
+                        }
+                    })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("synthesis thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(SynthesisError::WorkerPanicked)))
+                .collect()
         });
         let mut first_err: Option<SynthesisError> = None;
         for r in results {
             match r {
                 Ok(out) => return Ok(out),
+                // A worker cancelled because a sibling won is not a
+                // failure of its schedule; skip it when picking the error
+                // to report.
+                Err(SynthesisError::ResourceExhausted { cause, .. })
+                    if cause.resource() == stsyn_symbolic::Resource::Cancelled => {}
                 Err(e) => {
                     if first_err.is_none() {
                         first_err = Some(e);
@@ -183,7 +328,11 @@ impl AddConvergence {
                 }
             }
         }
-        Err(SynthesisError::AllSchedulesFailed(Box::new(first_err.unwrap())))
+        // Every schedule failed; all-cancelled without a success cannot
+        // happen (only a success sets the flag), but fall back gracefully.
+        Err(SynthesisError::AllSchedulesFailed(Box::new(
+            first_err.unwrap_or(SynthesisError::WorkerPanicked),
+        )))
     }
 }
 
@@ -230,9 +379,8 @@ mod tests {
         let p = Protocol::new(vars, procs, vec![]).unwrap();
         let i = v(0).eq(Expr::int(0)).and(v(1).eq(Expr::int(0)));
         let prob = AddConvergence::new(p, i).unwrap();
-        let mut out = prob
-            .synthesize_parallel(&Options::default(), Schedule::all_rotations(2))
-            .unwrap();
+        let mut out =
+            prob.synthesize_parallel(&Options::default(), Schedule::all_rotations(2)).unwrap();
         assert!(out.verify_strong());
     }
 
@@ -244,11 +392,8 @@ mod tests {
         // the cycle (0,1) ↔ (1,1) whose groups also act inside I.
         let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
         let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
-        let toggle = Action::new(
-            ProcIdx(0),
-            Expr::Bool(true),
-            vec![(VarIdx(0), Expr::int(1).sub(v(0)))],
-        );
+        let toggle =
+            Action::new(ProcIdx(0), Expr::Bool(true), vec![(VarIdx(0), Expr::int(1).sub(v(0)))]);
         let p = Protocol::new(vars, procs, vec![toggle]).unwrap();
         let i = v(1).eq(Expr::int(0));
         let prob = AddConvergence::new(p, i).unwrap();

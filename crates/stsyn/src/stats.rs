@@ -45,6 +45,10 @@ pub struct SynthesisStats {
     pub deadlock_time: Duration,
     /// Diagnostic: time folding accepted groups into `p_ss`.
     pub include_time: Duration,
+    /// Budget ticks consumed by the run's BDD operations — a deterministic,
+    /// platform-independent work metric (also the coordinate system for the
+    /// fault-injection harness).
+    pub bdd_ticks: u64,
 }
 
 impl SynthesisStats {

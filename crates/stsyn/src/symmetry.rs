@@ -15,10 +15,10 @@
 //! automatically.
 
 use crate::candidates::CandidateSet;
+use std::collections::HashMap;
 use stsyn_protocol::group::GroupDesc;
 use stsyn_protocol::topology::{ProcIdx, VarIdx};
 use stsyn_protocol::Protocol;
-use std::collections::HashMap;
 
 /// A generator of a cyclic symmetry group on a protocol: process `j`
 /// maps to `proc_map[j]` and variable `v` to `var_map[v]`.
@@ -127,16 +127,10 @@ impl Symmetry {
             .reads
             .iter()
             .map(|r_new| {
-                let r_old = self
-                    .var_map
-                    .iter()
-                    .position(|&m| m == r_new.0)
-                    .expect("permutation is total");
-                let pos = src_proc
-                    .reads
-                    .iter()
-                    .position(|r| r.0 == r_old)
-                    .expect("topology preserved");
+                let r_old =
+                    self.var_map.iter().position(|&m| m == r_new.0).expect("permutation is total");
+                let pos =
+                    src_proc.reads.iter().position(|r| r.0 == r_old).expect("topology preserved");
                 g.pre[pos]
             })
             .collect();
@@ -144,16 +138,10 @@ impl Symmetry {
             .writes
             .iter()
             .map(|w_new| {
-                let w_old = self
-                    .var_map
-                    .iter()
-                    .position(|&m| m == w_new.0)
-                    .expect("permutation is total");
-                let pos = src_proc
-                    .writes
-                    .iter()
-                    .position(|w| w.0 == w_old)
-                    .expect("topology preserved");
+                let w_old =
+                    self.var_map.iter().position(|&m| m == w_new.0).expect("permutation is total");
+                let pos =
+                    src_proc.writes.iter().position(|w| w.0 == w_old).expect("topology preserved");
                 g.post[pos]
             })
             .collect();
@@ -184,21 +172,13 @@ impl Symmetry {
         ci: usize,
     ) -> Option<Vec<usize>> {
         let g = &cands.all[ci].desc;
-        self.orbit(protocol, g)
-            .into_iter()
-            .map(|member| index.get(&member).copied())
-            .collect()
+        self.orbit(protocol, g).into_iter().map(|member| index.get(&member).copied()).collect()
     }
 }
 
 /// Build the descriptor → candidate-index map used for orbit lookups.
 pub fn candidate_index(cands: &CandidateSet) -> HashMap<GroupDesc, usize> {
-    cands
-        .all
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c.desc.clone(), i))
-        .collect()
+    cands.all.iter().enumerate().map(|(i, c)| (c.desc.clone(), i)).collect()
 }
 
 #[cfg(test)]
@@ -222,8 +202,7 @@ mod tests {
         let orbit = sym.orbit(&p, &g);
         assert_eq!(orbit.len(), 5);
         // All orbit members distinct, one per process.
-        let procs: std::collections::HashSet<usize> =
-            orbit.iter().map(|g| g.process.0).collect();
+        let procs: std::collections::HashSet<usize> = orbit.iter().map(|g| g.process.0).collect();
         assert_eq!(procs.len(), 5);
         // Applying the generator 5 times returns the original.
         assert_eq!(&orbit[0], &g);

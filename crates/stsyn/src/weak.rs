@@ -7,34 +7,69 @@
 //! stabilizing version of `p` exists at all.
 
 use crate::candidates::CandidateSet;
-use crate::heuristic::Outcome;
-use crate::problem::SynthesisError;
+use crate::heuristic::{resource_err, Outcome};
+use crate::problem::{Options, Phase, SynthesisError};
 use crate::schedule::Schedule;
 use crate::stats::SynthesisStats;
+use std::time::Instant;
 use stsyn_protocol::expr::Expr;
 use stsyn_protocol::Protocol;
-use stsyn_symbolic::check::closure_holds;
-use stsyn_symbolic::ranks::compute_ranks;
+use stsyn_symbolic::check::try_closure_holds;
+use stsyn_symbolic::ranks::try_compute_ranks;
 use stsyn_symbolic::SymbolicContext;
-use std::time::Instant;
 
 /// Produce the weakly stabilizing `p_im`, or prove none exists.
-pub fn synthesize_weak(protocol: &Protocol, invariant: &Expr) -> Result<Outcome, SynthesisError> {
+///
+/// Honors [`Options::budget`] with the same failure semantics as the
+/// strong-stabilization heuristic (setup and ranking phases only — weak
+/// synthesis has no recovery passes).
+pub fn synthesize_weak(
+    protocol: &Protocol,
+    invariant: &Expr,
+    opts: &Options,
+) -> Result<Outcome, SynthesisError> {
     let start = Instant::now();
     let mut ctx = SymbolicContext::new(protocol.clone());
-    let i = ctx.compile(invariant);
+    if let Some(b) = &opts.budget {
+        ctx.set_budget(b);
+    }
+    macro_rules! setup {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(cause) => return Err(resource_err(&ctx, Phase::Setup, cause, 0, &[])),
+            }
+        };
+    }
+    let i = setup!(ctx.try_compile(invariant));
     if i.is_false() {
         return Err(SynthesisError::EmptyInvariant);
     }
-    let delta_p = ctx.protocol_relation();
-    if !closure_holds(&mut ctx, delta_p, i) {
+    let delta_p = setup!(ctx.try_protocol_relation());
+    if !setup!(try_closure_holds(&mut ctx, delta_p, i)) {
         return Err(SynthesisError::NotClosed);
     }
-    let mut cands = CandidateSet::build(&mut ctx, i);
-    let pim = cands.pim(&mut ctx, delta_p);
+    let mut cands = setup!(CandidateSet::try_build(&mut ctx, i));
+    let pim = setup!(cands.try_pim(&mut ctx, delta_p));
 
+    if opts.budget.is_some() {
+        let mut roots = cands.roots();
+        roots.extend([i, delta_p, pim]);
+        ctx.register_roots(&roots);
+    }
     let rank_start = Instant::now();
-    let ranks = compute_ranks(&mut ctx, pim, i);
+    let ranks = match try_compute_ranks(&mut ctx, pim, i) {
+        Ok(t) => t,
+        Err(interrupted) => {
+            return Err(resource_err(
+                &ctx,
+                Phase::Ranking,
+                interrupted.cause,
+                interrupted.ranks_so_far.len(),
+                &[],
+            ))
+        }
+    };
     let ranking_time = rank_start.elapsed();
     if !ranks.complete() {
         let count = ctx.count_states(ranks.infinite);
@@ -45,7 +80,13 @@ pub fn synthesize_weak(protocol: &Protocol, invariant: &Expr) -> Result<Outcome,
     let mut added = Vec::new();
     for c in &mut cands.all {
         c.included = true;
-        if !ctx.mgr().implies_holds(c.relation, delta_p) {
+        let subsumed = match ctx.mgr().try_implies_holds(c.relation, delta_p) {
+            Ok(v) => v,
+            Err(cause) => {
+                return Err(resource_err(&ctx, Phase::Ranking, cause, ranks.ranks.len(), &[]))
+            }
+        };
+        if !subsumed {
             added.push(c.desc.clone());
         }
     }
@@ -57,8 +98,10 @@ pub fn synthesize_weak(protocol: &Protocol, invariant: &Expr) -> Result<Outcome,
         groups_added: added.len(),
         program_nodes: ctx.mgr_ref().node_count(pim),
         peak_live_nodes: ctx.mgr_ref().stats().peak_live_nodes,
+        bdd_ticks: ctx.mgr_ref().ticks_used(),
         ..SynthesisStats::default()
     };
+    ctx.clear_budget();
     let k = protocol.num_processes();
     Ok(Outcome {
         i,
@@ -88,7 +131,7 @@ mod tests {
         let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
         let p = Protocol::new(vars, procs, vec![]).unwrap();
         let i = v(0).eq(Expr::int(0));
-        let mut out = synthesize_weak(&p, &i).unwrap();
+        let mut out = synthesize_weak(&p, &i, &Options::default()).unwrap();
         assert!(out.verify_weak());
         assert!(out.preserves_i_behavior());
         assert!(!out.added.is_empty());
@@ -102,7 +145,7 @@ mod tests {
         let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
         let p = Protocol::new(vars, procs, vec![]).unwrap();
         let i = v(0).eq(Expr::int(0));
-        let mut out = synthesize_weak(&p, &i).unwrap();
+        let mut out = synthesize_weak(&p, &i, &Options::default()).unwrap();
         assert!(out.verify_weak());
         assert!(!out.verify_strong()); // cycle 1↔2 exists in p_im
     }
@@ -112,16 +155,12 @@ mod tests {
         // I pins an unwritable variable: Theorem IV.1 says "no stabilizing
         // version exists", weak or strong.
         let vars = vec![VarDecl::new("a", 2), VarDecl::new("b", 2)];
-        let procs = vec![ProcessDecl::new(
-            "P0",
-            vec![VarIdx(0), VarIdx(1)],
-            vec![VarIdx(0)],
-        )
-        .unwrap()];
+        let procs =
+            vec![ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap()];
         let p = Protocol::new(vars, procs, vec![]).unwrap();
         let i = v(1).eq(Expr::int(0)).and(v(0).eq(Expr::int(0)));
         assert!(matches!(
-            synthesize_weak(&p, &i),
+            synthesize_weak(&p, &i, &Options::default()),
             Err(SynthesisError::NoStabilizingVersion { .. })
         ));
     }
@@ -133,6 +172,9 @@ mod tests {
         let esc = Action::new(ProcIdx(0), v(0).eq(Expr::int(0)), vec![(VarIdx(0), Expr::int(1))]);
         let p = Protocol::new(vars, procs, vec![esc]).unwrap();
         let i = v(0).eq(Expr::int(0));
-        assert!(matches!(synthesize_weak(&p, &i), Err(SynthesisError::NotClosed)));
+        assert!(matches!(
+            synthesize_weak(&p, &i, &Options::default()),
+            Err(SynthesisError::NotClosed)
+        ));
     }
 }

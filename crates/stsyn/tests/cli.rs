@@ -88,13 +88,7 @@ fn weak_mode_reports_weak_stabilization() {
 fn emit_dsl_writes_a_reparsable_stabilizing_protocol() {
     let (dir, path) = write_protocol("emit", RAMP);
     let out_path = dir.path.join("out.stsyn");
-    let out = stsyn()
-        .arg(&path)
-        .arg("--quiet")
-        .arg("--emit-dsl")
-        .arg(&out_path)
-        .output()
-        .unwrap();
+    let out = stsyn().arg(&path).arg("--quiet").arg("--emit-dsl").arg(&out_path).output().unwrap();
     assert!(out.status.success());
     let emitted = std::fs::read_to_string(&out_path).unwrap();
     assert!(emitted.starts_with("protocol Ramp_SS"), "{emitted}");

@@ -5,9 +5,9 @@
 //! pass, and the test suite additionally cross-validates these verdicts
 //! against the explicit-state engine.
 
-use crate::encode::SymbolicContext;
-use crate::scc::has_cycle;
-use stsyn_bdd::Bdd;
+use crate::encode::{SymbolicContext, INFALLIBLE};
+use crate::scc::try_has_cycle;
+use stsyn_bdd::{Bdd, BddError};
 
 /// Outcome of a convergence check, with symbolic witnesses.
 #[derive(Debug, Clone)]
@@ -32,74 +32,111 @@ impl Verdict {
 
 /// Is `i` closed in `relation`? (`T ∧ I ∧ ¬I'` must be empty.)
 pub fn closure_holds(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> bool {
+    try_closure_holds(ctx, relation, i).expect(INFALLIBLE)
+}
+
+/// Fallible variant of [`closure_holds`] for budgeted runs.
+pub fn try_closure_holds(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    i: Bdd,
+) -> Result<bool, BddError> {
     let map = ctx.cur_to_primed();
-    let i_primed = ctx.mgr().rename(i, map);
-    let not_i_primed = ctx.mgr().not(i_primed);
-    let from_i = ctx.mgr().and(relation, i);
-    ctx.mgr().and(from_i, not_i_primed).is_false()
+    let i_primed = ctx.mgr().try_rename(i, map)?;
+    let not_i_primed = ctx.mgr().try_not(i_primed)?;
+    let from_i = ctx.mgr().try_and(relation, i)?;
+    Ok(ctx.mgr().try_and(from_i, not_i_primed)?.is_false())
 }
 
 /// Deadlock states outside `i`: `¬I ∧ ¬(∃s'. T)`.
 pub fn deadlock_states(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> Bdd {
-    let enabled = ctx.enabled(relation);
-    let not_i = ctx.not_states(i);
-    let not_enabled = ctx.mgr().not(enabled);
-    ctx.mgr().and(not_i, not_enabled)
+    try_deadlock_states(ctx, relation, i).expect(INFALLIBLE)
+}
+
+/// Fallible variant of [`deadlock_states`] for budgeted runs.
+pub fn try_deadlock_states(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    i: Bdd,
+) -> Result<Bdd, BddError> {
+    let enabled = ctx.try_enabled(relation)?;
+    let not_i = ctx.try_not_states(i)?;
+    let not_enabled = ctx.mgr().try_not(enabled)?;
+    ctx.mgr().try_and(not_i, not_enabled)
 }
 
 /// Strong convergence to `i` (Proposition II.1): no deadlock state in
 /// `¬I` and no non-progress cycle in `T | ¬I`.
 pub fn strong_convergence(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> Verdict {
-    let dead = deadlock_states(ctx, relation, i);
+    try_strong_convergence(ctx, relation, i).expect(INFALLIBLE)
+}
+
+/// Fallible variant of [`strong_convergence`] for budgeted runs.
+pub fn try_strong_convergence(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    i: Bdd,
+) -> Result<Verdict, BddError> {
+    let dead = try_deadlock_states(ctx, relation, i)?;
     if !dead.is_false() {
-        return Verdict::fail(dead);
+        return Ok(Verdict::fail(dead));
     }
-    let not_i = ctx.not_states(i);
-    let restricted = ctx.restrict_relation(relation, not_i);
-    if has_cycle(ctx, restricted, not_i) {
+    let not_i = ctx.try_not_states(i)?;
+    let restricted = ctx.try_restrict_relation(relation, not_i)?;
+    if try_has_cycle(ctx, restricted, not_i)? {
         // Witness: the trimmed cyclic core.
         let mut core = not_i;
         loop {
-            let with_succ = ctx.pre(restricted, core);
-            let with_pred = ctx.img(restricted, core);
-            let mut next = ctx.mgr().and(core, with_succ);
-            next = ctx.mgr().and(next, with_pred);
+            let with_succ = ctx.try_pre(restricted, core)?;
+            let with_pred = ctx.try_img(restricted, core)?;
+            let mut next = ctx.mgr().try_and(core, with_succ)?;
+            next = ctx.mgr().try_and(next, with_pred)?;
             if next == core {
                 break;
             }
             core = next;
         }
-        return Verdict::fail(core);
+        return Ok(Verdict::fail(core));
     }
-    Verdict::ok()
+    Ok(Verdict::ok())
 }
 
 /// Weak convergence to `i`: every state can reach `i` (the backward
 /// closure of `i` covers the state space).
 pub fn weak_convergence(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> Verdict {
-    let reach = ctx.backward_closure(relation, i);
-    let missing = ctx.not_states(reach);
-    if missing.is_false() {
-        Verdict::ok()
-    } else {
-        Verdict::fail(missing)
-    }
+    try_weak_convergence(ctx, relation, i).expect(INFALLIBLE)
+}
+
+/// Fallible variant of [`weak_convergence`] for budgeted runs.
+pub fn try_weak_convergence(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    i: Bdd,
+) -> Result<Verdict, BddError> {
+    let reach = ctx.try_backward_closure(relation, i)?;
+    let missing = ctx.try_not_states(reach)?;
+    Ok(if missing.is_false() { Verdict::ok() } else { Verdict::fail(missing) })
 }
 
 /// Full self-stabilization check: closure plus the requested flavor of
 /// convergence.
-pub fn self_stabilizing(
+pub fn self_stabilizing(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd, strong: bool) -> bool {
+    try_self_stabilizing(ctx, relation, i, strong).expect(INFALLIBLE)
+}
+
+/// Fallible variant of [`self_stabilizing`] for budgeted runs.
+pub fn try_self_stabilizing(
     ctx: &mut SymbolicContext,
     relation: Bdd,
     i: Bdd,
     strong: bool,
-) -> bool {
-    closure_holds(ctx, relation, i)
+) -> Result<bool, BddError> {
+    Ok(try_closure_holds(ctx, relation, i)?
         && if strong {
-            strong_convergence(ctx, relation, i).holds
+            try_strong_convergence(ctx, relation, i)?.holds
         } else {
-            weak_convergence(ctx, relation, i).holds
-        }
+            try_weak_convergence(ctx, relation, i)?.holds
+        })
 }
 
 #[cfg(test)]
@@ -123,11 +160,8 @@ mod tests {
     #[test]
     fn ramp_is_strongly_stabilizing() {
         // c < 3 → c := c+1 converges to {c == 3}.
-        let inc = Action::new(
-            ProcIdx(0),
-            c().lt(Expr::int(3)),
-            vec![(VarIdx(0), c().add(Expr::int(1)))],
-        );
+        let inc =
+            Action::new(ProcIdx(0), c().lt(Expr::int(3)), vec![(VarIdx(0), c().add(Expr::int(1)))]);
         let mut ctx = one_var(4, vec![inc]);
         let t = ctx.protocol_relation();
         let i = ctx.compile(&c().eq(Expr::int(3)));

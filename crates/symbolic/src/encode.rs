@@ -12,7 +12,7 @@
 //! complements must go through [`SymbolicContext::not_states`] (which does
 //! that intersection) rather than raw BDD negation.
 
-use stsyn_bdd::{Bdd, Manager, RenameId, VarId, VarSetId};
+use stsyn_bdd::{Bdd, BddError, Budget, Manager, RenameId, VarId, VarSetId};
 use stsyn_protocol::expr::{BinOp, Expr, Ty, UnOp};
 use stsyn_protocol::group::GroupDesc;
 use stsyn_protocol::state::State;
@@ -67,6 +67,11 @@ pub enum VarOrder {
     /// for the variable-ordering ablation benchmark.
     Blocked,
 }
+
+/// Panic message of the infallible wrappers: with a budget installed the
+/// fallible `try_*` variants must be used instead.
+pub(crate) const INFALLIBLE: &str = "budget exhausted inside an infallible symbolic \
+     operation (use the try_* variants when a budget is installed)";
 
 impl SymbolicContext {
     /// Build the encoding for a protocol with the default
@@ -162,8 +167,7 @@ impl SymbolicContext {
         }
 
         let all_cur: Vec<VarId> = bits.iter().flat_map(|vb| vb.cur.iter().copied()).collect();
-        let all_primed: Vec<VarId> =
-            bits.iter().flat_map(|vb| vb.primed.iter().copied()).collect();
+        let all_primed: Vec<VarId> = bits.iter().flat_map(|vb| vb.primed.iter().copied()).collect();
         let cur_set = mgr.varset(&all_cur);
         let primed_set = mgr.varset(&all_primed);
         let fwd: Vec<(VarId, VarId)> =
@@ -191,6 +195,41 @@ impl SymbolicContext {
             primed_to_cur,
             cur_vars_sorted,
         }
+    }
+
+    /// Install a resource budget on the underlying manager.
+    ///
+    /// Also registers this context's precomputed constants as the
+    /// persistent GC root set and — under the interleaved layout — the
+    /// `(current, primed)` bit pairs the node-pressure degradation path
+    /// may reorder with [`Manager::sift_pairs`]. Callers that hold further
+    /// long-lived handles (relations, invariants, rank layers, ...) must
+    /// extend the root set via [`SymbolicContext::register_roots`] before
+    /// any budgeted call that may hit a node-ceiling safe point.
+    pub fn set_budget(&mut self, budget: &Budget) {
+        let roots = self.roots();
+        let pairs: Vec<(VarId, VarId)> = self
+            .bits
+            .iter()
+            .flat_map(|vb| vb.cur.iter().copied().zip(vb.primed.iter().copied()))
+            .collect();
+        self.mgr.set_gc_roots(roots);
+        self.mgr.set_reorder_pairs(pairs);
+        self.mgr.set_budget(budget.clone());
+    }
+
+    /// Remove any installed budget; the tick counter is preserved so
+    /// callers can still read [`Manager::ticks_used`].
+    pub fn clear_budget(&mut self) {
+        self.mgr.clear_budget();
+    }
+
+    /// Re-register the persistent GC root set as this context's constants
+    /// plus `extra`. Replaces (does not accumulate) previous extras.
+    pub fn register_roots(&mut self, extra: &[Bdd]) {
+        let mut roots = self.roots();
+        roots.extend_from_slice(extra);
+        self.mgr.set_gc_roots(roots);
     }
 
     /// The encoded protocol.
@@ -236,8 +275,13 @@ impl SymbolicContext {
 
     /// Complement **within the state space**: `S_p ∧ ¬f`.
     pub fn not_states(&mut self, f: Bdd) -> Bdd {
-        let nf = self.mgr.not(f);
-        self.mgr.and(self.valid_cur, nf)
+        self.try_not_states(f).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::not_states`].
+    pub fn try_not_states(&mut self, f: Bdd) -> Result<Bdd, BddError> {
+        let nf = self.mgr.try_not(f)?;
+        self.mgr.try_and(self.valid_cur, nf)
     }
 
     /// The cube `v = val` over current bits.
@@ -263,9 +307,14 @@ impl SymbolicContext {
 
     /// The singleton predicate {s}.
     pub fn state_cube(&mut self, s: &State) -> Bdd {
+        self.try_state_cube(s).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::state_cube`].
+    pub fn try_state_cube(&mut self, s: &State) -> Result<Bdd, BddError> {
         let cubes: Vec<Bdd> =
             s.iter().enumerate().map(|(i, &val)| self.value_cur[i][val as usize]).collect();
-        self.mgr.and_many(&cubes)
+        self.mgr.try_and_many(&cubes)
     }
 
     /// Number of protocol states in a (current-vocabulary) predicate.
@@ -303,16 +352,26 @@ impl SymbolicContext {
         self.state_cube(s)
     }
 
+    /// Fallible variant of [`SymbolicContext::singleton`].
+    pub fn try_singleton(&mut self, s: &State) -> Result<Bdd, BddError> {
+        self.try_state_cube(s)
+    }
+
     /// Compile a boolean expression into a current-vocabulary predicate
     /// (intersected with the valid-code constraint).
     pub fn compile(&mut self, e: &Expr) -> Bdd {
-        debug_assert_eq!(e.typecheck().ok(), Some(Ty::Bool));
-        let raw = self.compile_bool(e);
-        self.mgr.and(raw, self.valid_cur)
+        self.try_compile(e).expect(INFALLIBLE)
     }
 
-    fn compile_bool(&mut self, e: &Expr) -> Bdd {
-        match e {
+    /// Fallible variant of [`SymbolicContext::compile`].
+    pub fn try_compile(&mut self, e: &Expr) -> Result<Bdd, BddError> {
+        debug_assert_eq!(e.typecheck().ok(), Some(Ty::Bool));
+        let raw = self.compile_bool(e)?;
+        self.mgr.try_and(raw, self.valid_cur)
+    }
+
+    fn compile_bool(&mut self, e: &Expr) -> Result<Bdd, BddError> {
+        Ok(match e {
             Expr::Bool(b) => {
                 if *b {
                     self.mgr.one()
@@ -321,36 +380,36 @@ impl SymbolicContext {
                 }
             }
             Expr::Un(UnOp::Not, inner) => {
-                let f = self.compile_bool(inner);
-                self.mgr.not(f)
+                let f = self.compile_bool(inner)?;
+                self.mgr.try_not(f)?
             }
             Expr::Bin(op, a, b) => {
                 use BinOp::*;
                 match op {
                     And | Or | Implies | Iff => {
-                        let fa = self.compile_bool(a);
-                        let fb = self.compile_bool(b);
+                        let fa = self.compile_bool(a)?;
+                        let fb = self.compile_bool(b)?;
                         match op {
-                            And => self.mgr.and(fa, fb),
-                            Or => self.mgr.or(fa, fb),
-                            Implies => self.mgr.implies(fa, fb),
-                            Iff => self.mgr.iff(fa, fb),
+                            And => self.mgr.try_and(fa, fb)?,
+                            Or => self.mgr.try_or(fa, fb)?,
+                            Implies => self.mgr.try_implies(fa, fb)?,
+                            Iff => self.mgr.try_iff(fa, fb)?,
                             _ => unreachable!(),
                         }
                     }
                     Eq | Ne if a.typecheck() == Ok(Ty::Bool) => {
-                        let fa = self.compile_bool(a);
-                        let fb = self.compile_bool(b);
-                        let eq = self.mgr.iff(fa, fb);
+                        let fa = self.compile_bool(a)?;
+                        let fb = self.compile_bool(b)?;
+                        let eq = self.mgr.try_iff(fa, fb)?;
                         if *op == Eq {
                             eq
                         } else {
-                            self.mgr.not(eq)
+                            self.mgr.try_not(eq)?
                         }
                     }
                     Eq | Ne | Lt | Le | Gt | Ge => {
-                        let ta = self.compile_int(a);
-                        let tb = self.compile_int(b);
+                        let ta = self.compile_int(a)?;
+                        let tb = self.compile_int(b)?;
                         let mut acc = self.mgr.zero();
                         for &(va, ca) in &ta {
                             for &(vb, cb) in &tb {
@@ -364,8 +423,8 @@ impl SymbolicContext {
                                     _ => unreachable!(),
                                 };
                                 if holds {
-                                    let both = self.mgr.and(ca, cb);
-                                    acc = self.mgr.or(acc, both);
+                                    let both = self.mgr.try_and(ca, cb)?;
+                                    acc = self.mgr.try_or(acc, both)?;
                                 }
                             }
                         }
@@ -377,32 +436,30 @@ impl SymbolicContext {
             Expr::Int(_) | Expr::Var(_) | Expr::Un(UnOp::Neg, _) => {
                 panic!("integer expression in boolean position")
             }
-        }
+        })
     }
 
     /// Compile an integer expression into its value partition: a list of
     /// `(value, condition)` pairs whose conditions are disjoint and cover
     /// the valid states. Exponential in the number of *distinct variables
     /// mentioned*, which locality keeps tiny.
-    fn compile_int(&mut self, e: &Expr) -> Vec<(i64, Bdd)> {
-        match e {
+    fn compile_int(&mut self, e: &Expr) -> Result<Vec<(i64, Bdd)>, BddError> {
+        Ok(match e {
             Expr::Int(i) => vec![(*i, self.mgr.one())],
             Expr::Var(v) => (0..self.bits[v.0].domain)
                 .map(|val| (val as i64, self.value_cur[v.0][val as usize]))
                 .collect(),
-            Expr::Un(UnOp::Neg, inner) => self
-                .compile_int(inner)
-                .into_iter()
-                .map(|(v, c)| (-v, c))
-                .collect(),
+            Expr::Un(UnOp::Neg, inner) => {
+                self.compile_int(inner)?.into_iter().map(|(v, c)| (-v, c)).collect()
+            }
             Expr::Bin(op, a, b) => {
                 use BinOp::*;
-                let ta = self.compile_int(a);
-                let tb = self.compile_int(b);
+                let ta = self.compile_int(a)?;
+                let tb = self.compile_int(b)?;
                 let mut merged: Vec<(i64, Bdd)> = Vec::new();
                 for &(va, ca) in &ta {
                     for &(vb, cb) in &tb {
-                        let cond = self.mgr.and(ca, cb);
+                        let cond = self.mgr.try_and(ca, cb)?;
                         if cond.is_false() {
                             continue;
                         }
@@ -410,6 +467,9 @@ impl SymbolicContext {
                             Add => va + vb,
                             Sub => va - vb,
                             Mul => va * vb,
+                            // Moduli are validated at parse/problem-construction
+                            // time (`Expr::validate_moduli`); reaching zero here
+                            // is an internal invariant violation.
                             Mod => {
                                 assert!(vb != 0, "modulo by zero in predicate");
                                 va.rem_euclid(vb)
@@ -417,7 +477,7 @@ impl SymbolicContext {
                             _ => panic!("boolean operator in integer position: {op:?}"),
                         };
                         match merged.iter_mut().find(|(v, _)| *v == val) {
-                            Some((_, c)) => *c = self.mgr.or(*c, cond),
+                            Some((_, c)) => *c = self.mgr.try_or(*c, cond)?,
                             None => merged.push((val, cond)),
                         }
                     }
@@ -427,12 +487,17 @@ impl SymbolicContext {
             Expr::Bool(_) | Expr::Un(UnOp::Not, _) => {
                 panic!("boolean expression in integer position")
             }
-        }
+        })
     }
 
     /// The transition relation of one group: readable source cube ∧
     /// written target cube ∧ the process frame.
     pub fn group_relation(&mut self, g: &GroupDesc) -> Bdd {
+        self.try_group_relation(g).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::group_relation`].
+    pub fn try_group_relation(&mut self, g: &GroupDesc) -> Result<Bdd, BddError> {
         let proc = &self.protocol.processes()[g.process.0];
         let reads = proc.reads.clone();
         let writes = proc.writes.clone();
@@ -447,46 +512,51 @@ impl SymbolicContext {
             constraints.push(self.value_primed[w.0][val as usize]);
         }
         for c in constraints.into_iter().rev() {
-            rel = self.mgr.and(rel, c);
+            rel = self.mgr.try_and(rel, c)?;
         }
-        rel
+        Ok(rel)
     }
 
     /// The source-state predicate of a group: the cube over its readable
     /// variables (i.e. all states from which the group has a transition).
     pub fn group_source(&mut self, g: &GroupDesc) -> Bdd {
+        self.try_group_source(g).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::group_source`].
+    pub fn try_group_source(&mut self, g: &GroupDesc) -> Result<Bdd, BddError> {
         let reads = self.protocol.processes()[g.process.0].reads.clone();
         let mut src = self.valid_cur;
         for (r, &val) in reads.iter().zip(&g.pre).rev() {
-            src = self.mgr.and(src, self.value_cur[r.0][val as usize]);
+            src = self.mgr.try_and(src, self.value_cur[r.0][val as usize])?;
         }
-        src
+        Ok(src)
     }
 
     /// The transition relation denoted by the protocol's guarded commands,
     /// `δ_p`, as the union of each process's action groups.
     pub fn protocol_relation(&mut self) -> Bdd {
+        self.try_protocol_relation().expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::protocol_relation`].
+    pub fn try_protocol_relation(&mut self) -> Result<Bdd, BddError> {
         let mut rel = self.mgr.zero();
         for j in 0..self.protocol.num_processes() {
-            let groups =
-                stsyn_protocol::group::groups_of_actions(&self.protocol, ProcIdx(j));
+            let groups = stsyn_protocol::group::groups_of_actions(&self.protocol, ProcIdx(j));
             for g in &groups {
-                let gr = self.group_relation(g);
-                rel = self.mgr.or(rel, gr);
+                let gr = self.try_group_relation(g)?;
+                rel = self.mgr.try_or(rel, gr)?;
             }
         }
-        rel
+        Ok(rel)
     }
 
     /// The literal list (current bits, sorted by level) encoding `v = val`
     /// — the cube form used for cofactoring.
     pub fn cur_literals(&self, v: VarIdx, val: u32) -> Vec<(VarId, bool)> {
         let vb = &self.bits[v.0];
-        vb.cur
-            .iter()
-            .enumerate()
-            .map(|(k, &bit)| (bit, (val >> k) & 1 == 1))
-            .collect()
+        vb.cur.iter().enumerate().map(|(k, &bit)| (bit, (val >> k) & 1 == 1)).collect()
     }
 
     /// Existentially project a current-vocabulary predicate onto a subset
@@ -494,6 +564,11 @@ impl SymbolicContext {
     /// current bits). Used to shrink a large state set to a process's
     /// locality before per-group cube tests.
     pub fn project_onto(&mut self, f: Bdd, keep: &[VarIdx]) -> Bdd {
+        self.try_project_onto(f, keep).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::project_onto`].
+    pub fn try_project_onto(&mut self, f: Bdd, keep: &[VarIdx]) -> Result<Bdd, BddError> {
         let mut drop_bits: Vec<VarId> = Vec::new();
         for (vi, vb) in self.bits.iter().enumerate() {
             if !keep.contains(&VarIdx(vi)) {
@@ -501,7 +576,7 @@ impl SymbolicContext {
             }
         }
         let set = self.mgr.varset(&drop_bits);
-        self.mgr.exists(f, set)
+        self.mgr.try_exists(f, set)
     }
 
     /// Roots that must survive any garbage collection: every precomputed
@@ -554,12 +629,8 @@ mod tests {
         // Two vars of domain 3 (non-power-of-two exercises valid-code
         // handling), one process reading both, writing the first.
         let vars = vec![VarDecl::new("a", 3), VarDecl::new("b", 3)];
-        let procs = vec![ProcessDecl::new(
-            "P0",
-            vec![VarIdx(0), VarIdx(1)],
-            vec![VarIdx(0)],
-        )
-        .unwrap()];
+        let procs =
+            vec![ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap()];
         // a != b → a := b
         let a = Action::new(
             ProcIdx(0),
@@ -608,10 +679,8 @@ mod tests {
     fn compile_matches_explicit_evaluation() {
         let p = mini();
         let mut ctx = SymbolicContext::new(p.clone());
-        let e = Expr::var(VarIdx(0))
-            .add(Expr::int(1))
-            .modulo(Expr::int(3))
-            .eq(Expr::var(VarIdx(1)));
+        let e =
+            Expr::var(VarIdx(0)).add(Expr::int(1)).modulo(Expr::int(3)).eq(Expr::var(VarIdx(1)));
         let f = ctx.compile(&e);
         for s in p.space().states() {
             let cube = ctx.state_cube(&s);

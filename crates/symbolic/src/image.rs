@@ -1,42 +1,72 @@
 //! Image, preimage and reachability over a symbolic transition relation.
+//!
+//! Every operation comes in two flavours: the classic infallible name and
+//! a `try_*` variant returning `Result<_, BddError>` for budgeted runs.
+//! The closure fixpoints additionally hit a node-ceiling *safe point*
+//! ([`stsyn_bdd::Manager::enforce_node_budget`]) once per iteration; a
+//! caller that installs a node ceiling must therefore keep the manager's
+//! registered root set complete for every handle it holds across the call
+//! (see [`SymbolicContext::register_roots`]).
 
-use crate::encode::SymbolicContext;
-use stsyn_bdd::Bdd;
+use crate::encode::{SymbolicContext, INFALLIBLE};
+use stsyn_bdd::{Bdd, BddError};
 
 impl SymbolicContext {
     /// Forward image: the states reachable from `x` in exactly one
     /// transition of `t`. `img(t, x) = (∃cur. t ∧ x)[primed ↦ cur]`.
     pub fn img(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        self.try_img(t, x).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::img`].
+    pub fn try_img(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let cur = self.cur_set();
         let map = self.primed_to_cur();
-        let shifted = self.mgr().and_exists(t, x, cur);
-        self.mgr().rename(shifted, map)
+        let shifted = self.mgr().try_and_exists(t, x, cur)?;
+        self.mgr().try_rename(shifted, map)
     }
 
     /// Backward image: the states with a `t`-successor in `x`.
     /// `pre(t, x) = ∃primed. t ∧ x[cur ↦ primed]`.
     pub fn pre(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        self.try_pre(t, x).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::pre`].
+    pub fn try_pre(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let primed = self.primed_set();
         let map = self.cur_to_primed();
-        let xp = self.mgr().rename(x, map);
-        self.mgr().and_exists(t, xp, primed)
+        let xp = self.mgr().try_rename(x, map)?;
+        self.mgr().try_and_exists(t, xp, primed)
     }
 
     /// States with at least one outgoing `t` transition.
     pub fn enabled(&mut self, t: Bdd) -> Bdd {
+        self.try_enabled(t).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::enabled`].
+    pub fn try_enabled(&mut self, t: Bdd) -> Result<Bdd, BddError> {
         let primed = self.primed_set();
-        self.mgr().exists(t, primed)
+        self.mgr().try_exists(t, primed)
     }
 
     /// All states reachable from `x` (reflexive-transitive forward
     /// closure).
     pub fn forward_closure(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        self.try_forward_closure(t, x).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::forward_closure`]; checks
+    /// the node ceiling at a safe point before every frontier expansion.
+    pub fn try_forward_closure(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let mut reach = x;
         loop {
-            let step = self.img(t, reach);
-            let next = self.mgr().or(reach, step);
+            self.mgr().enforce_node_budget(&[t, x, reach])?;
+            let step = self.try_img(t, reach)?;
+            let next = self.mgr().try_or(reach, step)?;
             if next == reach {
-                return reach;
+                return Ok(reach);
             }
             reach = next;
         }
@@ -45,12 +75,19 @@ impl SymbolicContext {
     /// All states that can reach `x` (reflexive-transitive backward
     /// closure).
     pub fn backward_closure(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        self.try_backward_closure(t, x).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::backward_closure`]; checks
+    /// the node ceiling at a safe point before every frontier expansion.
+    pub fn try_backward_closure(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let mut reach = x;
         loop {
-            let step = self.pre(t, reach);
-            let next = self.mgr().or(reach, step);
+            self.mgr().enforce_node_budget(&[t, x, reach])?;
+            let step = self.try_pre(t, reach)?;
+            let next = self.mgr().try_or(reach, step)?;
             if next == reach {
-                return reach;
+                return Ok(reach);
             }
             reach = next;
         }
@@ -59,10 +96,15 @@ impl SymbolicContext {
     /// Restrict a relation to transitions that start **and** end inside
     /// `x` — the paper's `δ|X` projection.
     pub fn restrict_relation(&mut self, t: Bdd, x: Bdd) -> Bdd {
+        self.try_restrict_relation(t, x).expect(INFALLIBLE)
+    }
+
+    /// Fallible variant of [`SymbolicContext::restrict_relation`].
+    pub fn try_restrict_relation(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let map = self.cur_to_primed();
-        let xp = self.mgr().rename(x, map);
-        let t1 = self.mgr().and(t, x);
-        self.mgr().and(t1, xp)
+        let xp = self.mgr().try_rename(x, map)?;
+        let t1 = self.mgr().try_and(t, x)?;
+        self.mgr().try_and(t1, xp)
     }
 }
 
@@ -81,10 +123,7 @@ mod tests {
         let a = Action::new(
             ProcIdx(0),
             Expr::Bool(true),
-            vec![(
-                VarIdx(0),
-                Expr::var(VarIdx(0)).add(Expr::int(1)).modulo(Expr::int(4)),
-            )],
+            vec![(VarIdx(0), Expr::var(VarIdx(0)).add(Expr::int(1)).modulo(Expr::int(4)))],
         );
         Protocol::new(vars, procs, vec![a]).unwrap()
     }

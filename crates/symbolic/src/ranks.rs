@@ -10,8 +10,8 @@
 //! stabilizing version — `ComputeRanks` is a sound and complete decision
 //! procedure for weak stabilization.
 
-use crate::encode::SymbolicContext;
-use stsyn_bdd::Bdd;
+use crate::encode::{SymbolicContext, INFALLIBLE};
+use stsyn_bdd::{Bdd, BddError};
 
 /// The result of `ComputeRanks`.
 #[derive(Debug, Clone)]
@@ -42,32 +42,79 @@ impl RankTable {
     }
 }
 
+/// A `ComputeRanks` run cut short by the resource budget. The layers
+/// computed before the interruption are a *correct prefix* of the full
+/// table: `ranks_so_far[i]` is exactly the set of states at backward
+/// distance `i` from `I`, and `explored` is their union.
+#[derive(Debug, Clone)]
+pub struct RanksInterrupted {
+    /// The budget violation that stopped the computation.
+    pub cause: BddError,
+    /// Correctly-layered rank prefix (`ranks_so_far[0] = I`).
+    pub ranks_so_far: Vec<Bdd>,
+    /// Union of the prefix layers.
+    pub explored: Bdd,
+}
+
 /// Compute the rank layering of `relation` towards `i` (which must be a
 /// current-vocabulary predicate). Mirrors Fig. 2: repeated one-step
 /// backward images, each minus the already-explored set, until a fixpoint.
 pub fn compute_ranks(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> RankTable {
+    match try_compute_ranks(ctx, relation, i) {
+        Ok(table) => table,
+        Err(e) => panic!("{INFALLIBLE}: {}", e.cause),
+    }
+}
+
+/// Fallible variant of [`compute_ranks`] for budgeted runs. Checks the
+/// node ceiling at a safe point before every backward step (callers
+/// holding further long-lived handles must have registered them, see
+/// [`SymbolicContext::register_roots`]); on any budget violation the
+/// layers completed so far are returned as [`RanksInterrupted`].
+pub fn try_compute_ranks(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    i: Bdd,
+) -> Result<RankTable, Box<RanksInterrupted>> {
     let mut ranks = vec![i];
     let mut explored = i;
+    macro_rules! step {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(cause) => {
+                    return Err(Box::new(RanksInterrupted { cause, ranks_so_far: ranks, explored }))
+                }
+            }
+        };
+    }
     loop {
-        let back = ctx.pre(relation, explored);
-        let not_explored = ctx.mgr().not(explored);
-        let fresh = ctx.mgr().and(back, not_explored);
+        {
+            let mut extra: Vec<Bdd> = Vec::with_capacity(ranks.len() + 2);
+            extra.push(relation);
+            extra.push(explored);
+            extra.extend(ranks.iter().copied());
+            step!(ctx.mgr().enforce_node_budget(&extra));
+        }
+        let back = step!(ctx.try_pre(relation, explored));
+        let not_explored = step!(ctx.mgr().try_not(explored));
+        let fresh = step!(ctx.mgr().try_and(back, not_explored));
         if fresh.is_false() {
             break;
         }
         ranks.push(fresh);
-        explored = ctx.mgr().or(explored, fresh);
+        explored = step!(ctx.mgr().try_or(explored, fresh));
     }
-    let infinite = ctx.not_states(explored);
-    RankTable { ranks, explored, infinite }
+    let infinite = step!(ctx.try_not_states(explored));
+    Ok(RankTable { ranks, explored, infinite })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use stsyn_protocol::action::Action;
-    use stsyn_protocol::expr::Expr;
     use stsyn_protocol::explicit::{predicate_states, ExplicitGraph};
+    use stsyn_protocol::expr::Expr;
     use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
     use stsyn_protocol::Protocol;
 
@@ -139,6 +186,45 @@ mod tests {
         assert!(!table.complete());
         assert_eq!(ctx.count_states(table.infinite), 2.0);
         assert_eq!(table.max_rank(), 0);
+    }
+
+    #[test]
+    fn interrupted_ranks_are_a_correct_prefix() {
+        use stsyn_bdd::Budget;
+
+        // Reference table from a budgeted-but-unlimited run (so both runs
+        // share the tick coordinate system and the op trajectory).
+        let (p, i) = ramp(8);
+        let huge = Budget::unlimited().with_max_ticks(u64::MAX >> 1);
+        let mut ctx = SymbolicContext::new(p.clone());
+        ctx.set_budget(&huge);
+        let t = ctx.try_protocol_relation().unwrap();
+        let i_bdd = ctx.try_compile(&i).unwrap();
+        let full = try_compute_ranks(&mut ctx, t, i_bdd).unwrap();
+        let total = ctx.mgr_ref().ticks_used();
+        assert!(total > 0);
+
+        for n in 1..=total {
+            let mut ctx2 = SymbolicContext::new(p.clone());
+            ctx2.set_budget(&Budget::unlimited().with_fail_at_tick(n));
+            // Injection may fire during setup; those points exercise the
+            // callers' setup phases, not ComputeRanks.
+            let Ok(t2) = ctx2.try_protocol_relation() else { continue };
+            let Ok(i2) = ctx2.try_compile(&i) else { continue };
+            match try_compute_ranks(&mut ctx2, t2, i2) {
+                Ok(table) => assert_eq!(table.ranks, full.ranks, "tick {n}"),
+                Err(ri) => {
+                    // Identical deterministic op sequences give identical
+                    // hash-consed handles, so prefix layers compare exactly.
+                    assert!(ri.ranks_so_far.len() <= full.ranks.len(), "tick {n}");
+                    for (layer, (got, want)) in ri.ranks_so_far.iter().zip(&full.ranks).enumerate()
+                    {
+                        assert_eq!(got, want, "tick {n}, layer {layer}");
+                    }
+                    ctx2.mgr_ref().check_consistency().expect("manager corrupted");
+                }
+            }
+        }
     }
 
     #[test]

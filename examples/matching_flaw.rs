@@ -52,7 +52,8 @@ fn main() {
         let pretty: Vec<&str> = s.iter().map(|&v| name(v)).collect();
         println!("  ⟨{}⟩", pretty.join(", "));
     }
-    let witness = ga.space().encode(&vec![MATCH_LEFT, MATCH_SELF, MATCH_LEFT, MATCH_SELF, MATCH_LEFT]);
+    let witness =
+        ga.space().encode(&vec![MATCH_LEFT, MATCH_SELF, MATCH_LEFT, MATCH_SELF, MATCH_LEFT]);
     let cyc = restricted.cyclic_states();
     println!(
         "\npaper's witness ⟨left,self,left,self,left⟩ lies on a ¬I cycle: {}",

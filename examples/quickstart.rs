@@ -12,7 +12,11 @@ fn main() {
     // The non-stabilizing token ring of §II: 4 processes, domain {0,1,2},
     // legitimate states S1 (exactly one token, in step form).
     let (protocol, s1) = token_ring(4, 3);
-    println!("input: token ring, |S| = {} states, {} actions", protocol.space().size(), protocol.actions().len());
+    println!(
+        "input: token ring, |S| = {} states, {} actions",
+        protocol.space().size(),
+        protocol.actions().len()
+    );
 
     let problem = AddConvergence::new(protocol, s1).expect("well-typed invariant");
     let mut outcome = problem.synthesize(&Options::default()).expect("synthesis succeeds");

@@ -23,7 +23,10 @@ fn main() {
     let mut outcome = problem.synthesize(&Options::default()).expect("synthesis succeeds");
     println!("  schedule       : {}", outcome.schedule);
     println!("  total time     : {:.2?}", outcome.stats.total_time);
-    println!("  SCC time       : {:.2?} ({} SCCs)", outcome.stats.scc_time, outcome.stats.sccs_found);
+    println!(
+        "  SCC time       : {:.2?} ({} SCCs)",
+        outcome.stats.scc_time, outcome.stats.sccs_found
+    );
     println!("  groups added   : {}", outcome.stats.groups_added);
     println!("  finished pass  : {}", outcome.stats.finished_in_pass);
     println!("  verified       : {}", outcome.verify_strong());

@@ -21,14 +21,18 @@ fn main() {
     let weak_ok = weak.verify_weak();
     let weak_strong = weak.verify_strong();
     println!("token ring (4 processes, |D| = 3):");
-    println!("  weak version  : {} candidate groups, verified weak: {}",
-        weak.stats.candidates, weak_ok);
+    println!(
+        "  weak version  : {} candidate groups, verified weak: {}",
+        weak.stats.candidates, weak_ok
+    );
     println!("  …but strong?  : {}", weak_strong);
 
     let mut strong = problem.synthesize(&Options::default()).unwrap();
     let strong_ok = strong.verify_strong();
-    println!("  strong version: {} groups added, verified strong: {}",
-        strong.stats.groups_added, strong_ok);
+    println!(
+        "  strong version: {} groups added, verified strong: {}",
+        strong.stats.groups_added, strong_ok
+    );
 
     // Completeness: pin a variable no process can write. Theorem IV.1
     // rejects the instance — *no* stabilizing version exists, so the tool

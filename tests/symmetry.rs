@@ -18,10 +18,7 @@ fn symmetric_options(p: &stsyn_repro::protocol::Protocol) -> Options {
 }
 
 /// The added group set must be closed under the rotation orbit.
-fn assert_orbit_closed(
-    outcome: &stsyn_repro::synth::Outcome,
-    sym: &Symmetry,
-) {
+fn assert_orbit_closed(outcome: &stsyn_repro::synth::Outcome, sym: &Symmetry) {
     let p = outcome.protocol().clone();
     let added: HashSet<_> = outcome.added.iter().cloned().collect();
     for g in &outcome.added {
@@ -86,9 +83,7 @@ fn symmetric_tables_are_rotations_of_each_other() {
                     let reads = &p.processes()[j].reads;
                     let left = (j + 4) % 5;
                     let right = (j + 1) % 5;
-                    let pick = |v: usize| {
-                        g.pre[reads.iter().position(|r| r.0 == v).unwrap()]
-                    };
+                    let pick = |v: usize| g.pre[reads.iter().position(|r| r.0 == v).unwrap()];
                     (vec![pick(left), pick(j), pick(right)], g.post.clone())
                 })
                 .collect()

@@ -68,9 +68,8 @@ fn tr_with_rotated_schedules_also_succeeds() {
     for r in 0..4 {
         let (p, s1) = token_ring(4, 3);
         let problem = AddConvergence::new(p, s1).unwrap();
-        let mut outcome = problem
-            .synthesize_with(&Options::default(), Schedule::rotated(4, r))
-            .unwrap();
+        let mut outcome =
+            problem.synthesize_with(&Options::default(), Schedule::rotated(4, r)).unwrap();
         assert!(outcome.verify_strong(), "schedule rotation {r}");
         assert!(outcome.preserves_i_behavior(), "schedule rotation {r}");
     }
