@@ -120,6 +120,7 @@ impl Manager {
     }
 
     /// Fallible variant of [`Manager::cofactor`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_cofactor(&mut self, f: Bdd, lits: &[(VarId, bool)]) -> Result<Bdd, crate::BddError> {
         // Order by the current levels so the merge-walk below is valid
         // under any variable order.

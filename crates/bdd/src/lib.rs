@@ -64,12 +64,14 @@ mod ops;
 mod quant;
 mod rename;
 mod reorder;
+mod serialize;
 mod varset;
 
 pub use budget::{BddError, Budget, Resource};
 pub use explore::CubeIter;
 pub use manager::{Bdd, Manager, ManagerStats, VarId};
 pub use rename::RenameId;
+pub use serialize::{crc32, SerializeError, FORMAT_VERSION, MAGIC};
 pub use varset::VarSetId;
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ impl Manager {
     }
 
     /// Fallible negation `¬f`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, BddError> {
         self.tick()?;
         if f.is_false() {
@@ -42,6 +43,7 @@ impl Manager {
     }
 
     /// Fallible conjunction `f ∧ g`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         self.apply_bin(BinOp::And, f, g)
     }
@@ -52,6 +54,7 @@ impl Manager {
     }
 
     /// Fallible disjunction `f ∨ g`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         self.apply_bin(BinOp::Or, f, g)
     }
@@ -62,6 +65,7 @@ impl Manager {
     }
 
     /// Fallible exclusive or `f ⊕ g`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         self.apply_bin(BinOp::Xor, f, g)
     }
@@ -72,6 +76,7 @@ impl Manager {
     }
 
     /// Fallible implication `f ⇒ g`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         let nf = self.try_not(f)?;
         self.try_or(nf, g)
@@ -83,6 +88,7 @@ impl Manager {
     }
 
     /// Fallible biconditional `f ⇔ g`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_iff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         let x = self.try_xor(f, g)?;
         self.try_not(x)
@@ -94,6 +100,7 @@ impl Manager {
     }
 
     /// Fallible set difference `f ∧ ¬g`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_diff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         let ng = self.try_not(g)?;
         self.try_and(f, ng)
@@ -105,6 +112,7 @@ impl Manager {
     }
 
     /// Fallible conjunction of a slice of functions.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_and_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BddError> {
         let mut acc = Bdd::TRUE;
         for &f in fs {
@@ -122,6 +130,7 @@ impl Manager {
     }
 
     /// Fallible disjunction of a slice of functions.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_or_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BddError> {
         let mut acc = Bdd::FALSE;
         for &f in fs {
@@ -139,6 +148,7 @@ impl Manager {
     }
 
     /// Fallible if-then-else.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddError> {
         self.tick()?;
         // Terminal and absorption cases.
@@ -185,6 +195,7 @@ impl Manager {
     }
 
     /// Fallible set-inclusion test.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_implies_holds(&mut self, f: Bdd, g: Bdd) -> Result<bool, BddError> {
         Ok(self.try_diff(f, g)?.is_false())
     }
@@ -196,6 +207,7 @@ impl Manager {
     }
 
     /// Fallible intersection-non-emptiness test.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_intersects(&mut self, f: Bdd, g: Bdd) -> Result<bool, BddError> {
         Ok(!self.try_and(f, g)?.is_false())
     }

@@ -15,6 +15,7 @@ impl Manager {
     }
 
     /// Fallible existential quantification `∃ vars. f`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_exists(&mut self, f: Bdd, vars: VarSetId) -> Result<Bdd, BddError> {
         self.check_varset(vars);
         self.exists_rec(f, vars, 0)
@@ -26,6 +27,7 @@ impl Manager {
     }
 
     /// Fallible universal quantification.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_forall(&mut self, f: Bdd, vars: VarSetId) -> Result<Bdd, BddError> {
         let nf = self.try_not(f)?;
         let e = self.try_exists(nf, vars)?;
@@ -38,6 +40,7 @@ impl Manager {
     }
 
     /// Fallible relational product `∃ vars. f ∧ g`.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_and_exists(&mut self, f: Bdd, g: Bdd, vars: VarSetId) -> Result<Bdd, BddError> {
         self.check_varset(vars);
         self.and_exists_rec(f, g, vars, 0)

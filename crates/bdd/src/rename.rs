@@ -79,6 +79,7 @@ impl Manager {
     }
 
     /// Fallible variant of [`Manager::rename`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_rename(&mut self, f: Bdd, map: RenameId) -> Result<Bdd, crate::BddError> {
         self.check_rename(map);
         self.rename_rec(f, map)

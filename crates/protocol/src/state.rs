@@ -32,6 +32,7 @@ impl StateSpace {
 
     /// Fallible variant of [`StateSpace::new`]: `None` when the state
     /// space does not fit in `u64` or a domain is empty.
+    #[must_use = "failures are reported through the Result"]
     pub fn try_new(vars: &[VarDecl]) -> Option<Self> {
         let radices: Vec<u32> = vars.iter().map(|v| v.domain).collect();
         let mut weights = Vec::with_capacity(radices.len());

@@ -7,12 +7,22 @@
 //! ```text
 //! stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric]
 //!            [--timeout SECS] [--max-nodes N]
+//!            [--checkpoint-dir DIR] [--resume]
 //!            [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]
 //! ```
 //!
+//! With `--checkpoint-dir DIR` the run write-ahead-journals every committed
+//! rank layer and accepted recovery group into `DIR`; `--resume` replays a
+//! journal left by an interrupted (crashed or budget-cut) run and continues
+//! where it stopped, producing output bit-identical to an uninterrupted
+//! run. Checkpointing applies to strong single-schedule synthesis only
+//! (`--weak` and `--parallel` are rejected alongside it).
+//!
 //! Exit codes: 0 success, 1 synthesis failure (including a verification
 //! FAIL), 2 usage error, 3 input error (unreadable file, parse or type
-//! error), 4 resource budget exhausted (`--timeout` / `--max-nodes`).
+//! error), 4 resource budget exhausted (`--timeout` / `--max-nodes`),
+//! 5 checkpoint error (`--checkpoint-dir` unwritable, locked by a live
+//! process, or holding a journal from a different problem).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,6 +34,7 @@ use stsyn_symbolic::Budget;
 
 const EXIT_INPUT: u8 = 3;
 const EXIT_RESOURCES: u8 = 4;
+const EXIT_CHECKPOINT: u8 = 5;
 
 struct Args {
     file: String,
@@ -36,13 +47,18 @@ struct Args {
     scc: SccAlgorithm,
     timeout: Option<f64>,
     max_nodes: Option<usize>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric] \
          [--timeout SECS] [--max-nodes N] \
-         [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]"
+         [--checkpoint-dir DIR] [--resume] \
+         [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]\n\
+         exit codes: 0 ok, 1 synthesis/verification failure, 2 usage, \
+         3 input error, 4 budget exhausted, 5 checkpoint error"
     );
     std::process::exit(2);
 }
@@ -59,6 +75,8 @@ fn parse_args() -> Args {
         scc: SccAlgorithm::Skeleton,
         timeout: None,
         max_nodes: None,
+        checkpoint_dir: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -95,12 +113,27 @@ fn parse_args() -> Args {
                 Some(n) if n > 0 => args.max_nodes = Some(n),
                 _ => usage(),
             },
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--resume" => args.resume = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
             _ => usage(),
         }
     }
     if args.file.is_empty() {
+        usage();
+    }
+    // Checkpointing journals the single strong-synthesis schedule; weak
+    // synthesis has no journaled decision points and parallel exploration
+    // races schedules that would fight over one directory.
+    if args.checkpoint_dir.is_some() && (args.weak || args.parallel) {
+        eprintln!("stsyn: --checkpoint-dir cannot be combined with --weak or --parallel");
+        usage();
+    }
+    if args.resume && args.checkpoint_dir.is_none() {
+        eprintln!("stsyn: --resume requires --checkpoint-dir");
         usage();
     }
     args
@@ -155,14 +188,18 @@ fn main() -> ExitCode {
     };
     let opts = Options { scc: args.scc, symmetry, budget: build_budget(&args) };
 
+    let schedule = match &args.schedule {
+        Some(order) => Schedule::new(order.iter().map(|&i| ProcIdx(i)).collect()),
+        None => problem.default_schedule(),
+    };
     let result = if args.weak {
         problem.synthesize_weak_with(&opts)
     } else if args.parallel {
         problem.synthesize_parallel(&opts, Schedule::all_rotations(k))
-    } else if let Some(order) = &args.schedule {
-        problem.synthesize_with(&opts, Schedule::new(order.iter().map(|&i| ProcIdx(i)).collect()))
+    } else if let Some(dir) = &args.checkpoint_dir {
+        problem.synthesize_resumable_with(&opts, schedule, std::path::Path::new(dir), args.resume)
     } else {
-        problem.synthesize(&opts)
+        problem.synthesize_with(&opts, schedule)
     };
 
     match result {
@@ -235,6 +272,10 @@ fn main() -> ExitCode {
                 unreachable!()
             };
             report_exhausted(&phase, &cause, &partial)
+        }
+        Err(SynthesisError::Checkpoint(e)) => {
+            eprintln!("stsyn: checkpoint error: {e}");
+            ExitCode::from(EXIT_CHECKPOINT)
         }
         Err(e) => {
             eprintln!("stsyn: synthesis failed: {e}");

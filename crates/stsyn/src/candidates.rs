@@ -48,6 +48,7 @@ impl CandidateSet {
     }
 
     /// Fallible variant of [`CandidateSet::build`] for budgeted runs.
+    #[must_use = "failures are reported through the Result"]
     pub fn try_build(ctx: &mut SymbolicContext, i: Bdd) -> Result<CandidateSet, BddError> {
         let protocol = ctx.protocol().clone();
         let k = protocol.num_processes();
@@ -77,6 +78,7 @@ impl CandidateSet {
     }
 
     /// Fallible variant of [`CandidateSet::pim`] for budgeted runs.
+    #[must_use = "failures are reported through the Result"]
     pub fn try_pim(&self, ctx: &mut SymbolicContext, delta_p: Bdd) -> Result<Bdd, BddError> {
         let mut rel = delta_p;
         for c in &self.all {

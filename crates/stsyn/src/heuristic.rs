@@ -17,6 +17,7 @@
 //! case [`crate::SynthesisError::DeadlocksRemain`] reports the residue.
 
 use crate::candidates::CandidateSet;
+use crate::checkpoint::{CheckpointError, CheckpointSession, StepMode};
 use crate::problem::{Options, PartialProgress, Phase, SynthesisError};
 use crate::schedule::Schedule;
 use crate::stats::SynthesisStats;
@@ -29,9 +30,22 @@ use stsyn_symbolic::check::{
     closure_holds, strong_convergence, try_closure_holds, try_strong_convergence,
     try_weak_convergence, weak_convergence,
 };
-use stsyn_symbolic::ranks::try_compute_ranks;
+use stsyn_symbolic::ranks::{try_compute_ranks_resumed, RankTable};
 use stsyn_symbolic::scc::{try_has_cycle, try_scc_decomposition};
 use stsyn_symbolic::SymbolicContext;
+
+/// What can stop a recovery step: the BDD budget, or — in checkpointed
+/// runs — a journal write failure.
+enum StepError {
+    Bdd(BddError),
+    Ckpt(CheckpointError),
+}
+
+impl From<BddError> for StepError {
+    fn from(e: BddError) -> Self {
+        StepError::Bdd(e)
+    }
+}
 
 /// Snapshot the manager state for a [`SynthesisError::ResourceExhausted`];
 /// `ranks_layered`/`groups_added` describe the salvaged partial progress.
@@ -97,6 +111,7 @@ impl Outcome {
     }
 
     /// Fallible variant of [`Outcome::verify_strong`] for budgeted runs.
+    #[must_use = "failures are reported through the Result"]
     pub fn try_verify_strong(&mut self) -> Result<bool, BddError> {
         Ok(try_closure_holds(&mut self.ctx, self.pss, self.i)?
             && try_strong_convergence(&mut self.ctx, self.pss, self.i)?.holds)
@@ -109,6 +124,7 @@ impl Outcome {
     }
 
     /// Fallible variant of [`Outcome::verify_weak`] for budgeted runs.
+    #[must_use = "failures are reported through the Result"]
     pub fn try_verify_weak(&mut self) -> Result<bool, BddError> {
         Ok(try_closure_holds(&mut self.ctx, self.pss, self.i)?
             && try_weak_convergence(&mut self.ctx, self.pss, self.i)?.holds)
@@ -197,13 +213,58 @@ impl Engine {
         self.ctx.gc(&roots);
     }
 
+    /// Commit candidate `ci`: extend the synthesized relation, its `¬I`
+    /// restriction and the enabled-state union, and append the group
+    /// descriptor. The **only** way a group enters the result — shared by
+    /// the live path and journal replay so both perform the identical
+    /// symbolic updates.
+    fn include_candidate(&mut self, ci: usize) -> Result<(), BddError> {
+        let rel = self.cands.all[ci].relation;
+        self.pss = self.ctx.mgr().try_or(self.pss, rel)?;
+        let rel_restricted = self.ctx.try_restrict_relation(rel, self.not_i)?;
+        self.pss_restricted = self.ctx.mgr().try_or(self.pss_restricted, rel_restricted)?;
+        let src = self.cands.all[ci].source;
+        self.enabled_union = self.ctx.mgr().try_or(self.enabled_union, src)?;
+        self.cands.all[ci].included = true;
+        self.added.push(self.cands.all[ci].desc.clone());
+        self.stats.groups_added += 1;
+        Ok(())
+    }
+
+    /// Re-apply journaled groups (in journal order — which is the order
+    /// the crashed run committed them, so `added` and every incremental
+    /// predicate end up identical to that run's state).
+    fn replay_groups(&mut self, groups: &[GroupDesc]) -> Result<(), StepError> {
+        if groups.is_empty() {
+            return Ok(());
+        }
+        if self.cand_index.is_none() {
+            self.cand_index = Some(crate::symmetry::candidate_index(&self.cands));
+        }
+        for desc in groups {
+            let ci = match self.cand_index.as_ref().expect("built above").get(desc) {
+                Some(&ci) => ci,
+                // The journal names a group this problem does not have:
+                // it belongs to a different run (fingerprint collision).
+                None => return Err(StepError::Ckpt(CheckpointError::Mismatch)),
+            };
+            if self.cands.all[ci].included {
+                continue;
+            }
+            self.include_candidate(ci)?;
+        }
+        Ok(())
+    }
+
     fn add_recovery(
         &mut self,
         from: Bdd,
         to: Bdd,
         j: usize,
         ruled_out_deadlocks: Option<Bdd>,
-    ) -> Result<bool, BddError> {
+        key: (u8, u32, u32),
+        ckpt: &mut Option<&mut CheckpointSession>,
+    ) -> Result<bool, StepError> {
         let scan_start = Instant::now();
         let mut picked: Vec<usize> = Vec::new();
         let idxs = self.cands.by_process[j].clone();
@@ -334,15 +395,11 @@ impl Engine {
                 }
             }
             for ci in cluster {
-                let rel = self.cands.all[ci].relation;
-                self.pss = self.ctx.mgr().try_or(self.pss, rel)?;
-                let rel_restricted = self.ctx.try_restrict_relation(rel, self.not_i)?;
-                self.pss_restricted = self.ctx.mgr().try_or(self.pss_restricted, rel_restricted)?;
-                let src = self.cands.all[ci].source;
-                self.enabled_union = self.ctx.mgr().try_or(self.enabled_union, src)?;
-                self.cands.all[ci].included = true;
-                self.added.push(self.cands.all[ci].desc.clone());
-                self.stats.groups_added += 1;
+                self.include_candidate(ci)?;
+                if let Some(c) = ckpt.as_deref_mut() {
+                    let desc = self.added.last().expect("just pushed").clone();
+                    c.record_group(key.0, key.1, key.2, &desc).map_err(StepError::Ckpt)?;
+                }
             }
             changed = true;
         }
@@ -354,18 +411,55 @@ impl Engine {
     /// process add recovery from `From` to `To`; recompute deadlocks after
     /// every process and — in pass 1 — refresh the C4 rule-out set.
     /// Returns the remaining deadlock states.
+    ///
+    /// In checkpointed runs each schedule step is keyed by
+    /// `(pass, rank_key, step)`: a step the journal marks complete is
+    /// *replayed* (its recorded groups re-applied, the scan/SCC work
+    /// skipped), a step with journaled groups but no completion fence
+    /// re-applies those groups and then continues live, and everything
+    /// else runs live with write-ahead journaling. Replayed state is
+    /// canonical, so the control flow (deadlock recomputation, early
+    /// exits) retraces the crashed run exactly.
     fn add_convergence(
         &mut self,
         from: Bdd,
         to: Bdd,
         mut deadlocks: Bdd,
-        pass: u8,
+        coord: (u8, u32),
         schedule: &Schedule,
-    ) -> Result<Bdd, BddError> {
+        ckpt: &mut Option<&mut CheckpointSession>,
+    ) -> Result<Bdd, StepError> {
+        let (pass, rank_key) = coord;
         let mut ruled_out = if pass == 1 { Some(deadlocks) } else { None };
-        for p in schedule.order().to_vec() {
+        for (step, p) in schedule.order().to_vec().into_iter().enumerate() {
             self.maybe_gc(&[from, to, deadlocks]);
-            let changed = self.add_recovery(from, to, p.0, ruled_out)?;
+            let key = (pass, rank_key, step as u32);
+            let mode = match ckpt.as_deref_mut() {
+                Some(c) => c.step_mode(key.0, key.1, key.2),
+                None => StepMode::Live,
+            };
+            let changed = match mode {
+                StepMode::Replay(groups) => {
+                    let n = groups.len();
+                    self.replay_groups(&groups)?;
+                    n > 0
+                }
+                StepMode::Partial(groups) => {
+                    self.replay_groups(&groups)?;
+                    let live = self.add_recovery(from, to, p.0, ruled_out, key, ckpt)?;
+                    if let Some(c) = ckpt.as_deref_mut() {
+                        c.record_step_done(key.0, key.1, key.2).map_err(StepError::Ckpt)?;
+                    }
+                    live || !groups.is_empty()
+                }
+                StepMode::Live => {
+                    let live = self.add_recovery(from, to, p.0, ruled_out, key, ckpt)?;
+                    if let Some(c) = ckpt.as_deref_mut() {
+                        c.record_step_done(key.0, key.1, key.2).map_err(StepError::Ckpt)?;
+                    }
+                    live
+                }
+            };
             if changed {
                 let dl_start = Instant::now();
                 deadlocks = self.deadlocks()?;
@@ -394,6 +488,23 @@ pub fn synthesize(
     invariant: &Expr,
     opts: &Options,
     schedule: Schedule,
+) -> Result<Outcome, SynthesisError> {
+    synthesize_checkpointed(protocol, invariant, opts, schedule, None)
+}
+
+/// [`synthesize`] with an optional checkpoint session. When `ckpt` is
+/// `Some`, every committed rank layer and recovery group is journaled
+/// before the run proceeds past it, and journaled work found at startup is
+/// *replayed* instead of recomputed. Because all heuristic decisions are
+/// functions of the (canonical, hash-consed) BDD state, a resumed run
+/// retraces the original exactly and the final outcome is bit-identical to
+/// an uninterrupted run's.
+pub(crate) fn synthesize_checkpointed(
+    protocol: &Protocol,
+    invariant: &Expr,
+    opts: &Options,
+    schedule: Schedule,
+    mut ckpt: Option<&mut CheckpointSession>,
 ) -> Result<Outcome, SynthesisError> {
     if !schedule.is_permutation_of(protocol.num_processes()) {
         return Err(SynthesisError::BadSchedule);
@@ -500,33 +611,94 @@ pub fn synthesize(
     }
 
     // --- §IV approximation: ComputeRanks over p_im ----------------------
+    // A resuming checkpoint session may hold journaled rank-layer
+    // snapshots; load them first (each layer is uniquely determined by
+    // `p_im` and `I`, so a replayed prefix continues the very same BFS).
     let rank_start = Instant::now();
-    let pim = phased!(Phase::Setup, engine.cands.try_pim(&mut engine.ctx, engine.delta_p));
-    // `ComputeRanks` hits node-ceiling safe points; every long-lived handle
-    // must be registered so graceful-degradation GC preserves it.
-    if opts.budget.is_some() {
-        let mut roots = engine.cands.roots();
-        roots.extend([
-            engine.i,
-            engine.not_i,
-            engine.delta_p,
-            engine.pss,
-            engine.pss_restricted,
-            engine.enabled_union,
-            pim,
-        ]);
-        engine.ctx.register_roots(&roots);
-    }
-    let ranks = match try_compute_ranks(&mut engine.ctx, pim, i) {
-        Ok(t) => t,
-        Err(interrupted) => {
-            return Err(resource_err(
-                &engine.ctx,
-                Phase::Ranking,
-                interrupted.cause,
-                interrupted.ranks_so_far.len(),
-                &[],
-            ))
+    let (rank_prefix, ranks_replayed) = match ckpt.as_deref_mut() {
+        Some(c) => {
+            let before = c.warnings().len();
+            let loaded = c.load_rank_prefix(&mut engine.ctx);
+            for w in &c.warnings()[before..] {
+                eprintln!("stsyn: checkpoint warning: {w}");
+            }
+            loaded
+        }
+        None => (Vec::new(), false),
+    };
+    let ranks = if ranks_replayed {
+        // Complete replay: the journal certifies the layering finished, so
+        // `p_im` (only ever used as the ranking relation) is not needed.
+        if opts.budget.is_some() {
+            let mut roots = engine.cands.roots();
+            roots.extend([
+                engine.i,
+                engine.not_i,
+                engine.delta_p,
+                engine.pss,
+                engine.pss_restricted,
+                engine.enabled_union,
+            ]);
+            roots.extend(rank_prefix.iter().copied());
+            engine.ctx.register_roots(&roots);
+        }
+        let mut ranks_v = vec![i];
+        let mut explored = i;
+        for &layer in &rank_prefix {
+            explored = phased!(Phase::Ranking, engine.ctx.mgr().try_or(explored, layer));
+            ranks_v.push(layer);
+        }
+        let infinite = phased!(Phase::Ranking, engine.ctx.try_not_states(explored));
+        RankTable { ranks: ranks_v, explored, infinite }
+    } else {
+        let pim = phased!(Phase::Setup, engine.cands.try_pim(&mut engine.ctx, engine.delta_p));
+        // `ComputeRanks` hits node-ceiling safe points; every long-lived
+        // handle must be registered so graceful-degradation GC preserves
+        // it.
+        if opts.budget.is_some() {
+            let mut roots = engine.cands.roots();
+            roots.extend([
+                engine.i,
+                engine.not_i,
+                engine.delta_p,
+                engine.pss,
+                engine.pss_restricted,
+                engine.enabled_union,
+                pim,
+            ]);
+            roots.extend(rank_prefix.iter().copied());
+            engine.ctx.register_roots(&roots);
+        }
+        let ranks_result = {
+            let mut persist;
+            let observer: Option<stsyn_symbolic::ranks::RankLayerObserver<'_>> =
+                match ckpt.as_deref_mut() {
+                    Some(c) => {
+                        persist = |mgr: &stsyn_bdd::Manager, idx: usize, layer: Bdd| {
+                            c.observe_rank_layer(mgr, idx, layer)
+                        };
+                        Some(&mut persist)
+                    }
+                    None => None,
+                };
+            try_compute_ranks_resumed(&mut engine.ctx, pim, i, &rank_prefix, observer)
+        };
+        if let Some(c) = ckpt.as_deref_mut() {
+            if let Some(e) = c.take_error() {
+                return Err(SynthesisError::Checkpoint(e));
+            }
+        }
+        match ranks_result {
+            Ok(t) => t,
+            Err(interrupted) => {
+                return Err(resource_err(
+                    &engine.ctx,
+                    Phase::Ranking,
+                    interrupted.cause,
+                    interrupted.ranks_so_far.len(),
+                    &[],
+                ))
+            }
         }
     };
     engine.stats.ranking_time = rank_start.elapsed();
@@ -535,9 +707,30 @@ pub fn synthesize(
         let count = engine.ctx.count_states(ranks.infinite);
         return Err(SynthesisError::NoStabilizingVersion { unreachable_states: count });
     }
+    if let Some(c) = ckpt.as_deref_mut() {
+        if let Err(e) = c.record_ranks_done(ranks.max_rank()) {
+            return Err(SynthesisError::Checkpoint(e));
+        }
+    }
     engine.rank_bdds = ranks.ranks.clone();
 
     let mut deadlocks = phased!(Phase::Ranking, engine.deadlocks());
+
+    // Like `phased!`, but for the checkpoint-aware step functions: a BDD
+    // budget violation still maps to `ResourceExhausted`, while a journal
+    // failure surfaces as `SynthesisError::Checkpoint`.
+    macro_rules! phased_step {
+        ($phase:expr, $e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(StepError::Bdd(cause)) => {
+                    let layered = engine.rank_bdds.len();
+                    return Err(resource_err(&engine.ctx, $phase, cause, layered, &engine.added));
+                }
+                Err(StepError::Ckpt(e)) => return Err(SynthesisError::Checkpoint(e)),
+            }
+        };
+    }
 
     // --- Passes 1–3 ------------------------------------------------------
     let mut finished = 0u8;
@@ -553,9 +746,16 @@ pub fn synthesize(
                         continue;
                     }
                     let to = ranks.rank(ri - 1);
-                    deadlocks = phased!(
+                    deadlocks = phased_step!(
                         Phase::Recovery { pass },
-                        engine.add_convergence(from, to, deadlocks, pass, &schedule)
+                        engine.add_convergence(
+                            from,
+                            to,
+                            deadlocks,
+                            (pass, ri as u32),
+                            &schedule,
+                            &mut ckpt
+                        )
                     );
                     if deadlocks.is_false() {
                         finished = pass;
@@ -565,9 +765,16 @@ pub fn synthesize(
             } else {
                 // Pass 3: From = all remaining deadlocks, To = anywhere.
                 let to = engine.ctx.all_states();
-                deadlocks = phased!(
+                deadlocks = phased_step!(
                     Phase::Recovery { pass },
-                    engine.add_convergence(deadlocks, to, deadlocks, pass, &schedule)
+                    engine.add_convergence(
+                        deadlocks,
+                        to,
+                        deadlocks,
+                        (pass, 0),
+                        &schedule,
+                        &mut ckpt
+                    )
                 );
                 if deadlocks.is_false() {
                     finished = pass;

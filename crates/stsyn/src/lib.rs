@@ -32,6 +32,10 @@
 //!   Dijkstra-style guarded commands, so output reads like the paper's.
 //! * [`stats`] — ranking time / SCC-detection time / BDD node counts: the
 //!   quantities plotted in the paper's Figures 6–11.
+//! * [`checkpoint`] — crash-safe checkpointing: the fsync'd write-ahead
+//!   journal and atomic BDD snapshots behind
+//!   [`AddConvergence::synthesize_resumable`], which let an interrupted
+//!   run resume mid-pass and still produce bit-identical output.
 //! * [`analysis`] — the local-correctability analysis behind the paper's
 //!   case-study table (Fig. 5).
 //!
@@ -60,6 +64,7 @@
 
 pub mod analysis;
 pub mod candidates;
+pub mod checkpoint;
 pub mod extract;
 pub mod heuristic;
 pub mod problem;
@@ -68,6 +73,7 @@ pub mod stats;
 pub mod symmetry;
 pub mod weak;
 
+pub use checkpoint::{CheckpointError, CheckpointSession};
 pub use heuristic::Outcome;
 pub use problem::{AddConvergence, Options, PartialProgress, Phase, SynthesisError};
 pub use schedule::Schedule;

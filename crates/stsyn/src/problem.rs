@@ -142,6 +142,9 @@ pub enum SynthesisError {
         /// Progress salvaged from the interrupted run.
         partial: Box<PartialProgress>,
     },
+    /// A checkpointed run could not open, journal to, or resume from its
+    /// checkpoint directory (see [`crate::checkpoint::CheckpointError`]).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl fmt::Display for SynthesisError {
@@ -181,6 +184,7 @@ impl fmt::Display for SynthesisError {
                 partial.ranks_layered,
                 partial.groups_added.len()
             ),
+            SynthesisError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -190,6 +194,7 @@ impl std::error::Error for SynthesisError {
         match self {
             SynthesisError::ResourceExhausted { cause, .. } => Some(cause),
             SynthesisError::AllSchedulesFailed(first) => Some(&**first),
+            SynthesisError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -249,6 +254,69 @@ impl AddConvergence {
         schedule: Schedule,
     ) -> Result<Outcome, SynthesisError> {
         synthesize(&self.protocol, &self.invariant, opts, schedule)
+    }
+
+    /// Add strong convergence with **crash-safe checkpointing**: the run
+    /// write-ahead-journals every committed rank layer and accepted
+    /// recovery group into `checkpoint_dir`, and — when the directory
+    /// already holds a compatible journal — resumes from it, skipping all
+    /// completed work. A resumed run produces a protocol bit-identical to
+    /// an uninterrupted one. Uses the default schedule; see
+    /// [`AddConvergence::synthesize_resumable_with`] for explicit control.
+    pub fn synthesize_resumable(
+        &self,
+        opts: &Options,
+        checkpoint_dir: &std::path::Path,
+    ) -> Result<Outcome, SynthesisError> {
+        let resume = checkpoint_dir.join(crate::checkpoint::JOURNAL_FILE).exists();
+        self.synthesize_resumable_with(opts, self.default_schedule(), checkpoint_dir, resume)
+    }
+
+    /// [`AddConvergence::synthesize_resumable`] with an explicit schedule
+    /// and resume mode. With `resume = false` the directory must not
+    /// already hold a journal ([`crate::checkpoint::CheckpointError::Exists`]
+    /// otherwise); with `resume = true` an existing journal is validated
+    /// against this problem/schedule/options (the budget is excluded from
+    /// the comparison, so a crashed budgeted run can be resumed with a
+    /// larger budget or none) and replayed — a corrupt or torn journal
+    /// tail degrades to the last valid prefix with a warning. On
+    /// [`SynthesisError::ResourceExhausted`] a final checkpoint marker is
+    /// journaled before returning, so a follow-up resume picks up exactly
+    /// where the budget cut off.
+    pub fn synthesize_resumable_with(
+        &self,
+        opts: &Options,
+        schedule: Schedule,
+        checkpoint_dir: &std::path::Path,
+        resume: bool,
+    ) -> Result<Outcome, SynthesisError> {
+        let fp = crate::checkpoint::fingerprint(&self.protocol, &self.invariant, opts, &schedule);
+        let mut session = if resume {
+            crate::checkpoint::CheckpointSession::resume(checkpoint_dir, fp)
+        } else {
+            crate::checkpoint::CheckpointSession::create(checkpoint_dir, fp)
+        }
+        .map_err(SynthesisError::Checkpoint)?;
+        for w in session.warnings() {
+            eprintln!("stsyn: checkpoint warning: {w}");
+        }
+        let result = crate::heuristic::synthesize_checkpointed(
+            &self.protocol,
+            &self.invariant,
+            opts,
+            schedule,
+            Some(&mut session),
+        );
+        match &result {
+            Ok(_) => session.record_done().map_err(SynthesisError::Checkpoint)?,
+            Err(SynthesisError::ResourceExhausted { phase, .. }) => {
+                // The final checkpoint: everything committed is already
+                // fsync'd; mark the cut so resume knows it was deliberate.
+                session.record_cut(phase).map_err(SynthesisError::Checkpoint)?;
+            }
+            Err(_) => {}
+        }
+        result
     }
 
     /// Add **weak** convergence (Theorem IV.1: sound and complete) with

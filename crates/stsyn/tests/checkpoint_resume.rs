@@ -1,0 +1,111 @@
+//! End-to-end smoke tests for crash-safe checkpointing: a checkpointed run
+//! is observationally identical to a plain one, an interrupted run resumes
+//! to a bit-identical outcome, and the journal records the run's fate.
+//! (The exhaustive ≥100-point crash sweep lives in
+//! `crates/cases/tests/crash_resume.rs`.)
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use stsyn_bdd::Budget;
+use stsyn_cases::matching::matching;
+use stsyn_core::{AddConvergence, Options, Outcome, SynthesisError};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("stsyn-ckpt-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn printed(outcome: &Outcome, invariant: &stsyn_protocol::expr::Expr) -> String {
+    let p = outcome.extract_protocol();
+    stsyn_protocol::printer::to_dsl("out", &p, invariant)
+}
+
+fn huge_budget() -> Budget {
+    Budget::unlimited().with_max_ticks(u64::MAX >> 1)
+}
+
+#[test]
+fn checkpointed_run_equals_plain_run() {
+    let (p, i) = matching(3);
+    let problem = AddConvergence::new(p.clone(), i.clone()).unwrap();
+    let plain = problem.synthesize(&Options::default()).unwrap();
+
+    let dir = temp_dir("plain");
+    let ckpt = problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+    assert_eq!(printed(&plain, &i), printed(&ckpt, &i));
+    assert_eq!(plain.added, ckpt.added);
+    assert!(dir.join("journal.bin").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn interrupted_run_resumes_bit_identical() {
+    let (p, i) = matching(3);
+    let problem = AddConvergence::new(p.clone(), i.clone()).unwrap();
+
+    // Reference: a checkpointed run under a huge (never-violated) budget,
+    // which shares the tick coordinate system with the injected runs.
+    let ref_dir = temp_dir("ref");
+    let ref_opts = Options { budget: Some(huge_budget()), ..Options::default() };
+    let reference = problem.synthesize_resumable(&ref_opts, &ref_dir).unwrap();
+    let want = printed(&reference, &i);
+    let total = reference.stats.bdd_ticks;
+    assert!(total > 0);
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+
+    // Kill at a handful of points spread across the run; resume each.
+    for frac in [10, 40, 70, 95] {
+        let tick = total * frac / 100;
+        let dir = temp_dir("kill");
+        let inject = Options {
+            budget: Some(Budget::unlimited().with_fail_at_tick(tick)),
+            ..Options::default()
+        };
+        match problem.synthesize_resumable(&inject, &dir) {
+            Err(SynthesisError::ResourceExhausted { .. }) => {}
+            Ok(_) => panic!("tick {tick}: injection did not fire"),
+            Err(e) => panic!("tick {tick}: unexpected error {e}"),
+        }
+        let mut resumed = problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+        assert_eq!(want, printed(&resumed, &i), "tick {tick}: output differs");
+        assert!(resumed.verify_strong(), "tick {tick}: re-verification failed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn fresh_run_refuses_populated_directory() {
+    let (p, i) = matching(3);
+    let problem = AddConvergence::new(p, i).unwrap();
+    let dir = temp_dir("refuse");
+    problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+    let again = problem.synthesize_resumable_with(
+        &Options::default(),
+        problem.default_schedule(),
+        &dir,
+        false,
+    );
+    match again {
+        Err(SynthesisError::Checkpoint(stsyn_core::CheckpointError::Exists)) => {}
+        Err(e) => panic!("expected Exists, got {e}"),
+        Ok(_) => panic!("expected Exists, got success"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_of_completed_run_replays_to_same_outcome() {
+    let (p, i) = matching(3);
+    let problem = AddConvergence::new(p.clone(), i.clone()).unwrap();
+    let dir = temp_dir("done");
+    let first = problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+    // Resuming a finished journal replays everything and recomputes
+    // nothing that would change the outcome.
+    let replayed = problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+    assert_eq!(printed(&first, &i), printed(&replayed, &i));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

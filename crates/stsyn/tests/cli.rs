@@ -141,3 +141,92 @@ fn missing_file_fails_gracefully() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn checkpoint_dir_writes_a_journal_and_resume_succeeds() {
+    let (dir, path) = write_protocol("ckpt", RAMP);
+    let ckpt = dir.path.join("ckpt");
+    let out =
+        stsyn().arg(&path).arg("--quiet").arg("--checkpoint-dir").arg(&ckpt).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.join("journal.bin").exists());
+    // Resume over the finished journal replays to the same result.
+    let again = stsyn()
+        .arg(&path)
+        .arg("--quiet")
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert!(again.status.success(), "stderr: {}", String::from_utf8_lossy(&again.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&again.stdout));
+}
+
+#[test]
+fn fresh_checkpoint_into_populated_directory_exits_5() {
+    let (dir, path) = write_protocol("ckpt5", RAMP);
+    let ckpt = dir.path.join("ckpt");
+    let out =
+        stsyn().arg(&path).arg("--quiet").arg("--checkpoint-dir").arg(&ckpt).output().unwrap();
+    assert!(out.status.success());
+    // Without --resume, the populated directory is a checkpoint error.
+    let again =
+        stsyn().arg(&path).arg("--quiet").arg("--checkpoint-dir").arg(&ckpt).output().unwrap();
+    assert_eq!(again.status.code(), Some(5), "{}", String::from_utf8_lossy(&again.stderr));
+    assert!(String::from_utf8_lossy(&again.stderr).contains("checkpoint error"));
+}
+
+#[test]
+fn resume_requires_checkpoint_dir() {
+    let (_dir, path) = write_protocol("resume-alone", RAMP);
+    let out = stsyn().arg(&path).arg("--resume").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume requires"));
+}
+
+#[test]
+fn checkpointing_rejects_weak_and_parallel() {
+    let (dir, path) = write_protocol("ckpt-weak", RAMP);
+    let ckpt = dir.path.join("ckpt");
+    for extra in ["--weak", "--parallel"] {
+        let out =
+            stsyn().arg(&path).arg(extra).arg("--checkpoint-dir").arg(&ckpt).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{extra}");
+    }
+}
+
+#[test]
+fn help_documents_checkpoint_exit_code() {
+    let out = stsyn().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--checkpoint-dir"), "{stderr}");
+    assert!(stderr.contains("5 checkpoint error"), "{stderr}");
+}
+
+#[test]
+fn resume_over_torn_journal_warns_and_succeeds() {
+    let (dir, path) = write_protocol("torn", RAMP);
+    let ckpt = dir.path.join("ckpt");
+    let out =
+        stsyn().arg(&path).arg("--quiet").arg("--checkpoint-dir").arg(&ckpt).output().unwrap();
+    assert!(out.status.success());
+    // Tear the last record mid-frame; resume must fall back to the valid
+    // prefix with a warning, not fail.
+    let journal = ckpt.join("journal.bin");
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 3]).unwrap();
+    let again = stsyn()
+        .arg(&path)
+        .arg("--quiet")
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert!(again.status.success(), "stderr: {}", String::from_utf8_lossy(&again.stderr));
+    let stderr = String::from_utf8_lossy(&again.stderr);
+    assert!(stderr.contains("checkpoint warning"), "{stderr}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&again.stdout));
+}

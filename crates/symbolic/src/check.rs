@@ -36,6 +36,7 @@ pub fn closure_holds(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> bool {
 }
 
 /// Fallible variant of [`closure_holds`] for budgeted runs.
+#[must_use = "a budget violation is reported through the Result"]
 pub fn try_closure_holds(
     ctx: &mut SymbolicContext,
     relation: Bdd,
@@ -54,6 +55,7 @@ pub fn deadlock_states(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> Bdd 
 }
 
 /// Fallible variant of [`deadlock_states`] for budgeted runs.
+#[must_use = "a budget violation is reported through the Result"]
 pub fn try_deadlock_states(
     ctx: &mut SymbolicContext,
     relation: Bdd,
@@ -72,6 +74,7 @@ pub fn strong_convergence(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> V
 }
 
 /// Fallible variant of [`strong_convergence`] for budgeted runs.
+#[must_use = "a budget violation is reported through the Result"]
 pub fn try_strong_convergence(
     ctx: &mut SymbolicContext,
     relation: Bdd,
@@ -108,6 +111,7 @@ pub fn weak_convergence(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> Ver
 }
 
 /// Fallible variant of [`weak_convergence`] for budgeted runs.
+#[must_use = "a budget violation is reported through the Result"]
 pub fn try_weak_convergence(
     ctx: &mut SymbolicContext,
     relation: Bdd,
@@ -125,6 +129,7 @@ pub fn self_stabilizing(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd, strong
 }
 
 /// Fallible variant of [`self_stabilizing`] for budgeted runs.
+#[must_use = "a budget violation is reported through the Result"]
 pub fn try_self_stabilizing(
     ctx: &mut SymbolicContext,
     relation: Bdd,

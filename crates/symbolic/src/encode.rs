@@ -279,6 +279,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::not_states`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_not_states(&mut self, f: Bdd) -> Result<Bdd, BddError> {
         let nf = self.mgr.try_not(f)?;
         self.mgr.try_and(self.valid_cur, nf)
@@ -311,6 +312,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::state_cube`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_state_cube(&mut self, s: &State) -> Result<Bdd, BddError> {
         let cubes: Vec<Bdd> =
             s.iter().enumerate().map(|(i, &val)| self.value_cur[i][val as usize]).collect();
@@ -353,6 +355,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::singleton`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_singleton(&mut self, s: &State) -> Result<Bdd, BddError> {
         self.try_state_cube(s)
     }
@@ -364,6 +367,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::compile`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_compile(&mut self, e: &Expr) -> Result<Bdd, BddError> {
         debug_assert_eq!(e.typecheck().ok(), Some(Ty::Bool));
         let raw = self.compile_bool(e)?;
@@ -497,6 +501,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::group_relation`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_group_relation(&mut self, g: &GroupDesc) -> Result<Bdd, BddError> {
         let proc = &self.protocol.processes()[g.process.0];
         let reads = proc.reads.clone();
@@ -524,6 +529,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::group_source`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_group_source(&mut self, g: &GroupDesc) -> Result<Bdd, BddError> {
         let reads = self.protocol.processes()[g.process.0].reads.clone();
         let mut src = self.valid_cur;
@@ -540,6 +546,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::protocol_relation`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_protocol_relation(&mut self) -> Result<Bdd, BddError> {
         let mut rel = self.mgr.zero();
         for j in 0..self.protocol.num_processes() {
@@ -568,6 +575,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::project_onto`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_project_onto(&mut self, f: Bdd, keep: &[VarIdx]) -> Result<Bdd, BddError> {
         let mut drop_bits: Vec<VarId> = Vec::new();
         for (vi, vb) in self.bits.iter().enumerate() {

@@ -19,6 +19,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::img`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_img(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let cur = self.cur_set();
         let map = self.primed_to_cur();
@@ -33,6 +34,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::pre`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_pre(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let primed = self.primed_set();
         let map = self.cur_to_primed();
@@ -46,6 +48,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::enabled`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_enabled(&mut self, t: Bdd) -> Result<Bdd, BddError> {
         let primed = self.primed_set();
         self.mgr().try_exists(t, primed)
@@ -59,6 +62,7 @@ impl SymbolicContext {
 
     /// Fallible variant of [`SymbolicContext::forward_closure`]; checks
     /// the node ceiling at a safe point before every frontier expansion.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_forward_closure(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let mut reach = x;
         loop {
@@ -80,6 +84,7 @@ impl SymbolicContext {
 
     /// Fallible variant of [`SymbolicContext::backward_closure`]; checks
     /// the node ceiling at a safe point before every frontier expansion.
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_backward_closure(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let mut reach = x;
         loop {
@@ -100,6 +105,7 @@ impl SymbolicContext {
     }
 
     /// Fallible variant of [`SymbolicContext::restrict_relation`].
+    #[must_use = "a budget violation is reported through the Result"]
     pub fn try_restrict_relation(&mut self, t: Bdd, x: Bdd) -> Result<Bdd, BddError> {
         let map = self.cur_to_primed();
         let xp = self.mgr().try_rename(x, map)?;

@@ -36,6 +36,9 @@ pub mod trace;
 
 pub use check::{closure_holds, deadlock_states, strong_convergence, weak_convergence, Verdict};
 pub use encode::{SymbolicContext, VarOrder};
-pub use ranks::{compute_ranks, try_compute_ranks, RankTable, RanksInterrupted};
+pub use ranks::{
+    compute_ranks, try_compute_ranks, try_compute_ranks_resumed, RankLayerObserver, RankTable,
+    RanksInterrupted,
+};
 pub use scc::{has_cycle, scc_decomposition, SccAlgorithm};
 pub use stsyn_bdd::{BddError, Budget, Resource};

@@ -11,7 +11,11 @@
 //! procedure for weak stabilization.
 
 use crate::encode::{SymbolicContext, INFALLIBLE};
-use stsyn_bdd::{Bdd, BddError};
+use stsyn_bdd::{Bdd, BddError, Manager};
+
+/// Callback invoked after every rank layer is committed (checkpointing
+/// hook): receives the manager, the layer index and the layer predicate.
+pub type RankLayerObserver<'a> = &'a mut dyn FnMut(&Manager, usize, Bdd);
 
 /// The result of `ComputeRanks`.
 #[derive(Debug, Clone)]
@@ -71,13 +75,47 @@ pub fn compute_ranks(ctx: &mut SymbolicContext, relation: Bdd, i: Bdd) -> RankTa
 /// holding further long-lived handles must have registered them, see
 /// [`SymbolicContext::register_roots`]); on any budget violation the
 /// layers completed so far are returned as [`RanksInterrupted`].
+#[must_use = "an interrupted ranking is reported through the Result"]
 pub fn try_compute_ranks(
     ctx: &mut SymbolicContext,
     relation: Bdd,
     i: Bdd,
 ) -> Result<RankTable, Box<RanksInterrupted>> {
+    try_compute_ranks_resumed(ctx, relation, i, &[], None)
+}
+
+/// [`try_compute_ranks`] with checkpoint/resume support.
+///
+/// `prefix` is a correctly-layered rank prefix *excluding* `Rank[0] = I`
+/// (e.g. the `ranks_so_far[1..]` of an earlier [`RanksInterrupted`], or
+/// layers replayed from a journal): the backward search continues from its
+/// frontier instead of starting at `I`. Because each layer is uniquely
+/// determined by `relation` and `I`, the completed table is identical to
+/// an uninterrupted run's. `observer`, when given, fires after every
+/// *newly computed* layer is committed (not for the replayed prefix, which
+/// the caller has already journaled) so a checkpointing caller can persist
+/// layers as they are produced.
+#[must_use = "an interrupted ranking is reported through the Result"]
+pub fn try_compute_ranks_resumed(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    i: Bdd,
+    prefix: &[Bdd],
+    mut observer: Option<RankLayerObserver<'_>>,
+) -> Result<RankTable, Box<RanksInterrupted>> {
     let mut ranks = vec![i];
     let mut explored = i;
+    for &layer in prefix {
+        match ctx.mgr().try_or(explored, layer) {
+            Ok(e) => {
+                explored = e;
+                ranks.push(layer);
+            }
+            Err(cause) => {
+                return Err(Box::new(RanksInterrupted { cause, ranks_so_far: ranks, explored }))
+            }
+        }
+    }
     macro_rules! step {
         ($e:expr) => {
             match $e {
@@ -104,6 +142,9 @@ pub fn try_compute_ranks(
         }
         ranks.push(fresh);
         explored = step!(ctx.mgr().try_or(explored, fresh));
+        if let Some(obs) = observer.as_mut() {
+            obs(ctx.mgr_ref(), ranks.len() - 1, fresh);
+        }
     }
     let infinite = step!(ctx.try_not_states(explored));
     Ok(RankTable { ranks, explored, infinite })

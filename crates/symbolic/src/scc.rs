@@ -44,6 +44,7 @@ pub fn has_cycle(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> bool {
 }
 
 /// Fallible variant of [`has_cycle`] for budgeted runs.
+#[must_use = "a budget violation is reported through the Result"]
 pub fn try_has_cycle(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<bool, BddError> {
     // νZ. X ∧ pre(Z): the states with an infinite forward path inside X —
     // non-empty iff a cycle exists. One-directional trimming converges in
@@ -102,6 +103,7 @@ pub fn scc_decomposition(
 /// ceiling is *not* enforced mid-decomposition (the worklists hold
 /// handles that are not registered roots), so node pressure surfaces at
 /// the next safe point of the caller instead.
+#[must_use = "a budget violation is reported through the Result"]
 pub fn try_scc_decomposition(
     ctx: &mut SymbolicContext,
     relation: Bdd,
