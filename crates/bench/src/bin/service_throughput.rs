@@ -1,0 +1,113 @@
+//! `service_throughput` — measure the job service's end-to-end overhead.
+//!
+//! ```text
+//! cargo run --release -p stsyn-bench --bin service_throughput [-- --fast]
+//! ```
+//!
+//! For each worker-pool size the harness starts an in-process daemon,
+//! floods it with a batch of small synthesis jobs from concurrent client
+//! connections, and records wall-clock throughput (jobs/sec) plus queue
+//! latency (the time a job sat queued before a worker claimed it, as
+//! reported by the `status` verb). The series lands in
+//! `results/service_throughput.csv`.
+
+use std::time::Instant;
+use stsyn_serve::{Client, JobSource, Json, Server, ServerConfig, ShutdownMode, SubmitSpec};
+
+struct Row {
+    workers: usize,
+    jobs: usize,
+    wall_secs: f64,
+    jobs_per_sec: f64,
+    mean_queue_ms: f64,
+    p95_queue_ms: u64,
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let jobs = if fast { 12 } else { 32 };
+    let clients = 4;
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    let mut rows = Vec::new();
+    for workers in [1, 2, 4] {
+        eprintln!("service_throughput: {workers} worker(s), {jobs} jobs…");
+        rows.push(run_batch(workers, jobs, clients));
+    }
+
+    let mut csv = String::from("workers,jobs,wall_secs,jobs_per_sec,mean_queue_ms,p95_queue_ms\n");
+    println!(
+        "{:<8} {:<6} {:<10} {:<10} {:<14} p95_queue_ms",
+        "workers", "jobs", "wall_s", "jobs/s", "mean_queue_ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<6} {:<10.3} {:<10.1} {:<14.1} {}",
+            r.workers, r.jobs, r.wall_secs, r.jobs_per_sec, r.mean_queue_ms, r.p95_queue_ms
+        );
+        csv.push_str(&format!(
+            "{},{},{:.4},{:.2},{:.2},{}\n",
+            r.workers, r.jobs, r.wall_secs, r.jobs_per_sec, r.mean_queue_ms, r.p95_queue_ms
+        ));
+    }
+    std::fs::write("results/service_throughput.csv", csv).expect("write csv");
+    eprintln!("series written to results/service_throughput.csv");
+}
+
+fn run_batch(workers: usize, jobs: usize, clients: usize) -> Row {
+    let state_dir =
+        std::env::temp_dir().join(format!("stsyn-throughput-{}-{}", std::process::id(), workers));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let mut cfg = ServerConfig::new(&state_dir);
+    cfg.workers = workers;
+    cfg.queue_capacity = jobs + 8;
+    let handle = Server::start(cfg).expect("start daemon");
+    let addr = handle.addr();
+
+    // Concurrent clients submit their share of the batch, then each waits
+    // for its own jobs — the daemon is saturated the whole time.
+    let started = Instant::now();
+    let ids: Vec<u64> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let share = jobs / clients + usize::from(c < jobs % clients);
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let spec = SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 });
+                let ids: Vec<u64> =
+                    (0..share).map(|_| client.submit(&spec).expect("submit")).collect();
+                for &id in &ids {
+                    client.wait(id, std::time::Duration::from_secs(600)).expect("job result");
+                }
+                ids
+            }));
+        }
+        joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // Queue latency: how long each job sat before a worker claimed it.
+    let mut client = Client::connect(addr).expect("connect");
+    let mut queue_ms: Vec<u64> = ids
+        .iter()
+        .map(|&id| {
+            client.status(id).expect("status").get("queue_ms").and_then(Json::as_u64).unwrap_or(0)
+        })
+        .collect();
+    queue_ms.sort_unstable();
+    let mean_queue_ms = queue_ms.iter().sum::<u64>() as f64 / queue_ms.len().max(1) as f64;
+    let p95_queue_ms = queue_ms[(queue_ms.len().saturating_sub(1)) * 95 / 100];
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    Row {
+        workers,
+        jobs,
+        wall_secs,
+        jobs_per_sec: jobs as f64 / wall_secs,
+        mean_queue_ms,
+        p95_queue_ms,
+    }
+}

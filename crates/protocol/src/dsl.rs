@@ -514,6 +514,23 @@ impl Parser {
     }
 }
 
+/// Parse a protocol description arriving as an untrusted payload (e.g. a
+/// `stsyn-serve` job submission): the byte size is bounded *before*
+/// tokenization, so an oversized submission is rejected in O(1) instead of
+/// being lexed. Everything else is [`parse`].
+pub fn parse_bounded(src: &str, max_bytes: usize) -> Result<ParsedProtocol, ParseError> {
+    if src.len() > max_bytes {
+        return Err(ParseError {
+            line: 0,
+            message: format!(
+                "protocol source is {} bytes, exceeding the {max_bytes}-byte payload limit",
+                src.len()
+            ),
+        });
+    }
+    parse(src)
+}
+
 /// Parse a protocol description; see the module docs for the grammar.
 pub fn parse(src: &str) -> Result<ParsedProtocol, ParseError> {
     let mut lexer = Lexer::new(src);

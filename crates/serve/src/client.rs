@@ -1,0 +1,153 @@
+//! A blocking client for the job service, used by `stsyn client ...`,
+//! the loopback test-suite and the throughput bench.
+
+use crate::json::Json;
+use crate::server::ShutdownMode;
+use crate::wire::SubmitSpec;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug, Clone)]
+pub enum ClientError {
+    /// Connecting, reading or writing the socket failed.
+    Io(String),
+    /// The server answered with something unparseable (or hung up).
+    Protocol(String),
+    /// The server refused the request; carries the wire error code
+    /// (`queue-full`, `input-error`, `unknown-job`, ...) and message.
+    Rejected {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// A wait timed out before the job reached a terminal state.
+    Timeout,
+}
+
+impl ClientError {
+    /// The wire error code, when the server refused the request.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Rejected { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "connection error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Rejected { code, message } => write!(f, "{code}: {message}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the job to finish"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection to a daemon; requests are serialized on it.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7411`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        let reader =
+            BufReader::new(stream.try_clone().map_err(|e| ClientError::Io(e.to_string()))?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Send one request object, read one response object. Responses with
+    /// `"ok": false` surface as [`ClientError::Rejected`].
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let mut line = req.to_string();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).map_err(|e| ClientError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let v = Json::parse(&resp).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if v.get("ok").and_then(Json::as_bool) == Some(false) {
+            return Err(ClientError::Rejected {
+                code: v.get("code").and_then(Json::as_str).unwrap_or("error").to_string(),
+                message: v.get("error").and_then(Json::as_str).unwrap_or("").to_string(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&mut self, spec: &SubmitSpec) -> Result<u64, ClientError> {
+        let resp =
+            self.request(&Json::obj(vec![("op", "submit".into()), ("job", spec.to_json())]))?;
+        resp.get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit response lacks an id".into()))
+    }
+
+    /// Job status (`state`, timings).
+    pub fn status(&mut self, id: u64) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", "status".into()), ("id", id.into())]))
+    }
+
+    /// The job's state string, for polling.
+    pub fn state(&mut self, id: u64) -> Result<String, ClientError> {
+        Ok(self.status(id)?.get("state").and_then(Json::as_str).unwrap_or("unknown").to_string())
+    }
+
+    /// Fetch the result of a finished job. A failed job surfaces as
+    /// [`ClientError::Rejected`] with its failure code.
+    pub fn result(&mut self, id: u64) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", "result".into()), ("id", id.into())]))
+    }
+
+    /// Request cooperative cancellation.
+    pub fn cancel(&mut self, id: u64) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", "cancel".into()), ("id", id.into())]))
+    }
+
+    /// Service counters.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", "stats".into())]))
+    }
+
+    /// Ask the daemon to shut down.
+    pub fn shutdown(&mut self, mode: ShutdownMode) -> Result<(), ClientError> {
+        let mode = match mode {
+            ShutdownMode::Drain => "drain",
+            ShutdownMode::Checkpoint => "checkpoint",
+        };
+        self.request(&Json::obj(vec![("op", "shutdown".into()), ("mode", mode.into())])).map(|_| ())
+    }
+
+    /// Poll until the job reaches a terminal state, then fetch its
+    /// result. Cancelled jobs surface as `Rejected { code: "cancelled" }`.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<Json, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.state(id)?.as_str() {
+                "queued" | "running" => {}
+                _ => return self.result(id),
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}

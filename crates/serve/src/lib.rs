@@ -1,0 +1,56 @@
+//! # stsyn-serve — a multi-client synthesis job service
+//!
+//! The ROADMAP's north star is a serving system, not a one-shot CLI: this
+//! crate turns the synthesizer into a long-running daemon that accepts
+//! jobs from many clients, runs them on a worker pool, survives being
+//! `SIGKILL`ed mid-job, and exposes live job control. It is **std-only**
+//! (hand-rolled newline-delimited-JSON framing over
+//! [`std::net::TcpListener`], in the spirit of the hand-rolled checkpoint
+//! frame format) so the workspace still builds fully offline.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──NDJSON/TCP──▶ acceptor ──▶ bounded priority queue ──▶ worker pool
+//!                             │              (backpressure)          │ each job:
+//!                             │                                      │  Budget +
+//!                        job registry ◀───────── results ───────────┘  checkpoint dir
+//!                             │
+//!                     state dir (spec.json / ckpt/ / result.json)
+//! ```
+//!
+//! * [`queue`] — the bounded priority queue: explicit `queue-full`
+//!   rejection, never unbounded memory.
+//! * [`server`] — the daemon: job registry, worker pool (one
+//!   budget-guarded, checkpointed `stsyn_core::job::JobSpec::run` per
+//!   worker), persistent state directory, restart recovery, and the
+//!   `submit` / `status` / `result` / `cancel` / `stats` / `shutdown`
+//!   verbs.
+//! * [`client`] — a blocking client for the wire protocol.
+//! * [`wire`] — the job-specification encoding shared by both sides.
+//! * [`json`] — the dependency-free JSON layer underneath it all.
+//!
+//! ## Durability contract
+//!
+//! Every accepted job is persisted **before** the daemon acknowledges it;
+//! strong jobs checkpoint their progress through `stsyn-core`'s
+//! write-ahead journal. Kill the daemon at any point and the next start
+//! re-enqueues in-flight jobs, resuming them from their journals to
+//! results byte-identical to uninterrupted runs (the property PR 2's
+//! crash harness sweeps). Cancellation is cooperative through the same
+//! [`stsyn_symbolic::Budget`] flags the CLI uses, honored within one
+//! budget tick-check interval.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use queue::{PriorityQueue, PushError};
+pub use server::{Server, ServerConfig, ServerHandle, ShutdownMode};
+pub use wire::{JobSource, SubmitSpec};

@@ -1,0 +1,226 @@
+//! A bounded, blocking priority queue with explicit backpressure.
+//!
+//! The service's admission control lives here: [`PriorityQueue::push`]
+//! *fails* with [`PushError::Full`] when the queue is at capacity instead
+//! of growing without bound, so a flooded daemon degrades to rejecting
+//! submissions rather than exhausting memory. Higher priorities pop
+//! first; within a priority, submission order (FIFO) is preserved via a
+//! monotonic sequence number, so equal-priority jobs are served fairly.
+//!
+//! Shutdown uses two flavours of closing: [`PriorityQueue::close`] stops
+//! admissions but lets consumers drain what is queued (graceful
+//! *drain* shutdown), while [`PriorityQueue::close_and_clear`] also
+//! discards the backlog (checkpoint shutdown — the discarded jobs live on
+//! in the persistent state directory and are re-enqueued on restart).
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — explicit backpressure, try again later.
+    Full,
+    /// The queue was closed by a shutdown.
+    Closed,
+}
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first; then *lower* seq (older) first.
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The bounded priority queue. All methods take `&self`; the queue is
+/// shared between the acceptor and the worker pool behind an `Arc`.
+pub struct PriorityQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> PriorityQueue<T> {
+    /// A queue admitting at most `capacity` items at a time.
+    pub fn new(capacity: usize) -> PriorityQueue<T> {
+        PriorityQueue {
+            inner: Mutex::new(Inner { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue with backpressure: refused with [`PushError::Full`] at
+    /// capacity, [`PushError::Closed`] after shutdown.
+    pub fn push(&self, priority: i64, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry { priority, seq, item });
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue bypassing the capacity check — used only when re-loading
+    /// persisted jobs at startup, which must never be dropped even if a
+    /// restart finds more jobs on disk than the configured capacity.
+    pub fn push_recovered(&self, priority: i64, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry { priority, seq, item });
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the highest-priority item, blocking while the queue is
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(e) = inner.heap.pop() {
+                return Some(e.item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close for admissions; queued items may still be popped (drain).
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Close and discard the backlog, returning the discarded items.
+    pub fn close_and_clear(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        let cleared = std::mem::take(&mut inner.heap).into_sorted_vec();
+        drop(inner);
+        self.nonempty.notify_all();
+        cleared.into_iter().map(|e| e.item).collect()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = PriorityQueue::new(10);
+        q.push(0, "a").unwrap();
+        q.push(5, "b").unwrap();
+        q.push(0, "c").unwrap();
+        q.push(5, "d").unwrap();
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["b", "d", "a", "c"]);
+    }
+
+    #[test]
+    fn capacity_gives_explicit_backpressure() {
+        let q = PriorityQueue::new(2);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        assert_eq!(q.push(0, 3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.push(0, 3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn recovered_pushes_bypass_capacity() {
+        let q = PriorityQueue::new(1);
+        q.push(0, 1).unwrap();
+        q.push_recovered(0, 2).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = PriorityQueue::new(4);
+        q.push(1, "x").unwrap();
+        q.close();
+        assert_eq!(q.push(0, "y"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("x"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_and_clear_discards_backlog() {
+        let q = PriorityQueue::new(4);
+        q.push(1, "x").unwrap();
+        q.push(2, "y").unwrap();
+        let mut cleared = q.close_and_clear();
+        cleared.sort();
+        assert_eq!(cleared, ["x", "y"]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_close() {
+        let q = Arc::new(PriorityQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(0, 7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), [7]);
+    }
+}

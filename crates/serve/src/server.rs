@@ -1,0 +1,757 @@
+//! The synthesis job daemon: listener, worker pool, job registry and
+//! persistent state directory.
+//!
+//! ## Lifecycle of a job
+//!
+//! 1. **submit** — the spec is validated (DSL parsed, case bounds and
+//!    schedule checked) *synchronously*, persisted to
+//!    `state/jobs/<id>/spec.json`, registered, and pushed into the bounded
+//!    priority queue. A full queue rejects the submission with a distinct
+//!    `queue-full` error — backpressure, never unbounded memory.
+//! 2. **run** — a worker claims the job, attaches its cancel flag (plus
+//!    the server-wide checkpoint-shutdown flag) to the job's [`Budget`],
+//!    and runs it through [`stsyn_core::job::JobSpec::run`]. Strong jobs
+//!    checkpoint into `state/jobs/<id>/ckpt/`, so a killed daemon resumes
+//!    them on restart.
+//! 3. **finish** — the result (success or failure) is written atomically
+//!    to `result.json`; a user cancellation leaves a `cancelled` marker.
+//!    Either file makes the job terminal across restarts.
+//!
+//! ## Restart recovery
+//!
+//! On startup every `state/jobs/*` directory is reloaded: terminal jobs
+//! (result or cancel marker present) come back queryable; everything else
+//! is re-enqueued — with `resume` semantics when a checkpoint journal
+//! exists, which replays the killed run's committed work and produces a
+//! result byte-identical to an uninterrupted run (PR 2's guarantee).
+//!
+//! ## Shutdown
+//!
+//! * **drain** — stop admitting, finish queued and running jobs, exit.
+//! * **checkpoint** — stop admitting, discard the in-memory queue (the
+//!   jobs stay on disk), raise the shared cancel flag so running jobs cut
+//!   a final checkpoint, exit. Both leave the state directory ready for
+//!   the next daemon.
+
+use crate::json::Json;
+use crate::queue::{PriorityQueue, PushError};
+use crate::wire::{SubmitSpec, MAX_REQUEST_BYTES};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use stsyn_core::job::{JobCheckpoint, JobError, JobMode};
+use stsyn_core::SynthesisError;
+use stsyn_symbolic::Resource;
+
+/// File names inside a job directory.
+const SPEC_FILE: &str = "spec.json";
+const RESULT_FILE: &str = "result.json";
+const CANCEL_MARKER: &str = "cancelled";
+const CKPT_DIR: &str = "ckpt";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each runs one synthesis job at a time).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Persistent state directory (created if missing).
+    pub state_dir: PathBuf,
+}
+
+impl ServerConfig {
+    /// Loopback defaults with the given state directory.
+    pub fn new(state_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            state_dir: state_dir.into(),
+        }
+    }
+}
+
+/// How to stop the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Finish queued and running jobs, then exit.
+    Drain,
+    /// Checkpoint running jobs and exit; queued jobs wait on disk.
+    Checkpoint,
+}
+
+/// Service counters (per daemon instance; job *state* is persistent,
+/// counters are not).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Submissions admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Submissions rejected by backpressure (`queue-full`).
+    pub rejected: AtomicU64,
+    /// Jobs finished successfully.
+    pub completed: AtomicU64,
+    /// Jobs that failed (synthesis, input or budget failure).
+    pub failed: AtomicU64,
+    /// Jobs cancelled by a client.
+    pub cancelled: AtomicU64,
+    /// In-flight jobs re-enqueued from a checkpoint journal at startup.
+    pub resumed: AtomicU64,
+    /// Largest per-job peak live BDD node count seen so far.
+    pub peak_nodes_max: AtomicU64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+    /// Cut by a checkpoint shutdown; will resume on the next start.
+    Interrupted,
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+}
+
+struct JobEntry {
+    spec: SubmitSpec,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    user_cancelled: bool,
+    queued_at: Instant,
+    queue_ms: Option<u64>,
+    run_ms: Option<u64>,
+    resumed: bool,
+    /// Terminal payload (the stored `result.json` value) for Done/Failed.
+    result: Option<Json>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queue: PriorityQueue<u64>,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    next_id: AtomicU64,
+    counters: Counters,
+    busy: AtomicUsize,
+    live_workers: AtomicUsize,
+    stop: AtomicBool,
+    shutdown_cancel: Arc<AtomicBool>,
+}
+
+impl Shared {
+    fn job_dir(&self, id: u64) -> PathBuf {
+        self.cfg.state_dir.join("jobs").join(format!("{id:08}"))
+    }
+
+    fn begin_shutdown(&self, mode: ShutdownMode) {
+        self.stop.store(true, Ordering::SeqCst);
+        match mode {
+            ShutdownMode::Drain => self.queue.close(),
+            ShutdownMode::Checkpoint => {
+                let _ = self.queue.close_and_clear();
+                self.shutdown_cancel.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiate a shutdown (same path as the wire `shutdown` op).
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        self.shared.begin_shutdown(mode);
+    }
+
+    /// Wait for workers and the acceptor to exit.
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let _ = self.acceptor.join();
+    }
+}
+
+/// The job service.
+pub struct Server;
+
+impl Server {
+    /// Start the daemon: recover persisted jobs, bind the listener, and
+    /// spawn the worker pool and acceptor.
+    pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let workers = cfg.workers.max(1);
+        let queue_capacity = cfg.queue_capacity.max(1);
+        std::fs::create_dir_all(cfg.state_dir.join("jobs"))?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            queue: PriorityQueue::new(queue_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+            busy: AtomicUsize::new(0),
+            live_workers: AtomicUsize::new(workers),
+            stop: AtomicBool::new(false),
+            shutdown_cancel: Arc::new(AtomicBool::new(false)),
+            cfg,
+        });
+        recover_jobs(&shared)?;
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    worker_loop(&shared);
+                    shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || {
+                            let _ = handle_conn(&shared, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // Keep serving status/result queries while a drain
+                        // shutdown lets the workers finish; exit once they
+                        // are all gone.
+                        if shared.stop.load(Ordering::SeqCst)
+                            && shared.live_workers.load(Ordering::SeqCst) == 0
+                        {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            })
+        };
+
+        Ok(ServerHandle { addr, shared, acceptor, workers: worker_handles })
+    }
+}
+
+/// Reload the persistent state directory into the registry and queue.
+fn recover_jobs(shared: &Shared) -> io::Result<()> {
+    let jobs_dir = shared.cfg.state_dir.join("jobs");
+    let mut ids: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(&jobs_dir)? {
+        let entry = entry?;
+        if let Some(id) = entry.file_name().to_str().and_then(|s| s.parse::<u64>().ok()) {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    let mut max_id = 0;
+    for id in ids {
+        max_id = max_id.max(id);
+        let dir = shared.job_dir(id);
+        let spec = match std::fs::read_to_string(dir.join(SPEC_FILE))
+            .ok()
+            .and_then(|s| Json::parse(&s).ok())
+            .and_then(|v| SubmitSpec::from_json(&v).ok())
+        {
+            Some(s) => s,
+            None => {
+                eprintln!("stsyn-serve: job {id:08}: unreadable spec, skipping");
+                continue;
+            }
+        };
+        let mut entry = JobEntry {
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            user_cancelled: false,
+            queued_at: Instant::now(),
+            queue_ms: None,
+            run_ms: None,
+            resumed: false,
+            result: None,
+        };
+        if let Ok(text) = std::fs::read_to_string(dir.join(RESULT_FILE)) {
+            if let Ok(result) = Json::parse(&text) {
+                entry.state = if result.get("ok").and_then(Json::as_bool).unwrap_or(false) {
+                    JobState::Done
+                } else {
+                    JobState::Failed
+                };
+                entry.result = Some(result);
+                shared.jobs.lock().unwrap().insert(id, entry);
+                continue;
+            }
+        }
+        if dir.join(CANCEL_MARKER).exists() {
+            entry.state = JobState::Cancelled;
+            shared.jobs.lock().unwrap().insert(id, entry);
+            continue;
+        }
+        // Queued or in flight when the previous daemon died: re-enqueue.
+        // A checkpoint journal means the run had started — it will resume
+        // from its committed prefix.
+        entry.resumed = dir.join(CKPT_DIR).join("journal.bin").exists();
+        if entry.resumed {
+            shared.counters.resumed.fetch_add(1, Ordering::Relaxed);
+        }
+        let priority = entry.spec.priority;
+        shared.jobs.lock().unwrap().insert(id, entry);
+        let _ = shared.queue.push_recovered(priority, id);
+    }
+    shared.next_id.store(max_id + 1, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Atomically persist a JSON document (temp file + rename + fsync).
+fn write_json_atomic(path: &Path, value: &Json) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(value.to_string().as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop() {
+        // Claim the job; a cancel that won the race leaves it non-Queued.
+        let claimed = {
+            let mut jobs = shared.jobs.lock().unwrap();
+            match jobs.get_mut(&id) {
+                Some(e) if e.state == JobState::Queued => {
+                    e.state = JobState::Running;
+                    e.queue_ms = Some(e.queued_at.elapsed().as_millis() as u64);
+                    Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed))
+                }
+                _ => None,
+            }
+        };
+        let Some((spec, cancel, resumed)) = claimed else { continue };
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
+        let finished = execute_job(shared, id, &spec, &cancel);
+        let run_ms = started.elapsed().as_millis() as u64;
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+        record_finish(shared, id, resumed, run_ms, finished);
+    }
+}
+
+enum Finished {
+    Done { result: Json, peak_nodes: u64 },
+    Failed { code: &'static str, message: String },
+    CancelledByUser,
+    CutByShutdown,
+}
+
+/// Run one job under its budget and checkpoint directory.
+fn execute_job(shared: &Shared, id: u64, spec: &SubmitSpec, cancel: &Arc<AtomicBool>) -> Finished {
+    let mut job = match spec.materialize() {
+        Ok(j) => j,
+        Err(m) => return Finished::Failed { code: "input-error", message: m },
+    };
+    // Cancellation is always armed: the per-job flag (live `cancel` op)
+    // and the server-wide checkpoint-shutdown flag.
+    job.budget = Some(
+        job.budget
+            .take()
+            .unwrap_or_default()
+            .with_cancel(Arc::clone(cancel))
+            .with_cancel(Arc::clone(&shared.shutdown_cancel)),
+    );
+    if job.mode == JobMode::Strong {
+        let ckpt = shared.job_dir(id).join(CKPT_DIR);
+        if std::fs::create_dir_all(&ckpt).is_err() {
+            return Finished::Failed {
+                code: "io-error",
+                message: format!("cannot create checkpoint dir {}", ckpt.display()),
+            };
+        }
+        job.checkpoint = Some(JobCheckpoint::auto(ckpt));
+    }
+    match job.run() {
+        Ok(report) => {
+            let s = &report.outcome.stats;
+            let stats = Json::obj(vec![
+                ("candidates", s.candidates.into()),
+                ("groups_added", s.groups_added.into()),
+                ("max_rank", s.max_rank.into()),
+                ("finished_in_pass", u64::from(s.finished_in_pass).into()),
+                ("ranking_secs", s.ranking_secs().into()),
+                ("scc_secs", s.scc_secs().into()),
+                ("total_secs", s.total_secs().into()),
+                ("program_nodes", s.program_nodes.into()),
+                ("peak_live_nodes", s.peak_live_nodes.into()),
+                ("bdd_ticks", s.bdd_ticks.into()),
+            ]);
+            let result = Json::obj(vec![
+                ("ok", true.into()),
+                ("state", "done".into()),
+                ("id", id.into()),
+                ("name", report.name.as_str().into()),
+                ("weak", report.weak.into()),
+                ("verified", report.verified.into()),
+                ("schedule", report.outcome.schedule.to_string().as_str().into()),
+                ("recovery", report.outcome.describe_recovery().as_str().into()),
+                ("protocol", report.emitted_dsl.as_str().into()),
+                ("stats", stats),
+            ]);
+            Finished::Done { result, peak_nodes: s.peak_live_nodes as u64 }
+        }
+        Err(JobError::Synthesis(SynthesisError::ResourceExhausted { cause, .. }))
+            if cause.resource() == Resource::Cancelled =>
+        {
+            if cancel.load(Ordering::SeqCst) {
+                Finished::CancelledByUser
+            } else {
+                Finished::CutByShutdown
+            }
+        }
+        Err(JobError::Synthesis(e @ SynthesisError::ResourceExhausted { .. })) => {
+            Finished::Failed { code: "budget-exhausted", message: e.to_string() }
+        }
+        Err(JobError::Synthesis(SynthesisError::Checkpoint(e))) => {
+            Finished::Failed { code: "checkpoint-error", message: e.to_string() }
+        }
+        Err(JobError::Synthesis(e)) => {
+            Finished::Failed { code: "synthesis-failed", message: e.to_string() }
+        }
+        Err(JobError::Input(m)) => Finished::Failed { code: "input-error", message: m },
+        Err(JobError::Spec(m)) => Finished::Failed { code: "bad-spec", message: m },
+    }
+}
+
+fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished: Finished) {
+    let dir = shared.job_dir(id);
+    let (state, result) = match finished {
+        Finished::Done { mut result, peak_nodes } => {
+            if let Json::Obj(pairs) = &mut result {
+                pairs.push(("run_ms".into(), run_ms.into()));
+                pairs.push(("resumed".into(), resumed.into()));
+            }
+            let _ = write_json_atomic(&dir.join(RESULT_FILE), &result);
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.counters.peak_nodes_max.fetch_max(peak_nodes, Ordering::Relaxed);
+            (JobState::Done, Some(result))
+        }
+        Finished::Failed { code, message } => {
+            let result = Json::obj(vec![
+                ("ok", false.into()),
+                ("state", "failed".into()),
+                ("id", id.into()),
+                ("code", code.into()),
+                ("error", message.as_str().into()),
+                ("run_ms", run_ms.into()),
+            ]);
+            let _ = write_json_atomic(&dir.join(RESULT_FILE), &result);
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            (JobState::Failed, Some(result))
+        }
+        Finished::CancelledByUser => {
+            let _ = std::fs::write(dir.join(CANCEL_MARKER), b"cancelled by client\n");
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            (JobState::Cancelled, None)
+        }
+        // Leave spec + checkpoint untouched: the next daemon resumes it.
+        Finished::CutByShutdown => (JobState::Interrupted, None),
+    };
+    let mut jobs = shared.jobs.lock().unwrap();
+    if let Some(e) = jobs.get_mut(&id) {
+        e.state = state;
+        e.run_ms = Some(run_ms);
+        e.result = result;
+    }
+}
+
+/// One client connection: newline-delimited JSON requests in, one JSON
+/// response line per request out.
+fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let Some(line) = read_line_bounded(&mut reader, MAX_REQUEST_BYTES)? else {
+            return Ok(()); // client closed
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Json::parse(&line) {
+            Ok(req) => dispatch(shared, &req),
+            Err(e) => err_response("bad-request", &format!("malformed request: {e}")),
+        };
+        writer.write_all(response.to_string().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+fn read_line_bounded(reader: &mut BufReader<TcpStream>, max: usize) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(max as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > max {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "request line too long"));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request is not UTF-8"))
+}
+
+fn err_response(code: &str, message: &str) -> Json {
+    Json::obj(vec![("ok", false.into()), ("code", code.into()), ("error", message.into())])
+}
+
+fn dispatch(shared: &Shared, req: &Json) -> Json {
+    match req.get("op").and_then(Json::as_str) {
+        Some("submit") => op_submit(shared, req),
+        Some("status") => op_status(shared, req),
+        Some("result") => op_result(shared, req),
+        Some("cancel") => op_cancel(shared, req),
+        Some("stats") => op_stats(shared),
+        Some("shutdown") => op_shutdown(shared, req),
+        Some(other) => err_response("bad-request", &format!("unknown op `{other}`")),
+        None => err_response("bad-request", "request needs a string `op` field"),
+    }
+}
+
+fn op_submit(shared: &Shared, req: &Json) -> Json {
+    if shared.stop.load(Ordering::SeqCst) {
+        return err_response("shutting-down", "daemon is shutting down");
+    }
+    let Some(job_field) = req.get("job") else {
+        return err_response("bad-request", "submit needs a `job` object");
+    };
+    let spec = match SubmitSpec::from_json(job_field) {
+        Ok(s) => s,
+        Err(m) => return err_response("bad-request", &m),
+    };
+    // Validate the workload up front so a client learns about a bad
+    // protocol now, not from a failed job later.
+    if let Err(m) = spec.materialize() {
+        return err_response("input-error", &m);
+    }
+
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let dir = shared.job_dir(id);
+    let persisted = std::fs::create_dir_all(&dir)
+        .and_then(|()| write_json_atomic(&dir.join(SPEC_FILE), &spec.to_json()));
+    if let Err(e) = persisted {
+        let _ = std::fs::remove_dir_all(&dir);
+        return err_response("io-error", &format!("cannot persist job: {e}"));
+    }
+    let priority = spec.priority;
+    shared.jobs.lock().unwrap().insert(
+        id,
+        JobEntry {
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            user_cancelled: false,
+            queued_at: Instant::now(),
+            queue_ms: None,
+            run_ms: None,
+            resumed: false,
+            result: None,
+        },
+    );
+    match shared.queue.push(priority, id) {
+        Ok(()) => {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            Json::obj(vec![("ok", true.into()), ("id", id.into())])
+        }
+        Err(kind) => {
+            shared.jobs.lock().unwrap().remove(&id);
+            let _ = std::fs::remove_dir_all(&dir);
+            match kind {
+                PushError::Full => {
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    err_response(
+                        "queue-full",
+                        &format!(
+                            "queue is at capacity ({}); retry later",
+                            shared.cfg.queue_capacity
+                        ),
+                    )
+                }
+                PushError::Closed => err_response("shutting-down", "daemon is shutting down"),
+            }
+        }
+    }
+}
+
+fn req_id(req: &Json) -> Result<u64, Json> {
+    req.get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err_response("bad-request", "request needs an integer `id`"))
+}
+
+fn op_status(shared: &Shared, req: &Json) -> Json {
+    let id = match req_id(req) {
+        Ok(id) => id,
+        Err(e) => return e,
+    };
+    let jobs = shared.jobs.lock().unwrap();
+    match jobs.get(&id) {
+        None => err_response("unknown-job", &format!("no job {id}")),
+        Some(e) => {
+            let mut pairs: Vec<(&str, Json)> = vec![
+                ("ok", true.into()),
+                ("id", id.into()),
+                ("state", e.state.name().into()),
+                ("resumed", e.resumed.into()),
+            ];
+            if let Some(q) = e.queue_ms {
+                pairs.push(("queue_ms", q.into()));
+            }
+            if let Some(r) = e.run_ms {
+                pairs.push(("run_ms", r.into()));
+            }
+            Json::obj(pairs)
+        }
+    }
+}
+
+fn op_result(shared: &Shared, req: &Json) -> Json {
+    let id = match req_id(req) {
+        Ok(id) => id,
+        Err(e) => return e,
+    };
+    let jobs = shared.jobs.lock().unwrap();
+    match jobs.get(&id) {
+        None => err_response("unknown-job", &format!("no job {id}")),
+        Some(e) => match (&e.state, &e.result) {
+            (JobState::Done | JobState::Failed, Some(r)) => r.clone(),
+            (JobState::Cancelled, _) => err_response("cancelled", "job was cancelled"),
+            (JobState::Interrupted, _) => {
+                err_response("interrupted", "job was checkpointed by a shutdown; resubmit-free resume happens on the next daemon start")
+            }
+            (state, _) => {
+                let mut resp = err_response("not-finished", "job has not finished");
+                if let Json::Obj(pairs) = &mut resp {
+                    pairs.push(("state".into(), state.name().into()));
+                }
+                resp
+            }
+        },
+    }
+}
+
+fn op_cancel(shared: &Shared, req: &Json) -> Json {
+    let id = match req_id(req) {
+        Ok(id) => id,
+        Err(e) => return e,
+    };
+    let mut jobs = shared.jobs.lock().unwrap();
+    match jobs.get_mut(&id) {
+        None => err_response("unknown-job", &format!("no job {id}")),
+        Some(e) => {
+            match e.state {
+                JobState::Queued => {
+                    // Never ran: mark terminal directly; the worker skips
+                    // non-Queued ids it pops.
+                    e.state = JobState::Cancelled;
+                    e.user_cancelled = true;
+                    let _ = std::fs::write(
+                        shared.job_dir(id).join(CANCEL_MARKER),
+                        b"cancelled by client (queued)\n",
+                    );
+                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                JobState::Running => {
+                    // Cooperative: the job's budget polls this flag and
+                    // aborts within one tick-check interval.
+                    e.user_cancelled = true;
+                    e.cancel.store(true, Ordering::SeqCst);
+                }
+                _ => {} // already terminal: no-op
+            }
+            Json::obj(vec![
+                ("ok", true.into()),
+                ("id", id.into()),
+                ("state", e.state.name().into()),
+            ])
+        }
+    }
+}
+
+fn op_stats(shared: &Shared) -> Json {
+    let c = &shared.counters;
+    let busy = shared.busy.load(Ordering::SeqCst);
+    let workers = shared.cfg.workers.max(1);
+    Json::obj(vec![
+        ("ok", true.into()),
+        ("accepted", c.accepted.load(Ordering::Relaxed).into()),
+        ("rejected", c.rejected.load(Ordering::Relaxed).into()),
+        ("completed", c.completed.load(Ordering::Relaxed).into()),
+        ("failed", c.failed.load(Ordering::Relaxed).into()),
+        ("cancelled", c.cancelled.load(Ordering::Relaxed).into()),
+        ("resumed", c.resumed.load(Ordering::Relaxed).into()),
+        ("queue_depth", shared.queue.len().into()),
+        ("running", busy.into()),
+        ("workers", workers.into()),
+        ("utilization", (busy as f64 / workers as f64).into()),
+        ("peak_nodes_max", c.peak_nodes_max.load(Ordering::Relaxed).into()),
+    ])
+}
+
+fn op_shutdown(shared: &Shared, req: &Json) -> Json {
+    let mode = match req.get("mode").and_then(Json::as_str) {
+        None | Some("drain") => ShutdownMode::Drain,
+        Some("checkpoint") => ShutdownMode::Checkpoint,
+        Some(other) => {
+            return err_response("bad-request", &format!("unknown shutdown mode `{other}`"))
+        }
+    };
+    shared.begin_shutdown(mode);
+    Json::obj(vec![
+        ("ok", true.into()),
+        (
+            "mode",
+            match mode {
+                ShutdownMode::Drain => "drain".into(),
+                ShutdownMode::Checkpoint => "checkpoint".into(),
+            },
+        ),
+    ])
+}

@@ -1,0 +1,287 @@
+//! Wire-level job specifications and protocol constants.
+//!
+//! A submission names its workload either as DSL text (`{"dsl": "..."}`)
+//! or as a parametric case study from the paper
+//! (`{"case": "coloring", "n": 5}`), plus mode, schedule, priority and
+//! per-job budget caps. [`SubmitSpec`] round-trips through JSON — the
+//! same encoding is sent over the socket and persisted to the state
+//! directory, so a restarted daemon rebuilds exactly the job the client
+//! submitted — and [`SubmitSpec::materialize`] lowers it onto the
+//! library-level [`stsyn_core::job::JobSpec`] entry point (the service
+//! never shells out to the CLI).
+
+use crate::json::Json;
+use stsyn_core::job::{JobMode, JobSpec};
+use stsyn_symbolic::Budget;
+
+/// Hard cap on one request line (framing bound, checked before parsing).
+pub const MAX_REQUEST_BYTES: usize = 4 << 20;
+/// Hard cap on submitted DSL text (checked again by `parse_bounded`).
+pub const MAX_DSL_BYTES: usize = 1 << 20;
+/// Largest accepted `n` for parametric case studies.
+pub const MAX_CASE_SIZE: usize = 64;
+
+/// The workload of a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// A parametric case study: `coloring`, `matching`, `token_ring`,
+    /// `two_ring` or `mis`, with ring size `n` (and domain size `d` for
+    /// the token rings).
+    Case {
+        /// Case-study name.
+        name: String,
+        /// Ring size / process count parameter.
+        n: usize,
+        /// Domain size (token rings only; 0 elsewhere).
+        d: u32,
+    },
+    /// Protocol DSL text, parsed with `stsyn_protocol::dsl::parse_bounded`.
+    Dsl(String),
+}
+
+/// A complete submission: workload plus knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitSpec {
+    /// What to synthesize.
+    pub source: JobSource,
+    /// Weak instead of strong convergence.
+    pub weak: bool,
+    /// Explicit recovery schedule (process indices).
+    pub schedule: Option<Vec<usize>>,
+    /// Queue priority; higher pops first, default 0.
+    pub priority: i64,
+    /// Wall-clock budget in seconds.
+    pub timeout_secs: Option<f64>,
+    /// Live BDD node ceiling.
+    pub max_nodes: Option<usize>,
+    /// BDD operation tick ceiling.
+    pub max_ticks: Option<u64>,
+}
+
+impl SubmitSpec {
+    /// A default-knob submission of the given source.
+    pub fn new(source: JobSource) -> SubmitSpec {
+        SubmitSpec {
+            source,
+            weak: false,
+            schedule: None,
+            priority: 0,
+            timeout_secs: None,
+            max_nodes: None,
+            max_ticks: None,
+        }
+    }
+
+    /// Encode for the socket / the persistent spec file.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = Vec::new();
+        match &self.source {
+            JobSource::Case { name, n, d } => {
+                pairs.push(("case", name.as_str().into()));
+                pairs.push(("n", (*n).into()));
+                if *d != 0 {
+                    pairs.push(("d", u64::from(*d).into()));
+                }
+            }
+            JobSource::Dsl(text) => pairs.push(("dsl", text.as_str().into())),
+        }
+        if self.weak {
+            pairs.push(("weak", true.into()));
+        }
+        if let Some(s) = &self.schedule {
+            pairs.push(("schedule", Json::Arr(s.iter().map(|&i| Json::from(i)).collect())));
+        }
+        if self.priority != 0 {
+            pairs.push(("priority", self.priority.into()));
+        }
+        if let Some(t) = self.timeout_secs {
+            pairs.push(("timeout_secs", t.into()));
+        }
+        if let Some(n) = self.max_nodes {
+            pairs.push(("max_nodes", n.into()));
+        }
+        if let Some(n) = self.max_ticks {
+            pairs.push(("max_ticks", n.into()));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode a submission object, rejecting malformed fields with a
+    /// client-facing message.
+    pub fn from_json(v: &Json) -> Result<SubmitSpec, String> {
+        let source = match (v.get("dsl"), v.get("case")) {
+            (Some(d), None) => {
+                let text = d.as_str().ok_or("`dsl` must be a string")?;
+                JobSource::Dsl(text.to_string())
+            }
+            (None, Some(c)) => {
+                let name = c.as_str().ok_or("`case` must be a string")?.to_string();
+                let n = v
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("case submissions need an integer `n`")?
+                    as usize;
+                let d = v.get("d").and_then(Json::as_u64).unwrap_or(0) as u32;
+                JobSource::Case { name, n, d }
+            }
+            _ => return Err("submission must have exactly one of `dsl` or `case`".to_string()),
+        };
+        let mut spec = SubmitSpec::new(source);
+        if let Some(w) = v.get("weak") {
+            spec.weak = w.as_bool().ok_or("`weak` must be a boolean")?;
+        }
+        if let Some(s) = v.get("schedule") {
+            let items = s.as_arr().ok_or("`schedule` must be an array of process indices")?;
+            let mut order = Vec::with_capacity(items.len());
+            for it in items {
+                order
+                    .push(it.as_u64().ok_or("`schedule` entries must be non-negative integers")?
+                        as usize);
+            }
+            spec.schedule = Some(order);
+        }
+        if let Some(p) = v.get("priority") {
+            spec.priority = p.as_i64().ok_or("`priority` must be an integer")?;
+        }
+        if let Some(t) = v.get("timeout_secs") {
+            let secs = t.as_f64().ok_or("`timeout_secs` must be a number")?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err("`timeout_secs` must be positive and finite".to_string());
+            }
+            spec.timeout_secs = Some(secs);
+        }
+        if let Some(n) = v.get("max_nodes") {
+            spec.max_nodes =
+                Some(n.as_u64().ok_or("`max_nodes` must be a non-negative integer")? as usize);
+        }
+        if let Some(n) = v.get("max_ticks") {
+            spec.max_ticks = Some(n.as_u64().ok_or("`max_ticks` must be a non-negative integer")?);
+        }
+        Ok(spec)
+    }
+
+    /// The per-job [`Budget`] from the submission's caps (cancellation
+    /// flags are attached by the worker), or `None` when uncapped.
+    pub fn budget(&self) -> Option<Budget> {
+        let mut b = Budget::unlimited();
+        if let Some(secs) = self.timeout_secs {
+            b = b.with_timeout(std::time::Duration::from_secs_f64(secs));
+        }
+        if let Some(n) = self.max_nodes {
+            b = b.with_max_nodes(n);
+        }
+        if let Some(n) = self.max_ticks {
+            b = b.with_max_ticks(n);
+        }
+        b.is_limited().then_some(b)
+    }
+
+    /// Lower onto the library entry point: build (or parse) the protocol
+    /// and invariant and fill in mode, schedule and budget. Errors are
+    /// client-facing strings — every failure here is the submitter's.
+    pub fn materialize(&self) -> Result<JobSpec, String> {
+        let (name, protocol, invariant) = match &self.source {
+            JobSource::Dsl(text) => {
+                let parsed = stsyn_protocol::dsl::parse_bounded(text, MAX_DSL_BYTES)
+                    .map_err(|e| format!("protocol text rejected: {e}"))?;
+                (parsed.name, parsed.protocol, parsed.invariant)
+            }
+            JobSource::Case { name, n, d } => {
+                let n = *n;
+                if !(2..=MAX_CASE_SIZE).contains(&n) {
+                    return Err(format!("case size n={n} outside 2..={MAX_CASE_SIZE}"));
+                }
+                let d = if *d == 0 { 3 } else { *d };
+                let (p, i) = match name.as_str() {
+                    "coloring" => stsyn_cases::coloring(n),
+                    "matching" => stsyn_cases::matching(n),
+                    "token_ring" => stsyn_cases::token_ring(n, d),
+                    "two_ring" => stsyn_cases::two_ring(n, d),
+                    "mis" => stsyn_cases::mis(n),
+                    other => {
+                        return Err(format!(
+                            "unknown case `{other}` (expected coloring, matching, token_ring, \
+                             two_ring or mis)"
+                        ))
+                    }
+                };
+                (format!("{name}{n}"), p, i)
+            }
+        };
+        let mut job = JobSpec::new(name, protocol, invariant);
+        job.mode = if self.weak { JobMode::Weak } else { JobMode::Strong };
+        job.schedule = self.schedule.clone();
+        job.budget = self.budget();
+        job.validate().map_err(|e| e.to_string())?;
+        Ok(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_spec_roundtrips_through_json() {
+        let mut spec = SubmitSpec::new(JobSource::Case { name: "token_ring".into(), n: 4, d: 3 });
+        spec.weak = true;
+        spec.schedule = Some(vec![1, 2, 3, 0]);
+        spec.priority = -2;
+        spec.timeout_secs = Some(1.5);
+        spec.max_nodes = Some(100_000);
+        spec.max_ticks = Some(42);
+        let back = SubmitSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        let dsl = SubmitSpec::new(JobSource::Dsl("protocol X {\n}".into()));
+        assert_eq!(SubmitSpec::from_json(&dsl.to_json()).unwrap(), dsl);
+    }
+
+    #[test]
+    fn rejects_ambiguous_and_malformed_sources() {
+        assert!(SubmitSpec::from_json(&Json::obj(vec![])).is_err());
+        assert!(SubmitSpec::from_json(&Json::obj(vec![
+            ("dsl", "x".into()),
+            ("case", "coloring".into()),
+        ]))
+        .is_err());
+        assert!(SubmitSpec::from_json(&Json::obj(vec![("case", "coloring".into())])).is_err());
+        assert!(SubmitSpec::from_json(&Json::obj(vec![
+            ("case", "coloring".into()),
+            ("n", 3u64.into()),
+            ("timeout_secs", (-1i64).into()),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn materialize_builds_the_case_studies() {
+        for name in ["coloring", "matching", "token_ring", "two_ring", "mis"] {
+            let spec = SubmitSpec::new(JobSource::Case { name: name.into(), n: 3, d: 0 });
+            let job = spec.materialize().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(job.protocol.num_processes() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn materialize_rejects_bad_inputs() {
+        let huge = SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 1000, d: 0 });
+        assert!(huge.materialize().is_err());
+        let unknown = SubmitSpec::new(JobSource::Case { name: "nope".into(), n: 3, d: 0 });
+        assert!(unknown.materialize().unwrap_err().contains("unknown case"));
+        let bad_dsl = SubmitSpec::new(JobSource::Dsl("protocol {".into()));
+        assert!(bad_dsl.materialize().unwrap_err().contains("rejected"));
+        let mut bad_sched =
+            SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 });
+        bad_sched.schedule = Some(vec![0, 0, 1]);
+        assert!(bad_sched.materialize().is_err());
+    }
+
+    #[test]
+    fn budget_caps_compose() {
+        let mut spec = SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 });
+        assert!(spec.budget().is_none());
+        spec.max_ticks = Some(10);
+        assert!(spec.budget().is_some());
+    }
+}

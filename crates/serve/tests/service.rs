@@ -1,0 +1,328 @@
+//! Loopback integration tests of the job service: concurrent clients,
+//! backpressure, cancel/completion races, checkpoint shutdowns, and a
+//! real SIGKILL + restart cycle driving the `stsyn serve` binary.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use stsyn_serve::{
+    Client, ClientError, JobSource, Json, Server, ServerConfig, ShutdownMode, SubmitSpec,
+};
+
+/// Minimal self-cleaning temp dir (no external crate).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempDir {
+        pub path: PathBuf,
+    }
+
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "stsyn-serve-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+fn case(name: &str, n: usize) -> SubmitSpec {
+    SubmitSpec::new(JobSource::Case { name: name.into(), n, d: 0 })
+}
+
+/// What an uninterrupted single-shot run of the same spec produces — the
+/// reference the service results are diffed against.
+fn direct_protocol_text(spec: &SubmitSpec) -> String {
+    spec.materialize().unwrap().run().unwrap().emitted_dsl
+}
+
+fn start(cfg: ServerConfig) -> (stsyn_serve::ServerHandle, std::net::SocketAddr) {
+    let handle = Server::start(cfg).unwrap();
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+fn poll_state(client: &mut Client, id: u64, want: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let state = client.state(id).unwrap();
+        if state == want {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{state}` waiting for `{want}`");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+const WAIT: Duration = Duration::from_secs(300);
+
+#[test]
+fn concurrent_submissions_match_single_shot_results() {
+    let dir = tempdir::TempDir::new("concurrent");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 3;
+    let (handle, addr) = start(cfg);
+
+    // 9 concurrent clients across the paper's three case studies.
+    let specs: Vec<SubmitSpec> = ["coloring", "matching", "token_ring"]
+        .iter()
+        .flat_map(|name| (0..3).map(|_| case(name, 3)))
+        .collect();
+    let expected: Vec<String> = specs.iter().map(direct_protocol_text).collect();
+
+    let joins: Vec<_> = specs
+        .into_iter()
+        .zip(expected)
+        .map(|(spec, want)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let id = client.submit(&spec).unwrap();
+                let result = client.wait(id, WAIT).unwrap();
+                assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+                assert_eq!(
+                    result.get("protocol").and_then(Json::as_str),
+                    Some(want.as_str()),
+                    "service result diverged from the single-shot run"
+                );
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("accepted").and_then(Json::as_u64), Some(9));
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(9));
+    assert_eq!(stats.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert!(stats.get("peak_nodes_max").and_then(Json::as_u64).unwrap() > 0);
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn full_queue_rejects_with_distinct_error() {
+    let dir = tempdir::TempDir::new("backpressure");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    // A long job occupies the single worker...
+    let blocker = client.submit(&case("coloring", 16)).unwrap();
+    poll_state(&mut client, blocker, "running", WAIT);
+    // ...so two more fill the queue, and the third bounces.
+    let q1 = client.submit(&case("token_ring", 3)).unwrap();
+    let q2 = client.submit(&case("token_ring", 3)).unwrap();
+    match client.submit(&case("token_ring", 3)) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, "queue-full"),
+        other => panic!("expected a queue-full rejection, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("rejected").and_then(Json::as_u64), Some(1));
+
+    // Cancelling a queued job is immediate; cancelling the running
+    // blocker is cooperative and lands within one tick-check interval.
+    let _ = client.cancel(q1).unwrap();
+    let _ = client.cancel(q2).unwrap();
+    assert_eq!(client.state(q1).unwrap(), "cancelled");
+    let _ = client.cancel(blocker).unwrap();
+    poll_state(&mut client, blocker, "cancelled", WAIT);
+    match client.result(blocker) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, "cancelled"),
+        other => panic!("expected a cancelled result, got {other:?}"),
+    }
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn cancel_races_completion_without_wedging() {
+    let dir = tempdir::TempDir::new("cancel-race");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 2;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    let want = direct_protocol_text(&case("token_ring", 3));
+    let ids: Vec<u64> = (0..6).map(|_| client.submit(&case("token_ring", 3)).unwrap()).collect();
+    for &id in &ids {
+        let _ = client.cancel(id).unwrap();
+    }
+    // Every job must reach a terminal state: either the cancel won, or
+    // the job had already finished — in which case its result is intact.
+    let deadline = Instant::now() + WAIT;
+    for &id in &ids {
+        loop {
+            match client.state(id).unwrap().as_str() {
+                "cancelled" => break,
+                "done" => {
+                    let result = client.result(id).unwrap();
+                    assert_eq!(result.get("protocol").and_then(Json::as_str), Some(want.as_str()));
+                    break;
+                }
+                state @ ("queued" | "running") => {
+                    assert!(Instant::now() < deadline, "job {id} wedged in `{state}`");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => panic!("job {id} in unexpected state `{other}`"),
+            }
+        }
+    }
+    let stats = client.stats().unwrap();
+    let done = stats.get("completed").and_then(Json::as_u64).unwrap();
+    let cancelled = stats.get("cancelled").and_then(Json::as_u64).unwrap();
+    assert_eq!(done + cancelled, 6, "stats: {stats}");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn checkpoint_shutdown_resumes_on_next_start() {
+    let dir = tempdir::TempDir::new("ckpt-shutdown");
+    let want = direct_protocol_text(&case("coloring", 12));
+
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 1;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+    let id = client.submit(&case("coloring", 12)).unwrap();
+    poll_state(&mut client, id, "running", WAIT);
+    handle.shutdown(ShutdownMode::Checkpoint);
+    handle.join();
+
+    // The interrupted job resumes from its journal on the next start and
+    // replays to the same bytes as an uninterrupted run.
+    let (handle, addr) = start(ServerConfig::new(&dir.path));
+    let mut client = Client::connect(addr).unwrap();
+    let result = client.wait(id, WAIT).unwrap();
+    assert_eq!(result.get("protocol").and_then(Json::as_str), Some(want.as_str()));
+    assert_eq!(result.get("resumed").and_then(Json::as_bool), Some(true));
+    let stats = client.stats().unwrap();
+    assert!(stats.get("resumed").and_then(Json::as_u64).unwrap() >= 1, "stats: {stats}");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn drain_shutdown_finishes_queue_and_results_survive_restart() {
+    let dir = tempdir::TempDir::new("drain");
+    let want = direct_protocol_text(&case("matching", 3));
+
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 1;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+    let a = client.submit(&case("matching", 3)).unwrap();
+    let b = client.submit(&case("matching", 3)).unwrap();
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+
+    // Drain ran both to completion; a fresh daemon serves their results
+    // from the state directory.
+    let (handle, addr) = start(ServerConfig::new(&dir.path));
+    let mut client = Client::connect(addr).unwrap();
+    for id in [a, b] {
+        let result = client.result(id).unwrap();
+        assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(result.get("protocol").and_then(Json::as_str), Some(want.as_str()));
+    }
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+/// A spawned `stsyn serve` daemon that is SIGKILLed on drop.
+struct Daemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(state_dir: &std::path::Path) -> Daemon {
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_stsyn"))
+            .arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--workers")
+            .arg("1")
+            .arg("--state-dir")
+            .arg(state_dir)
+            .arg("--print-addr")
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        let mut line = String::new();
+        std::io::BufReader::new(child.stdout.take().unwrap()).read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected daemon banner: {line:?}"));
+        Daemon { child, addr: addr.to_string() }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill(); // SIGKILL on Unix — no cleanup runs
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+#[test]
+fn sigkill_and_restart_resumes_to_byte_identical_result() {
+    let dir = tempdir::TempDir::new("sigkill");
+    let want = direct_protocol_text(&case("coloring", 12));
+    let journal: PathBuf =
+        dir.path.join("jobs").join(format!("{:08}", 1)).join("ckpt").join("journal.bin");
+
+    let mut daemon = Daemon::spawn(&dir.path);
+    let id = {
+        let mut client = Client::connect(daemon.addr.as_str()).unwrap();
+        let id = client.submit(&case("coloring", 12)).unwrap();
+        // Wait for the run to start journaling, then pull the plug.
+        let deadline = Instant::now() + WAIT;
+        while !journal.exists() {
+            assert!(Instant::now() < deadline, "journal never appeared");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        id
+    };
+    daemon.kill();
+
+    let mut daemon = Daemon::spawn(&dir.path);
+    let mut client = Client::connect(daemon.addr.as_str()).unwrap();
+    let result = client.wait(id, WAIT).unwrap();
+    assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        result.get("protocol").and_then(Json::as_str),
+        Some(want.as_str()),
+        "resumed run diverged from the uninterrupted reference"
+    );
+    let stats = client.stats().unwrap();
+    assert!(stats.get("resumed").and_then(Json::as_u64).unwrap() >= 1, "stats: {stats}");
+    client.shutdown(ShutdownMode::Drain).unwrap();
+    let _ = daemon.child.wait();
+}

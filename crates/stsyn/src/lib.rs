@@ -38,6 +38,9 @@
 //!   run resume mid-pass and still produce bit-identical output.
 //! * [`analysis`] — the local-correctability analysis behind the paper's
 //!   case-study table (Fig. 5).
+//! * [`job`] — the [`JobSpec`] → [`JobReport`] entry point shared by the
+//!   CLI and the `stsyn-serve` job service: one call bundling parsing,
+//!   mode/schedule selection, budgets, checkpointing and re-verification.
 //!
 //! ## Quick start
 //!
@@ -67,6 +70,7 @@ pub mod candidates;
 pub mod checkpoint;
 pub mod extract;
 pub mod heuristic;
+pub mod job;
 pub mod problem;
 pub mod schedule;
 pub mod stats;
@@ -75,6 +79,7 @@ pub mod weak;
 
 pub use checkpoint::{CheckpointError, CheckpointSession};
 pub use heuristic::Outcome;
+pub use job::{JobCheckpoint, JobError, JobMode, JobReport, JobSpec};
 pub use problem::{AddConvergence, Options, PartialProgress, Phase, SynthesisError};
 pub use schedule::Schedule;
 pub use stats::SynthesisStats;
