@@ -344,9 +344,11 @@ impl Manager {
         if self.live_nodes() <= max {
             return Ok(());
         }
+        let pressured = self.live_nodes();
         let mut roots = self.gc_roots.clone();
         roots.extend_from_slice(extra_roots);
         self.gc(&roots);
+        self.trace_degrade("gc", pressured, max);
         if self.live_nodes() <= max {
             return Ok(());
         }
@@ -357,11 +359,29 @@ impl Manager {
             }
             let pairs = self.reorder_pairs.clone();
             self.sift_pairs(&pairs, &roots);
+            self.trace_degrade("sift_pairs", pressured, max);
             if self.live_nodes() <= max {
                 return Ok(());
             }
         }
+        self.trace_degrade("exhausted", pressured, max);
         Err(self.budget_error(Resource::Nodes))
+    }
+
+    /// Emit a `bdd.degrade` event describing one step of the node-ceiling
+    /// degradation path.
+    fn trace_degrade(&self, action: &'static str, pressured: usize, ceiling: usize) {
+        if self.tracer.level_enabled(stsyn_obs::TraceLevel::Info) {
+            self.tracer.info(
+                "bdd.degrade",
+                &[
+                    ("action", stsyn_obs::Json::from(action)),
+                    ("pressured", stsyn_obs::Json::from(pressured as u64)),
+                    ("ceiling", stsyn_obs::Json::from(ceiling as u64)),
+                    ("live", stsyn_obs::Json::from(self.live_nodes() as u64)),
+                ],
+            );
+        }
     }
 
     /// Deep structural consistency check, intended for use after a failed

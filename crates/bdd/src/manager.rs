@@ -2,6 +2,7 @@
 //! allocation, and mark-and-sweep garbage collection.
 
 use crate::hash::FxHashMap;
+use stsyn_obs::{Json, TraceLevel, Tracer};
 
 /// A BDD variable, identified by its *level* (position in the global
 /// variable order). Levels are assigned in creation order by
@@ -83,6 +84,22 @@ pub struct ManagerStats {
     pub gc_runs: usize,
     /// Number of boolean variables created.
     pub num_vars: usize,
+    /// Memoization-cache probes across all operation caches (apply/ITE/
+    /// not/exists/and-exists/rename).
+    pub cache_lookups: u64,
+    /// Probes that hit (the paper's workloads live or die by this rate).
+    pub cache_hits: u64,
+}
+
+impl ManagerStats {
+    /// Cache hit rate in `[0, 1]`, or 0 when no probe has happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 /// Tags for the memoized binary operations.
@@ -127,6 +144,9 @@ pub struct Manager {
 
     gc_runs: usize,
     peak_live: usize,
+    pub(crate) cache_lookups: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) tracer: Tracer,
 
     // Resource budget, registered persistent roots and interleaved
     // (current, primed) pairs for the degradation path (see `budget.rs`).
@@ -168,6 +188,9 @@ impl Manager {
             rename_ids: FxHashMap::default(),
             gc_runs: 0,
             peak_live: 2,
+            cache_lookups: 0,
+            cache_hits: 0,
+            tracer: Tracer::disabled(),
             budget: crate::budget::BudgetState::default(),
             gc_roots: Vec::new(),
             reorder_pairs: Vec::new(),
@@ -340,7 +363,34 @@ impl Manager {
             peak_live_nodes: self.peak_live,
             gc_runs: self.gc_runs,
             num_vars: self.num_vars as usize,
+            cache_lookups: self.cache_lookups,
+            cache_hits: self.cache_hits,
         }
+    }
+
+    /// Install a tracer; BDD-layer events (GC, reorder, budget
+    /// degradation) flow through it. The default is the disabled tracer,
+    /// whose hooks are single `Option` checks.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Seed this manager's cumulative counters from a prior run's
+    /// [`ManagerStats`] — used by checkpoint resume, which rebuilds the
+    /// manager from serialized BDDs and would otherwise silently reset
+    /// `gc_runs`/cache statistics, making resumed-run metrics
+    /// incomparable to fresh runs. Monotone counters add; peak-style
+    /// gauges take the maximum.
+    pub fn adopt_counters(&mut self, prior: &ManagerStats) {
+        self.gc_runs += prior.gc_runs;
+        self.cache_lookups += prior.cache_lookups;
+        self.cache_hits += prior.cache_hits;
+        self.peak_live = self.peak_live.max(prior.peak_live_nodes);
     }
 
     /// Mark-and-sweep garbage collection.
@@ -393,6 +443,17 @@ impl Manager {
         self.and_exists_cache.clear();
         self.rename_cache.clear();
         self.gc_runs += 1;
+        if self.tracer.level_enabled(TraceLevel::Info) {
+            self.tracer.info(
+                "bdd.gc",
+                &[
+                    ("run", Json::from(self.gc_runs as u64)),
+                    ("freed", Json::from(freed as u64)),
+                    ("live", Json::from(self.live_nodes() as u64)),
+                    ("unique", Json::from(self.unique.len() as u64)),
+                ],
+            );
+        }
         freed
     }
 }

@@ -26,7 +26,9 @@ impl Manager {
         if f.is_true() {
             return Ok(Bdd::FALSE);
         }
+        self.cache_lookups += 1;
         if let Some(&r) = self.not_cache.get(&f.0) {
+            self.cache_hits += 1;
             return Ok(Bdd(r));
         }
         let n = self.node(f);
@@ -174,7 +176,9 @@ impl Manager {
             return self.try_and(f, g); // ite(f,g,f) = f ∧ g
         }
         let key = (f.0, g.0, h.0);
+        self.cache_lookups += 1;
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.cache_hits += 1;
             return Ok(Bdd(r));
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
@@ -279,7 +283,9 @@ impl Manager {
             std::mem::swap(&mut f, &mut g);
         }
         let key = (op, f.0, g.0);
+        self.cache_lookups += 1;
         if let Some(&r) = self.bin_cache.get(&key) {
+            self.cache_hits += 1;
             return Ok(Bdd(r));
         }
         let top = self.level(f).min(self.level(g));

@@ -64,7 +64,9 @@ impl Manager {
             return Ok(f); // no quantified variable occurs in f
         }
         let key = (f.0, vars.idx);
+        self.cache_lookups += 1;
         if let Some(&r) = self.exists_cache.get(&key) {
+            self.cache_hits += 1;
             return Ok(Bdd(r));
         }
         let quantify_here = self.varsets[vars.idx as usize][cursor] == top;
@@ -119,7 +121,9 @@ impl Manager {
             }
         }
         let key = (f.0, g.0, vars.idx);
+        self.cache_lookups += 1;
         if let Some(&r) = self.and_exists_cache.get(&key) {
+            self.cache_hits += 1;
             return Ok(Bdd(r));
         }
         let quantify_here = self.varsets[vars.idx as usize][cursor] == top;

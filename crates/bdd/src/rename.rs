@@ -91,7 +91,9 @@ impl Manager {
             return Ok(f);
         }
         let key = (f.0, map.idx);
+        self.cache_lookups += 1;
         if let Some(&r) = self.rename_cache.get(&key) {
+            self.cache_hits += 1;
             return Ok(Bdd(r));
         }
         let n = self.node(f);

@@ -21,8 +21,23 @@
 //!   per-level lists.
 
 use crate::manager::{Bdd, Manager, Node, VarId, TERMINAL_LEVEL};
+use stsyn_obs::{Json, TraceLevel};
 
 impl Manager {
+    /// Emit a `bdd.reorder` event with before/after root-cone sizes.
+    fn trace_reorder(&self, kind: &'static str, before: usize, after: usize) {
+        if self.tracer.level_enabled(TraceLevel::Info) {
+            self.tracer.info(
+                "bdd.reorder",
+                &[
+                    ("reorder", Json::from(kind)),
+                    ("before", Json::from(before as u64)),
+                    ("after", Json::from(after as u64)),
+                ],
+            );
+        }
+    }
+
     /// Swap the variables at `level` and `level + 1`, preserving the
     /// function of every node index. Returns the change in live node
     /// count (negative = shrank).
@@ -121,7 +136,9 @@ impl Manager {
         self.rename_ids.clear();
         self.clear_op_caches();
         self.gc(roots);
-        (before, self.node_count_many(roots))
+        let after = self.node_count_many(roots);
+        self.trace_reorder("sift", before, after);
+        (before, after)
     }
 
     /// Sift a single variable to the level minimizing the root-cone size.
@@ -228,7 +245,9 @@ impl Manager {
         }
         self.clear_op_caches();
         self.gc(roots);
-        (before, self.node_count_many(roots))
+        let after = self.node_count_many(roots);
+        self.trace_reorder("sift_pairs", before, after);
+        (before, after)
     }
 
     /// Exchange the adjacent 2-blocks at levels `[2k, 2k+1]` and

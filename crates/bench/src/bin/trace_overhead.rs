@@ -1,0 +1,133 @@
+//! `trace_overhead` — cost of the observability hooks (PR 5 guard).
+//!
+//! ```text
+//! cargo run --release -p stsyn-bench --bin trace_overhead [-- --fast]
+//! ```
+//!
+//! For each of three case studies the harness runs full synthesis three
+//! ways: with the seed path (no tracer field touched beyond its
+//! `Option` check), with an explicitly-disabled tracer, and with an
+//! NDJSON file tracer at debug level. Median-of-N wall times land in
+//! `results/trace_overhead.csv`, and the run *fails* when the disabled
+//! tracer costs more than 5% over the no-op baseline — the hooks must be
+//! free when observability is off.
+
+use std::time::{Duration, Instant};
+use stsyn_cases::{coloring::coloring, matching::matching, token_ring::token_ring};
+use stsyn_core::{AddConvergence, Options};
+use stsyn_obs::{TraceLevel, Tracer};
+use stsyn_protocol::expr::Expr;
+use stsyn_protocol::Protocol;
+
+const OVERHEAD_LIMIT: f64 = 0.05;
+
+struct Row {
+    case: &'static str,
+    baseline_ms: f64,
+    disabled_ms: f64,
+    ndjson_ms: f64,
+    disabled_overhead: f64,
+    ndjson_overhead: f64,
+}
+
+fn median_ms(samples: &mut [Duration]) -> f64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+fn time_runs(problem: &AddConvergence, opts: &Options, n: usize) -> f64 {
+    // One untimed warm-up, then n timed full syntheses.
+    problem.synthesize(opts).expect("synthesis failed");
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            problem.synthesize(opts).expect("synthesis failed");
+            t.elapsed()
+        })
+        .collect();
+    median_ms(&mut samples)
+}
+
+fn measure(case: &'static str, p: Protocol, i: Expr, n: usize, dir: &std::path::Path) -> Row {
+    let problem = AddConvergence::new(p, i).expect("bad case");
+    // Baseline: Options::default() — the seed path, tracer never set.
+    let baseline_ms = time_runs(&problem, &Options::default(), n);
+    // Disabled tracer: explicitly constructed, still a no-op.
+    let disabled_opts = Options { tracer: Tracer::disabled(), ..Options::default() };
+    let disabled_ms = time_runs(&problem, &disabled_opts, n);
+    // NDJSON file tracer at the most verbose level.
+    let trace_path = dir.join(format!("{case}.trace"));
+    let tracer = Tracer::to_file(&trace_path, TraceLevel::Debug).expect("open trace file");
+    let ndjson_opts = Options { tracer, ..Options::default() };
+    let ndjson_ms = time_runs(&problem, &ndjson_opts, n);
+    Row {
+        case,
+        baseline_ms,
+        disabled_ms,
+        ndjson_ms,
+        disabled_overhead: disabled_ms / baseline_ms - 1.0,
+        ndjson_overhead: ndjson_ms / baseline_ms - 1.0,
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let n = if fast { 5 } else { 15 };
+    std::fs::create_dir_all("results").expect("create results dir");
+    let scratch = std::env::temp_dir().join(format!("stsyn-trace-overhead-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let (cp, ci) = coloring(5);
+    let (mp, mi) = matching(5);
+    let (tp, ti) = token_ring(4, 4);
+    let rows = vec![
+        measure("coloring5", cp, ci, n, &scratch),
+        measure("matching5", mp, mi, n, &scratch),
+        measure("token_ring4", tp, ti, n, &scratch),
+    ];
+
+    let mut csv =
+        String::from("case,baseline_ms,disabled_ms,ndjson_ms,disabled_overhead,ndjson_overhead\n");
+    println!(
+        "{:<14} {:<12} {:<12} {:<12} {:<10} ndjson_ovh",
+        "case", "baseline_ms", "disabled_ms", "ndjson_ms", "disabled_ovh"
+    );
+    let mut worst = f64::MIN;
+    for r in &rows {
+        println!(
+            "{:<14} {:<12.3} {:<12.3} {:<12.3} {:<+10.1}% {:+.1}%",
+            r.case,
+            r.baseline_ms,
+            r.disabled_ms,
+            r.ndjson_ms,
+            r.disabled_overhead * 100.0,
+            r.ndjson_overhead * 100.0
+        );
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            r.case,
+            r.baseline_ms,
+            r.disabled_ms,
+            r.ndjson_ms,
+            r.disabled_overhead,
+            r.ndjson_overhead
+        ));
+        worst = worst.max(r.disabled_overhead);
+    }
+    std::fs::write("results/trace_overhead.csv", csv).expect("write csv");
+    let _ = std::fs::remove_dir_all(&scratch);
+    eprintln!("series written to results/trace_overhead.csv");
+
+    // The guard: hooks must be free when tracing is off.
+    assert!(
+        worst < OVERHEAD_LIMIT,
+        "disabled-tracer overhead {:.1}% exceeds the {:.0}% budget",
+        worst * 100.0,
+        OVERHEAD_LIMIT * 100.0
+    );
+    eprintln!(
+        "guard ok: worst disabled-tracer overhead {:+.1}% (< {:.0}%)",
+        worst * 100.0,
+        OVERHEAD_LIMIT * 100.0
+    );
+}

@@ -1,0 +1,29 @@
+//! `stsyn-obs` — std-only tracing and metrics for the synthesis pipeline.
+//!
+//! The paper's empirical story (Table 1, Figs. 7/9/10) is told through two
+//! observables — BDD node counts and per-phase synthesis time — that the
+//! rest of the workspace previously reported only as one-shot end-of-run
+//! numbers. This crate provides the shared observability layer:
+//!
+//! - [`trace`] — a cheap cloneable [`Tracer`] with span/event/counter
+//!   hooks and an NDJSON sink (file, stderr, or in-memory). A disabled
+//!   tracer costs one `Option` check per hook.
+//! - [`metrics`] — [`MetricsText`], a Prometheus-style text exposition
+//!   builder used by the serve daemon's `metrics` verb and the CLI
+//!   `--metrics` flag.
+//! - [`summary`] — validation and Table-1-style summarization of trace
+//!   files, backing `stsyn trace-summary` and the CI trace-smoke job.
+//! - [`json`] — the dependency-free JSON value used both for trace
+//!   records and (re-exported by `stsyn-serve`) the wire protocol.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod summary;
+pub mod trace;
+
+pub use json::{Json, JsonError};
+pub use metrics::MetricsText;
+pub use summary::{open_spans, parse_trace, summarize, summarize_file, TraceError, TraceSummary};
+pub use trace::{MemorySink, Span, TraceLevel, TraceSink, Tracer};

@@ -1,0 +1,93 @@
+//! A Prometheus-style text exposition builder.
+//!
+//! The pipeline's metric sources are plain integers and atomics owned by
+//! their layers (serve's `Counters`, the BDD `ManagerStats`, the
+//! synthesis stats), so instead of a global registry this module offers a
+//! small builder that renders those values in the Prometheus text format
+//! (`# HELP` / `# TYPE` headers, one sample per line). The serve daemon's
+//! `metrics` verb and the CLI `--metrics` flag both render through it.
+
+use std::fmt::Write as _;
+
+/// Accumulates metric samples and renders the Prometheus text format.
+#[derive(Debug, Default)]
+pub struct MetricsText {
+    buf: String,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        && !name.as_bytes()[0].is_ascii_digit()
+}
+
+impl MetricsText {
+    /// An empty exposition.
+    pub fn new() -> MetricsText {
+        MetricsText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let _ = writeln!(self.buf, "# HELP {name} {help}");
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Add a monotonically-increasing counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.buf, "{name} {value}");
+        self
+    }
+
+    /// Add a point-in-time gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.buf, "{name} {value}");
+        self
+    }
+
+    /// The rendered exposition text.
+    pub fn render(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consume the builder, returning the exposition text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_prometheus_text() {
+        let mut m = MetricsText::new();
+        m.counter("stsyn_jobs_completed_total", "Jobs finished successfully.", 3)
+            .gauge("stsyn_queue_depth", "Jobs waiting in the queue.", 2.0)
+            .gauge("stsyn_worker_utilization", "Busy fraction of the pool.", 0.5);
+        let text = m.render();
+        assert!(text.contains("# TYPE stsyn_jobs_completed_total counter"));
+        assert!(text.contains("stsyn_jobs_completed_total 3"));
+        assert!(text.contains("# HELP stsyn_queue_depth Jobs waiting in the queue."));
+        assert!(text.contains("stsyn_queue_depth 2"));
+        assert!(text.contains("stsyn_worker_utilization 0.5"));
+        // Every non-comment line is `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            assert!(valid_name(parts.next().unwrap()));
+            assert!(parts.next().unwrap().parse::<f64>().is_ok());
+            assert!(parts.next().is_none());
+        }
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("stsyn_bdd_ticks_total"));
+        assert!(!valid_name("9starts_with_digit"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(""));
+    }
+}

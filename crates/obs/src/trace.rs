@@ -1,0 +1,443 @@
+//! A lightweight span/event/counter tracer with an NDJSON sink.
+//!
+//! [`Tracer`] is a cheap cloneable handle — internally an
+//! `Option<Arc<..>>` — so a **disabled** tracer costs one pointer-sized
+//! `Option` check per hook, the same discipline as the budget `tick()`
+//! fast path. Every layer of the synthesis pipeline (BDD manager,
+//! symbolic fixpoints, heuristic passes, the serve daemon) holds a clone
+//! and fires hooks unconditionally; when no sink is installed the hooks
+//! return immediately and the synthesis path is byte-identical to an
+//! uninstrumented run (asserted by the trace test-suite and guarded by
+//! the `trace_overhead` bench).
+//!
+//! ## Record schema
+//!
+//! One JSON object per line, monotonic-clock microsecond timestamps
+//! (`ts_us`, anchored at tracer creation):
+//!
+//! ```text
+//! {"ts_us":N,"kind":"span_open","level":L,"name":S,"span":I,"parent":I?}
+//! {"ts_us":N,"kind":"span_close","level":L,"name":S,"span":I,"dur_us":N}
+//! {"ts_us":N,"kind":"event","level":L,"name":S,"span":I?, ...fields}
+//! {"ts_us":N,"kind":"counter","level":L,"name":S,"span":I?,"value":N}
+//! ```
+//!
+//! Span ids are process-unique (`AtomicU64`); the *current* span is
+//! tracked per thread, so `parent` links reflect each worker thread's
+//! own nesting and events are attributed to the innermost open span of
+//! the emitting thread.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Trace verbosity. Records at a level *above* the tracer's are dropped
+/// before any encoding work happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Only warnings (structured diagnostics that used to be `eprintln!`s).
+    Warn = 1,
+    /// Spans, phase events, GC/reorder events (the default).
+    Info = 2,
+    /// Everything, including per-rank and per-step detail.
+    Debug = 3,
+}
+
+impl TraceLevel {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceLevel::Warn => "warn",
+            TraceLevel::Info => "info",
+            TraceLevel::Debug => "debug",
+        }
+    }
+
+    /// Parse a CLI-facing level name.
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s {
+            "warn" => Some(TraceLevel::Warn),
+            "info" => Some(TraceLevel::Info),
+            "debug" => Some(TraceLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where encoded NDJSON lines go. Implementations must be cheap to call
+/// concurrently — the tracer does no buffering of its own.
+pub trait TraceSink: Send + Sync {
+    /// Emit one complete NDJSON line (no trailing newline).
+    fn write_line(&self, line: &str);
+}
+
+/// Sink appending to a file through a mutex-guarded buffered writer,
+/// flushed per line so a crashed or killed process leaves a readable
+/// trace prefix.
+struct FileSink {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl TraceSink for FileSink {
+    fn write_line(&self, line: &str) {
+        if let Ok(mut f) = self.file.lock() {
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+    }
+}
+
+/// Sink writing to stderr — the serve daemon's default, so structured
+/// warnings land where the old `eprintln!` diagnostics did.
+struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn write_line(&self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+/// In-memory sink for the test-suite: collects every emitted line.
+#[derive(Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// Snapshot of every line emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write_line(&self, line: &str) {
+        if let Ok(mut l) = self.lines.lock() {
+            l.push(line.to_string());
+        }
+    }
+}
+
+struct Shared {
+    sink: Box<dyn TraceSink>,
+    level: TraceLevel,
+    epoch: Instant,
+    next_span: AtomicU64,
+}
+
+thread_local! {
+    /// Innermost-open-span stack of the current thread (ids are
+    /// process-unique, so one stack serves every tracer).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A cloneable tracing handle; see the module docs for the record schema.
+/// The default handle is **disabled**: every hook is a single `Option`
+/// check and no record is ever built.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<Shared>>);
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => f.write_str("Tracer(disabled)"),
+            Some(s) => write!(f, "Tracer(level={})", s.level),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer (same as `Tracer::default()`).
+    pub fn disabled() -> Tracer {
+        Tracer(None)
+    }
+
+    /// A tracer over an arbitrary sink.
+    pub fn with_sink(sink: Box<dyn TraceSink>, level: TraceLevel) -> Tracer {
+        Tracer(Some(Arc::new(Shared {
+            sink,
+            level,
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+        })))
+    }
+
+    /// A tracer writing NDJSON to `path` (created or truncated).
+    pub fn to_file(path: &Path, level: TraceLevel) -> std::io::Result<Tracer> {
+        let file = File::create(path)?;
+        Ok(Tracer::with_sink(Box::new(FileSink { file: Mutex::new(BufWriter::new(file)) }), level))
+    }
+
+    /// A tracer writing NDJSON lines to stderr.
+    pub fn to_stderr(level: TraceLevel) -> Tracer {
+        Tracer::with_sink(Box::new(StderrSink), level)
+    }
+
+    /// A tracer over an in-memory sink plus the handle to read it back —
+    /// the test-suite entry point.
+    pub fn memory(level: TraceLevel) -> (Tracer, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::default());
+        let tracer = Tracer(Some(Arc::new(Shared {
+            sink: Box::new(ArcSink(Arc::clone(&sink))),
+            level,
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+        })));
+        (tracer, sink)
+    }
+
+    /// Is any sink installed?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Would a record at `level` actually be emitted? Callers use this to
+    /// skip *computing* expensive fields (e.g. BDD node counts), not just
+    /// emitting them.
+    #[inline]
+    pub fn level_enabled(&self, level: TraceLevel) -> bool {
+        match &self.0 {
+            None => false,
+            Some(s) => level <= s.level,
+        }
+    }
+
+    fn emit(
+        &self,
+        shared: &Shared,
+        kind: &str,
+        level: TraceLevel,
+        name: &str,
+        fields: &[(&str, Json)],
+    ) {
+        let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 5);
+        let ts = shared.epoch.elapsed().as_micros() as u64;
+        pairs.push(("ts_us".to_string(), Json::from(ts)));
+        pairs.push(("kind".to_string(), Json::from(kind)));
+        pairs.push(("level".to_string(), Json::from(level.as_str())));
+        pairs.push(("name".to_string(), Json::from(name)));
+        for (k, v) in fields {
+            pairs.push(((*k).to_string(), v.clone()));
+        }
+        shared.sink.write_line(&Json::Obj(pairs).to_string());
+    }
+
+    /// Open a span. Returns a guard that emits `span_close` (with
+    /// `dur_us`) when dropped. Spans are `Info`-level: a `Warn`-only
+    /// tracer neither emits nor stacks them.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with(name, &[])
+    }
+
+    /// [`Tracer::span`] with extra fields on the `span_open` record.
+    pub fn span_with(&self, name: &'static str, fields: &[(&str, Json)]) -> Span {
+        let Some(shared) = &self.0 else { return Span::inert() };
+        if TraceLevel::Info > shared.level {
+            return Span::inert();
+        }
+        let id = shared.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        let mut all: Vec<(&str, Json)> = Vec::with_capacity(fields.len() + 2);
+        all.push(("span", Json::from(id)));
+        if let Some(p) = parent {
+            all.push(("parent", Json::from(p)));
+        }
+        all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+        self.emit(shared, "span_open", TraceLevel::Info, name, &all);
+        Span { tracer: self.clone(), id, name, opened: Instant::now() }
+    }
+
+    /// Emit a point event at `level` with free-form fields.
+    pub fn event(&self, level: TraceLevel, name: &'static str, fields: &[(&str, Json)]) {
+        let Some(shared) = &self.0 else { return };
+        if level > shared.level {
+            return;
+        }
+        let current = SPAN_STACK.with(|s| s.borrow().last().copied());
+        let mut all: Vec<(&str, Json)> = Vec::with_capacity(fields.len() + 1);
+        if let Some(span) = current {
+            all.push(("span", Json::from(span)));
+        }
+        all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+        self.emit(shared, "event", level, name, &all);
+    }
+
+    /// A `Warn`-level event — the structured replacement for raw
+    /// `eprintln!` diagnostics.
+    pub fn warn(&self, name: &'static str, fields: &[(&str, Json)]) {
+        self.event(TraceLevel::Warn, name, fields);
+    }
+
+    /// An `Info`-level event.
+    pub fn info(&self, name: &'static str, fields: &[(&str, Json)]) {
+        self.event(TraceLevel::Info, name, fields);
+    }
+
+    /// A `Debug`-level event.
+    pub fn debug(&self, name: &'static str, fields: &[(&str, Json)]) {
+        self.event(TraceLevel::Debug, name, fields);
+    }
+
+    /// Emit a named counter sample (`Info` level).
+    pub fn counter(&self, name: &'static str, value: u64) {
+        let Some(shared) = &self.0 else { return };
+        if TraceLevel::Info > shared.level {
+            return;
+        }
+        let current = SPAN_STACK.with(|s| s.borrow().last().copied());
+        let mut all: Vec<(&str, Json)> = Vec::with_capacity(2);
+        if let Some(span) = current {
+            all.push(("span", Json::from(span)));
+        }
+        all.push(("value", Json::from(value)));
+        self.emit(shared, "counter", TraceLevel::Info, name, &all);
+    }
+}
+
+/// Adapter so the memory sink can be shared between tracer and test.
+struct ArcSink(Arc<MemorySink>);
+
+impl TraceSink for ArcSink {
+    fn write_line(&self, line: &str) {
+        self.0.write_line(line);
+    }
+}
+
+/// An open span; emits the matching `span_close` record (with `dur_us`)
+/// when dropped. The inert span (from a disabled tracer) does nothing.
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    name: &'static str,
+    opened: Instant,
+}
+
+impl Span {
+    fn inert() -> Span {
+        Span { tracer: Tracer::disabled(), id: 0, name: "", opened: Instant::now() }
+    }
+
+    /// Close the span now (otherwise closed on drop).
+    pub fn close(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(shared) = &self.tracer.0 else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.last() == Some(&self.id) {
+                s.pop();
+            } else {
+                // Out-of-order drop (shouldn't happen with guard scoping);
+                // remove wherever it is to keep the stack sane.
+                s.retain(|&x| x != self.id);
+            }
+        });
+        let dur = self.opened.elapsed().as_micros() as u64;
+        self.tracer.emit(
+            shared,
+            "span_close",
+            TraceLevel::Info,
+            self.name,
+            &[("span", Json::from(self.id)), ("dur_us", Json::from(dur))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(sink: &MemorySink) -> Vec<Json> {
+        sink.lines().iter().map(|l| Json::parse(l).expect("valid NDJSON")).collect()
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_is_cheap() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert!(!t.level_enabled(TraceLevel::Warn));
+        let span = t.span("x");
+        t.event(TraceLevel::Info, "e", &[("k", Json::from(1u64))]);
+        t.counter("c", 7);
+        drop(span);
+    }
+
+    #[test]
+    fn records_have_schema_fields() {
+        let (t, sink) = Tracer::memory(TraceLevel::Debug);
+        {
+            let _s = t.span("phase");
+            t.info("evt", &[("n", Json::from(3u64))]);
+            t.counter("ticks", 42);
+        }
+        let recs = parsed(&sink);
+        assert_eq!(recs.len(), 4); // open, event, counter, close
+        for r in &recs {
+            assert!(r.get("ts_us").and_then(Json::as_u64).is_some());
+            assert!(r.get("kind").and_then(Json::as_str).is_some());
+            assert!(r.get("name").and_then(Json::as_str).is_some());
+        }
+        assert_eq!(recs[0].get("kind").and_then(Json::as_str), Some("span_open"));
+        assert_eq!(recs[1].get("span"), recs[0].get("span"));
+        assert_eq!(recs[2].get("value").and_then(Json::as_u64), Some(42));
+        assert_eq!(recs[3].get("kind").and_then(Json::as_str), Some("span_close"));
+        assert!(recs[3].get("dur_us").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn nesting_produces_parent_links() {
+        let (t, sink) = Tracer::memory(TraceLevel::Info);
+        {
+            let _outer = t.span("outer");
+            let _inner = t.span("inner");
+        }
+        let recs = parsed(&sink);
+        let outer_id = recs[0].get("span").and_then(Json::as_u64).unwrap();
+        assert_eq!(recs[1].get("parent").and_then(Json::as_u64), Some(outer_id));
+        // Inner closes before outer.
+        assert_eq!(recs[2].get("name").and_then(Json::as_str), Some("inner"));
+        assert_eq!(recs[3].get("name").and_then(Json::as_str), Some("outer"));
+    }
+
+    #[test]
+    fn level_filter_drops_below_threshold() {
+        let (t, sink) = Tracer::memory(TraceLevel::Warn);
+        let s = t.span("suppressed");
+        t.debug("d", &[]);
+        t.info("i", &[]);
+        t.warn("w", &[]);
+        drop(s);
+        let recs = parsed(&sink);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get("name").and_then(Json::as_str), Some("w"));
+        assert!(!t.level_enabled(TraceLevel::Info));
+        assert!(t.level_enabled(TraceLevel::Warn));
+    }
+
+    #[test]
+    fn trace_level_parses() {
+        assert_eq!(TraceLevel::parse("warn"), Some(TraceLevel::Warn));
+        assert_eq!(TraceLevel::parse("info"), Some(TraceLevel::Info));
+        assert_eq!(TraceLevel::parse("debug"), Some(TraceLevel::Debug));
+        assert_eq!(TraceLevel::parse("loud"), None);
+    }
+}

@@ -27,8 +27,17 @@
 //! stsyn client --addr HOST:PORT result ID [--emit-dsl OUT.stsyn] [--quiet]
 //! stsyn client --addr HOST:PORT cancel ID
 //! stsyn client --addr HOST:PORT stats
+//! stsyn client --addr HOST:PORT metrics
 //! stsyn client --addr HOST:PORT shutdown [--mode drain|checkpoint]
+//! stsyn trace-summary TRACE.ndjson
 //! ```
+//!
+//! One-shot and serve modes accept `--trace PATH` (append NDJSON trace
+//! records — spans, events, counters — to `PATH`) and `--trace-level
+//! warn|info|debug` (default `info`). One-shot runs add `--metrics` to
+//! print the run's statistics as Prometheus text exposition;
+//! `stsyn trace-summary` renders a trace file into the paper's Table-1
+//! columns plus per-rank frontier sizes and per-phase wall times.
 //!
 //! With `--checkpoint-dir DIR` a one-shot run write-ahead-journals every
 //! committed rank layer and accepted recovery group into `DIR`; `--resume`
@@ -51,6 +60,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use stsyn_core::job::{JobCheckpoint, JobError, JobMode, JobReport, JobSpec};
 use stsyn_core::SynthesisError;
+use stsyn_obs::{TraceLevel, Tracer};
 use stsyn_protocol::dsl;
 use stsyn_serve::{Client, ClientError, Json, Server, ServerConfig, ShutdownMode, SubmitSpec};
 use stsyn_symbolic::scc::SccAlgorithm;
@@ -94,7 +104,10 @@ fn usage_text() -> &'static str {
      \x20      stsyn client --addr HOST:PORT submit (FILE | --case NAME --n N [--d D]) \
      [--weak] [--priority P] [--wait] [--emit-dsl OUT.stsyn]\n\
      \x20      stsyn client --addr HOST:PORT status ID | result ID | cancel ID | stats | \
-     shutdown [--mode drain|checkpoint]\n\
+     metrics | shutdown [--mode drain|checkpoint]\n\
+     \x20      stsyn trace-summary TRACE.ndjson\n\
+     \x20      one-shot/serve: [--trace PATH] [--trace-level warn|info|debug]; \
+     one-shot adds [--metrics]\n\
      exit codes: 0 ok, 1 synthesis/verification failure, 2 usage, \
      3 input error, 4 budget exhausted, 5 checkpoint error, \
      6 service connection error, 7 rejected by daemon"
@@ -105,6 +118,7 @@ fn main() -> ExitCode {
     let result = match argv.first().map(String::as_str) {
         Some("serve") => serve_main(&argv[1..]),
         Some("client") => client_main(&argv[1..]),
+        Some("trace-summary") => trace_summary_main(&argv[1..]),
         _ => oneshot_main(&argv),
     };
     match result {
@@ -158,6 +172,9 @@ struct Args {
     max_nodes: Option<usize>,
     checkpoint_dir: Option<String>,
     resume: bool,
+    trace: Option<String>,
+    trace_level: TraceLevel,
+    metrics: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, CliError> {
@@ -174,6 +191,9 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         max_nodes: None,
         checkpoint_dir: None,
         resume: false,
+        trace: None,
+        trace_level: TraceLevel::Info,
+        metrics: false,
     };
     let mut it = argv.iter().cloned();
     while let Some(a) = it.next() {
@@ -222,6 +242,11 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
                 args.checkpoint_dir = Some(flag_value(&mut it, "--checkpoint-dir")?);
             }
             "--resume" => args.resume = true,
+            "--trace" => args.trace = Some(flag_value(&mut it, "--trace")?),
+            "--trace-level" => {
+                args.trace_level = parse_trace_level(&flag_value(&mut it, "--trace-level")?)?;
+            }
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => return Err(CliError::Usage(None)),
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
             other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
@@ -242,6 +267,16 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         return Err(CliError::usage("--resume requires --checkpoint-dir"));
     }
     Ok(args)
+}
+
+fn parse_trace_level(v: &str) -> Result<TraceLevel, CliError> {
+    TraceLevel::parse(v)
+        .ok_or_else(|| CliError::usage(format!("--trace-level `{v}` is not warn|info|debug")))
+}
+
+fn open_trace(path: &str, level: TraceLevel) -> Result<Tracer, CliError> {
+    Tracer::to_file(std::path::Path::new(path), level)
+        .map_err(|e| CliError::Input(format!("cannot open trace file {path}: {e}")))
 }
 
 fn build_budget(timeout: Option<f64>, max_nodes: Option<usize>) -> Option<Budget> {
@@ -277,6 +312,9 @@ fn oneshot_main(argv: &[String]) -> Result<ExitCode, CliError> {
         job.checkpoint =
             Some(JobCheckpoint { dir: std::path::PathBuf::from(dir), resume: args.resume });
     }
+    if let Some(path) = &args.trace {
+        job.tracer = open_trace(path, args.trace_level)?;
+    }
 
     match job.run() {
         Ok(report) => Ok(print_report(&report, &args)),
@@ -310,6 +348,9 @@ fn print_report(report: &JobReport, args: &Args) -> ExitCode {
     }
     if !args.quiet {
         print_stats(&report.outcome.stats);
+    }
+    if args.metrics {
+        print!("{}", oneshot_metrics(&report.outcome.stats).render());
     }
     if report.verified {
         ExitCode::SUCCESS
@@ -384,12 +425,53 @@ fn report_exhausted(
     ExitCode::from(EXIT_RESOURCES)
 }
 
+/// The one-shot run's statistics as Prometheus text exposition
+/// (`--metrics`), mirroring the `metrics` verb of the daemon.
+fn oneshot_metrics(s: &stsyn_core::SynthesisStats) -> stsyn_obs::MetricsText {
+    let mut m = stsyn_obs::MetricsText::new();
+    m.counter("stsyn_candidates_total", "Candidate groups considered", s.candidates as u64)
+        .counter("stsyn_groups_added_total", "Recovery groups added", s.groups_added as u64)
+        .counter("stsyn_scc_calls_total", "SCC decomposition calls", s.scc_calls as u64)
+        .counter("stsyn_sccs_found_total", "Non-trivial SCCs found", s.sccs_found as u64)
+        .counter("stsyn_bdd_ticks_total", "Budgeted BDD operations", s.bdd_ticks)
+        .gauge("stsyn_max_rank", "Number of ranks (paper's M)", s.max_rank as f64)
+        .gauge(
+            "stsyn_finished_in_pass",
+            "Pass that removed the last deadlock",
+            f64::from(s.finished_in_pass),
+        )
+        .gauge(
+            "stsyn_program_nodes",
+            "Synthesized program size in BDD nodes",
+            s.program_nodes as f64,
+        )
+        .gauge("stsyn_peak_live_nodes", "Peak live BDD nodes", s.peak_live_nodes as f64)
+        .gauge("stsyn_ranking_seconds", "Wall time of ComputeRanks", s.ranking_secs())
+        .gauge("stsyn_scc_seconds", "Wall time of SCC detection", s.scc_secs())
+        .gauge("stsyn_total_seconds", "Wall time of the whole run", s.total_secs());
+    m
+}
+
+// --------------------------------------------------------- trace-summary
+
+fn trace_summary_main(argv: &[String]) -> Result<ExitCode, CliError> {
+    let [file] = argv else {
+        return Err(CliError::usage("trace-summary takes exactly one trace file"));
+    };
+    let summary = stsyn_obs::summarize_file(std::path::Path::new(file))
+        .map_err(|e| CliError::Input(format!("{file}: {e}")))?;
+    print!("{}", summary.render_table());
+    Ok(ExitCode::SUCCESS)
+}
+
 // ------------------------------------------------------------------ serve
 
 fn serve_main(argv: &[String]) -> Result<ExitCode, CliError> {
     let mut cfg = ServerConfig::new("stsyn-serve-state");
     cfg.addr = "127.0.0.1:7411".to_string();
     let mut print_addr = false;
+    let mut trace: Option<String> = None;
+    let mut trace_level = TraceLevel::Info;
     let mut it = argv.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -408,10 +490,17 @@ fn serve_main(argv: &[String]) -> Result<ExitCode, CliError> {
                     })?;
             }
             "--state-dir" => cfg.state_dir = flag_value(&mut it, "--state-dir")?.into(),
+            "--trace" => trace = Some(flag_value(&mut it, "--trace")?),
+            "--trace-level" => {
+                trace_level = parse_trace_level(&flag_value(&mut it, "--trace-level")?)?;
+            }
             "--print-addr" => print_addr = true,
             "--help" | "-h" => return Err(CliError::Usage(None)),
             other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
         }
+    }
+    if let Some(path) = &trace {
+        cfg.tracer = open_trace(path, trace_level)?;
     }
     let handle =
         Server::start(cfg).map_err(|e| CliError::Service(format!("cannot start daemon: {e}")))?;
@@ -470,6 +559,11 @@ fn client_main(argv: &[String]) -> Result<ExitCode, CliError> {
                     println!("{k:<14} {v}");
                 }
             }
+            Ok(ExitCode::SUCCESS)
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(map_client_err)?;
+            print!("{text}");
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {

@@ -126,6 +126,15 @@ impl Client {
         self.request(&Json::obj(vec![("op", "stats".into())]))
     }
 
+    /// Service counters and gauges as Prometheus text-format exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let resp = self.request(&Json::obj(vec![("op", "metrics".into())]))?;
+        resp.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics response lacks a metrics field".into()))
+    }
+
     /// Ask the daemon to shut down.
     pub fn shutdown(&mut self, mode: ShutdownMode) -> Result<(), ClientError> {
         let mode = match mode {

@@ -1,516 +1,9 @@
 //! A minimal, dependency-free JSON layer for the wire protocol.
 //!
-//! `stsyn-serve` frames requests and responses as newline-delimited JSON
-//! over TCP. The workspace builds fully offline, so instead of `serde`
-//! this module hand-rolls the small subset the service needs: a value
-//! tree, a recursion-bounded parser, and a canonical serializer
-//! (object keys keep insertion order, so a given value always serializes
-//! to the same bytes — which the persistence layer relies on when
-//! diffing stored results).
+//! The implementation now lives in [`stsyn_obs::json`] so the trace sink
+//! and the wire protocol share one encoder (the observability layer needs
+//! the same lossless `f64` round-tripping the wire format relies on).
+//! This module re-exports it to keep the `stsyn_serve::Json` paths and
+//! every `crate::json::` reference stable.
 
-use std::fmt;
-
-/// Maximum parser recursion depth; deeper payloads are rejected rather
-/// than risking a stack overflow on adversarial input.
-const MAX_DEPTH: usize = 64;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (integers are exact up to 2^53).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion-ordered key/value pairs.
-    Obj(Vec<(String, Json)>),
-}
-
-/// A parse failure: byte offset plus message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the offending input.
-    pub at: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.at, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-impl Json {
-    /// Build an object from `(key, value)` pairs.
-    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Object field lookup (first match).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The boolean payload, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The payload as a non-negative integer, if it is one exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
-                Some(*n as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The payload as a signed integer, if it is one exactly.
-    pub fn as_i64(&self) -> Option<i64> {
-        match self {
-            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 => {
-                Some(*n as i64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The element list, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Parse a complete JSON document (trailing whitespace allowed,
-    /// trailing garbage rejected).
-    pub fn parse(src: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value(0)?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after JSON value"));
-        }
-        Ok(v)
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(true) => out.push_str("true"),
-            Json::Bool(false) => out.push_str("false"),
-            Json::Num(n) => write_num(*n, out),
-            Json::Str(s) => write_str(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, v) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    v.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_str(k, out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Serializes to the compact, canonical form (`to_string()` comes from
-/// this impl).
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut out = String::new();
-        self.write(&mut out);
-        f.write_str(&out)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(n: f64) -> Json {
-        Json::Num(n)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(n: u64) -> Json {
-        Json::Num(n as f64)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(n: usize) -> Json {
-        Json::Num(n as f64)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(n: i64) -> Json {
-        Json::Num(n as f64)
-    }
-}
-
-fn write_num(n: f64, out: &mut String) {
-    use std::fmt::Write as _;
-    if !n.is_finite() {
-        out.push_str("null"); // JSON has no NaN/Inf; never produced in practice
-    } else if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
-        let _ = write!(out, "{}", n as i64);
-    } else {
-        let _ = write!(out, "{n}");
-    }
-}
-
-fn write_str(s: &str, out: &mut String) {
-    use std::fmt::Write as _;
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { at: self.pos, message: message.into() }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, lit: &str) -> Result<(), JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(self.err(format!("expected `{lit}`")))
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
-        }
-        match self.peek() {
-            Some(b'n') => self.eat("null").map(|()| Json::Null),
-            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
-            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(depth),
-            Some(b'{') => self.object(depth),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.pos += 1; // '['
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value(depth + 1)?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]` in array")),
-            }
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.pos += 1; // '{'
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            if self.peek() != Some(b'"') {
-                return Err(self.err("expected string key in object"));
-            }
-            let key = self.string()?;
-            self.skip_ws();
-            if self.peek() != Some(b':') {
-                return Err(self.err("expected `:` after object key"));
-            }
-            self.pos += 1;
-            self.skip_ws();
-            let val = self.value(depth + 1)?;
-            pairs.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(self.err("expected `,` or `}` in object")),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
-        text.parse::<f64>()
-            .ok()
-            .filter(|n| n.is_finite())
-            .map(Json::Num)
-            .ok_or_else(|| self.err(format!("invalid number `{text}`")))
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.pos += 1; // opening quote
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            self.pos += 1;
-                            let hi = self.hex4()?;
-                            let c = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair: expect a `\uXXXX` low half.
-                                self.eat("\\u").map_err(|_| self.err("lone high surrogate"))?;
-                                let lo = self.hex4()?;
-                                if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err(self.err("invalid low surrogate"));
-                                }
-                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(code)
-                            } else {
-                                char::from_u32(hi)
-                            };
-                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
-                            continue; // hex4 already advanced pos
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this
-                    // char boundary logic is safe).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap_or('\u{fffd}');
-                    if (c as u32) < 0x20 {
-                        return Err(self.err("raw control character in string"));
-                    }
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, JsonError> {
-        if self.pos + 4 > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| self.err("non-ASCII \\u escape"))?;
-        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
-        self.pos += 4;
-        Ok(v)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn roundtrip(v: &Json) -> Json {
-        Json::parse(&v.to_string()).unwrap()
-    }
-
-    #[test]
-    fn scalar_roundtrips() {
-        for v in [
-            Json::Null,
-            Json::Bool(true),
-            Json::Bool(false),
-            Json::Num(0.0),
-            Json::Num(-17.0),
-            Json::Num(3.5),
-            Json::Num(1e18),
-            Json::Str("".into()),
-            Json::Str("hello \"world\"\n\t\\ ∞ €".into()),
-        ] {
-            assert_eq!(roundtrip(&v), v, "{v:?}");
-        }
-    }
-
-    #[test]
-    fn nested_structures_roundtrip() {
-        let v = Json::obj(vec![
-            ("id", 42u64.into()),
-            ("name", "token_ring".into()),
-            ("args", Json::Arr(vec![1u64.into(), 2u64.into()])),
-            ("inner", Json::obj(vec![("ok", true.into()), ("x", Json::Null)])),
-        ]);
-        assert_eq!(roundtrip(&v), v);
-    }
-
-    #[test]
-    fn dsl_payload_with_newlines_roundtrips() {
-        let dsl = "protocol P {\n  var x : 0..2;\n  invariant x == 0;\n}";
-        let v = Json::obj(vec![("dsl", dsl.into())]);
-        let back = roundtrip(&v);
-        assert_eq!(back.get("dsl").unwrap().as_str().unwrap(), dsl);
-    }
-
-    #[test]
-    fn unicode_escapes_parse() {
-        let v = Json::parse(r#""a\u0041\u00e9\ud83d\ude00""#).unwrap();
-        assert_eq!(v.as_str().unwrap(), "aAé😀");
-    }
-
-    #[test]
-    fn malformed_inputs_error_not_panic() {
-        for bad in [
-            "",
-            "{",
-            "[1,",
-            "\"abc",
-            "{\"a\":}",
-            "nul",
-            "truex",
-            "1e999",
-            "[1]]",
-            "{\"a\" 1}",
-            "\"\\q\"",
-            "\"\\ud800x\"",
-            "01a",
-        ] {
-            assert!(Json::parse(bad).is_err(), "{bad:?}");
-        }
-    }
-
-    #[test]
-    fn deep_nesting_is_rejected() {
-        let deep = "[".repeat(100) + &"]".repeat(100);
-        assert!(Json::parse(&deep).is_err());
-    }
-
-    #[test]
-    fn integer_accessors_are_exact() {
-        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
-        assert_eq!(Json::Num(-7.0).as_u64(), None);
-        assert_eq!(Json::Num(-7.0).as_i64(), Some(-7));
-        assert_eq!(Json::Num(7.5).as_u64(), None);
-    }
-}
+pub use stsyn_obs::json::{Json, JsonError};

@@ -46,6 +46,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use stsyn_core::job::{JobCheckpoint, JobError, JobMode};
 use stsyn_core::SynthesisError;
+use stsyn_obs::{MetricsText, Tracer};
 use stsyn_symbolic::Resource;
 
 /// File names inside a job directory.
@@ -65,6 +66,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Persistent state directory (created if missing).
     pub state_dir: PathBuf,
+    /// Tracer for daemon diagnostics and per-job spans. Defaults to
+    /// NDJSON warnings on stderr; `stsyn serve --trace` swaps in a file
+    /// sink at the requested level.
+    pub tracer: Tracer,
 }
 
 impl ServerConfig {
@@ -75,6 +80,7 @@ impl ServerConfig {
             workers: 2,
             queue_capacity: 64,
             state_dir: state_dir.into(),
+            tracer: Tracer::to_stderr(stsyn_obs::TraceLevel::Warn),
         }
     }
 }
@@ -106,6 +112,12 @@ pub struct Counters {
     pub resumed: AtomicU64,
     /// Largest per-job peak live BDD node count seen so far.
     pub peak_nodes_max: AtomicU64,
+    /// Total milliseconds completed claims spent queued (wait time).
+    pub queue_wait_ms_total: AtomicU64,
+    /// Number of claims contributing to `queue_wait_ms_total`.
+    pub queue_waited: AtomicU64,
+    /// Total milliseconds workers spent running jobs (busy time).
+    pub run_ms_total: AtomicU64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +167,7 @@ struct Shared {
     live_workers: AtomicUsize,
     stop: AtomicBool,
     shutdown_cancel: Arc<AtomicBool>,
+    started: Instant,
 }
 
 impl Shared {
@@ -226,6 +239,7 @@ impl Server {
             live_workers: AtomicUsize::new(workers),
             stop: AtomicBool::new(false),
             shutdown_cancel: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
             cfg,
         });
         recover_jobs(&shared)?;
@@ -292,7 +306,13 @@ fn recover_jobs(shared: &Shared) -> io::Result<()> {
         {
             Some(s) => s,
             None => {
-                eprintln!("stsyn-serve: job {id:08}: unreadable spec, skipping");
+                shared.cfg.tracer.warn(
+                    "serve.unreadable_spec",
+                    &[
+                        ("job", Json::from(id)),
+                        ("message", Json::from("unreadable spec, skipping")),
+                    ],
+                );
                 continue;
             }
         };
@@ -359,17 +379,26 @@ fn worker_loop(shared: &Shared) {
             match jobs.get_mut(&id) {
                 Some(e) if e.state == JobState::Queued => {
                     e.state = JobState::Running;
-                    e.queue_ms = Some(e.queued_at.elapsed().as_millis() as u64);
-                    Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed))
+                    let queue_ms = e.queued_at.elapsed().as_millis() as u64;
+                    e.queue_ms = Some(queue_ms);
+                    Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed, queue_ms))
                 }
                 _ => None,
             }
         };
-        let Some((spec, cancel, resumed)) = claimed else { continue };
+        let Some((spec, cancel, resumed, queue_ms)) = claimed else { continue };
+        shared.counters.queue_wait_ms_total.fetch_add(queue_ms, Ordering::Relaxed);
+        shared.counters.queue_waited.fetch_add(1, Ordering::Relaxed);
         shared.busy.fetch_add(1, Ordering::SeqCst);
+        let span = shared
+            .cfg
+            .tracer
+            .span_with("serve.job", &[("id", Json::from(id)), ("queue_ms", Json::from(queue_ms))]);
         let started = Instant::now();
         let finished = execute_job(shared, id, &spec, &cancel);
         let run_ms = started.elapsed().as_millis() as u64;
+        span.close();
+        shared.counters.run_ms_total.fetch_add(run_ms, Ordering::Relaxed);
         shared.busy.fetch_sub(1, Ordering::SeqCst);
         record_finish(shared, id, resumed, run_ms, finished);
     }
@@ -390,6 +419,7 @@ fn execute_job(shared: &Shared, id: u64, spec: &SubmitSpec, cancel: &Arc<AtomicB
     };
     // Cancellation is always armed: the per-job flag (live `cancel` op)
     // and the server-wide checkpoint-shutdown flag.
+    job.tracer = shared.cfg.tracer.clone();
     job.budget = Some(
         job.budget
             .take()
@@ -549,6 +579,7 @@ fn dispatch(shared: &Shared, req: &Json) -> Json {
         Some("result") => op_result(shared, req),
         Some("cancel") => op_cancel(shared, req),
         Some("stats") => op_stats(shared),
+        Some("metrics") => op_metrics(shared),
         Some("shutdown") => op_shutdown(shared, req),
         Some(other) => err_response("bad-request", &format!("unknown op `{other}`")),
         None => err_response("bad-request", "request needs a string `op` field"),
@@ -732,7 +763,78 @@ fn op_stats(shared: &Shared) -> Json {
         ("workers", workers.into()),
         ("utilization", (busy as f64 / workers as f64).into()),
         ("peak_nodes_max", c.peak_nodes_max.load(Ordering::Relaxed).into()),
+        ("queue_wait_ms_total", c.queue_wait_ms_total.load(Ordering::Relaxed).into()),
+        ("queue_wait_ms_avg", avg_wait_ms(c).into()),
+        ("run_ms_total", c.run_ms_total.load(Ordering::Relaxed).into()),
+        ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
     ])
+}
+
+fn avg_wait_ms(c: &Counters) -> f64 {
+    let n = c.queue_waited.load(Ordering::Relaxed);
+    if n == 0 {
+        0.0
+    } else {
+        c.queue_wait_ms_total.load(Ordering::Relaxed) as f64 / n as f64
+    }
+}
+
+/// `metrics` op: the same counters and gauges as `stats`, rendered as
+/// Prometheus text-format exposition (returned in the `metrics` field so
+/// the response stays one JSON line on the wire).
+fn op_metrics(shared: &Shared) -> Json {
+    let c = &shared.counters;
+    let busy = shared.busy.load(Ordering::SeqCst);
+    let workers = shared.cfg.workers.max(1);
+    let mut m = MetricsText::new();
+    m.counter(
+        "stsyn_jobs_accepted_total",
+        "Submissions admitted to the queue",
+        c.accepted.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_jobs_rejected_total",
+        "Submissions rejected by backpressure",
+        c.rejected.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_jobs_completed_total",
+        "Jobs finished successfully",
+        c.completed.load(Ordering::Relaxed),
+    )
+    .counter("stsyn_jobs_failed_total", "Jobs that failed", c.failed.load(Ordering::Relaxed))
+    .counter(
+        "stsyn_jobs_cancelled_total",
+        "Jobs cancelled by a client",
+        c.cancelled.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_jobs_resumed_total",
+        "Jobs re-enqueued from a checkpoint journal",
+        c.resumed.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_queue_wait_ms_total",
+        "Milliseconds claimed jobs spent queued",
+        c.queue_wait_ms_total.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_run_ms_total",
+        "Milliseconds workers spent running jobs",
+        c.run_ms_total.load(Ordering::Relaxed),
+    )
+    .gauge("stsyn_queue_depth", "Jobs currently queued", shared.queue.len() as f64)
+    .gauge("stsyn_workers_busy", "Workers currently running a job", busy as f64)
+    .gauge("stsyn_workers", "Worker pool size", workers as f64)
+    .gauge("stsyn_worker_utilization", "Busy workers over pool size", busy as f64 / workers as f64)
+    .gauge("stsyn_queue_wait_ms_avg", "Mean queue wait of claimed jobs", avg_wait_ms(c))
+    .gauge(
+        "stsyn_peak_nodes_max",
+        "Largest per-job peak live BDD node count",
+        c.peak_nodes_max.load(Ordering::Relaxed) as f64,
+    )
+    .gauge("stsyn_uptime_seconds", "Daemon uptime", shared.started.elapsed().as_secs_f64());
+    Json::obj(vec![("ok", true.into()), ("metrics", m.render().into())])
 }
 
 fn op_shutdown(shared: &Shared, req: &Json) -> Json {

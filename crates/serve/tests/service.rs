@@ -116,6 +116,56 @@ fn concurrent_submissions_match_single_shot_results() {
 }
 
 #[test]
+fn metrics_verb_and_job_trace() {
+    let dir = tempdir::TempDir::new("metrics");
+    let trace_path = dir.path.join("daemon.trace");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 1;
+    cfg.tracer = stsyn_obs::Tracer::to_file(&trace_path, stsyn_obs::TraceLevel::Debug).unwrap();
+    let (handle, addr) = start(cfg);
+
+    let mut client = Client::connect(addr).unwrap();
+    let id = client.submit(&case("coloring", 3)).unwrap();
+    client.wait(id, WAIT).unwrap();
+
+    // Prometheus text exposition over the wire.
+    let text = client.metrics().unwrap();
+    for series in [
+        "stsyn_jobs_accepted_total 1",
+        "stsyn_jobs_completed_total 1",
+        "stsyn_queue_depth 0",
+        "stsyn_workers 1",
+    ] {
+        assert!(text.contains(series), "metrics missing `{series}`:\n{text}");
+    }
+    assert!(text.contains("# TYPE stsyn_jobs_accepted_total counter"));
+    assert!(text.contains("# TYPE stsyn_worker_utilization gauge"));
+
+    // `stats` carries the new wait-time/utilization gauges.
+    let stats = client.stats().unwrap();
+    assert!(stats.get("queue_wait_ms_total").and_then(Json::as_u64).is_some());
+    assert!(stats.get("run_ms_total").and_then(Json::as_u64).is_some());
+    assert!(stats.get("uptime_secs").and_then(Json::as_f64).unwrap() > 0.0);
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+
+    // The daemon's trace validates and contains a closed per-job span
+    // wrapping the synthesis-phase spans.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let records = stsyn_obs::parse_trace(text.as_bytes()).unwrap();
+    assert_eq!(stsyn_obs::open_spans(&records), 0);
+    let serve_spans: Vec<&Json> = records
+        .iter()
+        .filter(|r| r.get("name").and_then(Json::as_str) == Some("serve.job"))
+        .collect();
+    assert_eq!(serve_spans.len(), 2, "expected open+close of one serve.job span");
+    assert!(records
+        .iter()
+        .any(|r| r.get("name").and_then(Json::as_str) == Some("synthesis.stats")));
+}
+
+#[test]
 fn full_queue_rejects_with_distinct_error() {
     let dir = tempdir::TempDir::new("backpressure");
     let mut cfg = ServerConfig::new(&dir.path);

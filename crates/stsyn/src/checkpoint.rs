@@ -155,6 +155,21 @@ pub enum Record {
         /// Position in the recovery schedule.
         step: u32,
     },
+    /// Cumulative BDD-manager counters at the moment of the append.
+    /// Replayed on resume (via [`stsyn_bdd::Manager::adopt_counters`]) so
+    /// gc-run and cache-probe statistics continue across a crash instead
+    /// of silently resetting with the rebuilt manager — resumed-run
+    /// metrics stay comparable to uninterrupted runs. Last record wins.
+    Counters {
+        /// Garbage collections performed so far.
+        gc_runs: u64,
+        /// Operation-cache probes so far.
+        cache_lookups: u64,
+        /// Operation-cache probes that hit.
+        cache_hits: u64,
+        /// Peak live node count observed so far.
+        peak_live: u64,
+    },
     /// The run was cut short by resource exhaustion during `phase`; the
     /// journal up to here is the final checkpoint.
     Cut {
@@ -213,6 +228,12 @@ fn encode(rec: &Record) -> Vec<u8> {
             buf.push(*pass);
             push_u32(&mut buf, *rank);
             push_u32(&mut buf, *step);
+        }
+        Record::Counters { gc_runs, cache_lookups, cache_hits, peak_live } => {
+            buf.push(8);
+            for v in [gc_runs, cache_lookups, cache_hits, peak_live] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
         }
         Record::Cut { phase } => {
             buf.push(6);
@@ -286,6 +307,12 @@ fn decode(payload: &[u8]) -> Option<Record> {
         5 => Record::StepDone { pass: d.u8()?, rank: d.u32()?, step: d.u32()? },
         6 => Record::Cut { phase: d.string()? },
         7 => Record::Done,
+        8 => Record::Counters {
+            gc_runs: d.u64()?,
+            cache_lookups: d.u64()?,
+            cache_hits: d.u64()?,
+            peak_live: d.u64()?,
+        },
         _ => return None,
     };
     d.finished().then_some(rec)
@@ -492,6 +519,9 @@ struct Replay {
     ranks_done: Option<u32>,
     groups: HashMap<(u8, u32, u32), Vec<GroupDesc>>,
     done_steps: HashSet<(u8, u32, u32)>,
+    /// Last journaled manager counters (gc runs, cache lookups/hits,
+    /// peak live nodes).
+    counters: Option<(u64, u64, u64, u64)>,
 }
 
 impl Replay {
@@ -509,6 +539,9 @@ impl Replay {
                 }
                 Record::StepDone { pass, rank, step } => {
                     r.done_steps.insert((*pass, *rank, *step));
+                }
+                Record::Counters { gc_runs, cache_lookups, cache_hits, peak_live } => {
+                    r.counters = Some((*gc_runs, *cache_lookups, *cache_hits, *peak_live));
                 }
             }
         }
@@ -665,7 +698,8 @@ impl CheckpointSession {
         let file = Self::rank_file_name(index);
         let bytes = mgr.dump_bdds_to_vec(&[layer]);
         let result = write_atomic(&self.dir, &file, &bytes)
-            .and_then(|()| self.journal.append(&Record::RankLayer { index: index as u32, file }));
+            .and_then(|()| self.journal.append(&Record::RankLayer { index: index as u32, file }))
+            .and_then(|()| self.journal.append(&counters_record(mgr)));
         if let Err(e) = result {
             self.poisoned = Some(e);
         }
@@ -708,14 +742,33 @@ impl CheckpointSession {
         self.journal.append(&Record::Group { pass, rank, step, desc: desc.clone() })
     }
 
-    /// Journal the completion of a schedule step.
+    /// Journal the completion of a schedule step, plus the manager's
+    /// cumulative counters as of that fence (so a resume after the next
+    /// crash continues the metric series from here).
     pub(crate) fn record_step_done(
         &mut self,
         pass: u8,
         rank: u32,
         step: u32,
+        mgr: &Manager,
     ) -> Result<(), CheckpointError> {
-        self.journal.append(&Record::StepDone { pass, rank, step })
+        self.journal.append(&Record::StepDone { pass, rank, step })?;
+        self.journal.append(&counters_record(mgr))
+    }
+
+    /// The counters journaled by the previous run, as a [`ManagerStats`]
+    /// carrier suitable for [`Manager::adopt_counters`] (only the
+    /// cumulative fields are meaningful).
+    pub(crate) fn prior_counters(&self) -> Option<stsyn_bdd::ManagerStats> {
+        self.replay.counters.map(|(gc_runs, cache_lookups, cache_hits, peak_live)| {
+            stsyn_bdd::ManagerStats {
+                gc_runs: gc_runs as usize,
+                cache_lookups,
+                cache_hits,
+                peak_live_nodes: peak_live as usize,
+                ..Default::default()
+            }
+        })
     }
 
     /// Final checkpoint on resource exhaustion: everything committed is
@@ -728,6 +781,17 @@ impl CheckpointSession {
     /// Journal successful completion.
     pub(crate) fn record_done(&mut self) -> Result<(), CheckpointError> {
         self.journal.append(&Record::Done)
+    }
+}
+
+/// A `Counters` record snapshotting `mgr`'s cumulative statistics.
+fn counters_record(mgr: &Manager) -> Record {
+    let s = mgr.stats();
+    Record::Counters {
+        gc_runs: s.gc_runs as u64,
+        cache_lookups: s.cache_lookups,
+        cache_hits: s.cache_hits,
+        peak_live: s.peak_live_nodes as u64,
     }
 }
 
@@ -777,6 +841,7 @@ mod tests {
                 desc: GroupDesc { process: ProcIdx(2), pre: vec![0, 1], post: vec![3] },
             },
             Record::StepDone { pass: 1, rank: 1, step: 0 },
+            Record::Counters { gc_runs: 3, cache_lookups: 1000, cache_hits: 800, peak_live: 4096 },
             Record::Cut { phase: "recovery pass 1".into() },
             Record::Done,
         ]
@@ -845,7 +910,7 @@ mod tests {
                 &GroupDesc { process: ProcIdx(0), pre: vec![1], post: vec![0] },
             )
             .unwrap();
-            s.record_step_done(1, 1, 0).unwrap();
+            s.record_step_done(1, 1, 0, &Manager::new()).unwrap();
         }
         // A second fresh run must refuse the populated directory.
         assert_eq!(CheckpointSession::create(&dir, fp).unwrap_err(), CheckpointError::Exists);
@@ -857,6 +922,49 @@ mod tests {
             _ => panic!("expected Replay"),
         }
         assert!(matches!(s.step_mode(1, 1, 1), StepMode::Live));
+        drop(s);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn counters_round_trip_and_last_record_wins() {
+        let dir = temp_dir("counters");
+        let fp = 9u64;
+        {
+            let mut s = CheckpointSession::create(&dir, fp).unwrap();
+            // Two fences: the second must win on resume.
+            let mut mgr = Manager::new();
+            mgr.adopt_counters(&stsyn_bdd::ManagerStats {
+                gc_runs: 1,
+                cache_lookups: 10,
+                cache_hits: 5,
+                peak_live_nodes: 100,
+                ..Default::default()
+            });
+            s.record_step_done(1, 1, 0, &mgr).unwrap();
+            mgr.adopt_counters(&stsyn_bdd::ManagerStats {
+                gc_runs: 2,
+                cache_lookups: 90,
+                cache_hits: 45,
+                peak_live_nodes: 900,
+                ..Default::default()
+            });
+            s.record_step_done(1, 1, 1, &mgr).unwrap();
+        }
+        let s = CheckpointSession::resume(&dir, fp).unwrap();
+        let prior = s.prior_counters().expect("no counters journaled");
+        assert_eq!(prior.gc_runs, 3);
+        assert_eq!(prior.cache_lookups, 100);
+        assert_eq!(prior.cache_hits, 50);
+        assert_eq!(prior.peak_live_nodes, 900);
+        // Adopting continues the series on a fresh manager.
+        let mut fresh = Manager::new();
+        fresh.adopt_counters(&prior);
+        let stats = fresh.stats();
+        assert_eq!(stats.cache_lookups, 100);
+        assert_eq!(stats.cache_hits, 50);
+        assert_eq!(stats.gc_runs, 3);
+        assert_eq!(stats.peak_live_nodes, 900);
         drop(s);
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -23,6 +23,7 @@ use crate::schedule::Schedule;
 use crate::stats::SynthesisStats;
 use std::time::Instant;
 use stsyn_bdd::{Bdd, BddError};
+use stsyn_obs::{Json, TraceLevel};
 use stsyn_protocol::expr::Expr;
 use stsyn_protocol::group::{groups_of_protocol, GroupDesc};
 use stsyn_protocol::Protocol;
@@ -381,6 +382,8 @@ impl Engine {
         // badTrans: added groups with a transition inside some SCC; a
         // whole cluster is dropped if any member participates in a cycle.
         let include_start = Instant::now();
+        let tried = clusters.len();
+        let mut kept = 0usize;
         let mut changed = false;
         'cluster: for cluster in clusters {
             for &ci in &cluster {
@@ -402,8 +405,22 @@ impl Engine {
                 }
             }
             changed = true;
+            kept += 1;
         }
         self.stats.include_time += include_start.elapsed();
+        if self.ctx.mgr_ref().tracer().level_enabled(TraceLevel::Debug) {
+            self.ctx.mgr_ref().tracer().debug(
+                "heuristic.step",
+                &[
+                    ("pass", Json::from(key.0 as u64)),
+                    ("rank", Json::from(key.1 as u64)),
+                    ("step", Json::from(key.2 as u64)),
+                    ("tried", Json::from(tried as u64)),
+                    ("kept", Json::from(kept as u64)),
+                    ("discarded", Json::from((tried - kept) as u64)),
+                ],
+            );
+        }
         Ok(changed)
     }
 
@@ -448,14 +465,16 @@ impl Engine {
                     self.replay_groups(&groups)?;
                     let live = self.add_recovery(from, to, p.0, ruled_out, key, ckpt)?;
                     if let Some(c) = ckpt.as_deref_mut() {
-                        c.record_step_done(key.0, key.1, key.2).map_err(StepError::Ckpt)?;
+                        c.record_step_done(key.0, key.1, key.2, self.ctx.mgr_ref())
+                            .map_err(StepError::Ckpt)?;
                     }
                     live || !groups.is_empty()
                 }
                 StepMode::Live => {
                     let live = self.add_recovery(from, to, p.0, ruled_out, key, ckpt)?;
                     if let Some(c) = ckpt.as_deref_mut() {
-                        c.record_step_done(key.0, key.1, key.2).map_err(StepError::Ckpt)?;
+                        c.record_step_done(key.0, key.1, key.2, self.ctx.mgr_ref())
+                            .map_err(StepError::Ckpt)?;
                     }
                     live
                 }
@@ -510,10 +529,13 @@ pub(crate) fn synthesize_checkpointed(
         return Err(SynthesisError::BadSchedule);
     }
     let start = Instant::now();
+    let tracer = opts.tracer.clone();
     let mut ctx = SymbolicContext::new(protocol.clone());
+    ctx.mgr().set_tracer(tracer.clone());
     if let Some(b) = &opts.budget {
         ctx.set_budget(b);
     }
+    let setup_span = tracer.span("phase.setup");
     // Everything before ranking maps a budget violation to `Phase::Setup`
     // with empty partial progress.
     macro_rules! setup {
@@ -614,6 +636,8 @@ pub(crate) fn synthesize_checkpointed(
     // A resuming checkpoint session may hold journaled rank-layer
     // snapshots; load them first (each layer is uniquely determined by
     // `p_im` and `I`, so a replayed prefix continues the very same BFS).
+    setup_span.close();
+    let ranking_span = tracer.span("phase.ranking");
     let rank_start = Instant::now();
     let (rank_prefix, ranks_replayed) = match ckpt.as_deref_mut() {
         Some(c) => {
@@ -621,6 +645,13 @@ pub(crate) fn synthesize_checkpointed(
             let loaded = c.load_rank_prefix(&mut engine.ctx);
             for w in &c.warnings()[before..] {
                 eprintln!("stsyn: checkpoint warning: {w}");
+                tracer.warn("checkpoint.warning", &[("message", Json::from(w.as_str()))]);
+            }
+            // Continue the crashed run's cumulative counters (gc runs,
+            // cache probes, peak live) instead of restarting them with
+            // the rebuilt manager.
+            if let Some(prior) = c.prior_counters() {
+                engine.ctx.mgr().adopt_counters(&prior);
             }
             loaded
         }
@@ -702,6 +733,7 @@ pub(crate) fn synthesize_checkpointed(
         }
     };
     engine.stats.ranking_time = rank_start.elapsed();
+    ranking_span.close();
     engine.stats.max_rank = ranks.max_rank();
     if !ranks.complete() {
         let count = engine.ctx.count_states(ranks.infinite);
@@ -735,6 +767,7 @@ pub(crate) fn synthesize_checkpointed(
     // --- Passes 1–3 ------------------------------------------------------
     let mut finished = 0u8;
     if !deadlocks.is_false() {
+        let recovery_span = tracer.span("phase.recovery");
         'passes: for pass in 1u8..=3u8 {
             if pass <= 2 {
                 for ri in 1..=ranks.max_rank() {
@@ -786,6 +819,7 @@ pub(crate) fn synthesize_checkpointed(
             let remaining = engine.ctx.count_states(deadlocks);
             return Err(SynthesisError::DeadlocksRemain { remaining });
         }
+        recovery_span.close();
     }
 
     engine.stats.finished_in_pass = finished;
@@ -807,6 +841,7 @@ pub(crate) fn synthesize_checkpointed(
     // bug. The verification pass itself runs under the budget.
     #[cfg(debug_assertions)]
     {
+        let _verification_span = tracer.span("phase.verification");
         if opts.budget.is_some() {
             let roots = [outcome.pss, outcome.i, outcome.delta_p];
             outcome.ctx.register_roots(&roots);
@@ -830,6 +865,34 @@ pub(crate) fn synthesize_checkpointed(
     }
     outcome.stats.bdd_ticks = outcome.ctx.mgr_ref().ticks_used();
     outcome.stats.total_time = start.elapsed();
+    if tracer.level_enabled(TraceLevel::Info) {
+        let s = &outcome.stats;
+        let m = outcome.ctx.mgr_ref().stats();
+        tracer.info(
+            "synthesis.stats",
+            &[
+                ("max_rank", Json::from(s.max_rank as u64)),
+                ("candidates", Json::from(s.candidates as u64)),
+                ("groups_added", Json::from(s.groups_added as u64)),
+                ("finished_in_pass", Json::from(s.finished_in_pass as u64)),
+                ("scc_calls", Json::from(s.scc_calls as u64)),
+                ("sccs_found", Json::from(s.sccs_found as u64)),
+                ("scc_nodes_total", Json::from(s.scc_nodes_total as u64)),
+                ("program_nodes", Json::from(s.program_nodes as u64)),
+                ("peak_live_nodes", Json::from(s.peak_live_nodes as u64)),
+                ("bdd_ticks", Json::from(s.bdd_ticks)),
+                ("ranking_secs", Json::Num(s.ranking_secs())),
+                ("scc_secs", Json::Num(s.scc_secs())),
+                ("total_secs", Json::Num(s.total_secs())),
+                ("scan_secs", Json::Num(s.scan_time.as_secs_f64())),
+                ("deadlock_secs", Json::Num(s.deadlock_time.as_secs_f64())),
+                ("include_secs", Json::Num(s.include_time.as_secs_f64())),
+                ("gc_runs", Json::from(m.gc_runs as u64)),
+                ("cache_lookups", Json::from(m.cache_lookups)),
+                ("cache_hits", Json::from(m.cache_hits)),
+            ],
+        );
+    }
     // Hand the context back unbudgeted: follow-up queries on the outcome
     // (extraction, re-verification) must not trip a stale budget.
     outcome.ctx.clear_budget();

@@ -86,6 +86,9 @@ pub struct JobSpec {
     pub budget: Option<Budget>,
     /// Crash-safe checkpointing ([`JobMode::Strong`] only).
     pub checkpoint: Option<JobCheckpoint>,
+    /// Tracer threaded through the whole pipeline (disabled by default;
+    /// see [`stsyn_obs::Tracer`]).
+    pub tracer: stsyn_obs::Tracer,
 }
 
 /// Why a job could not produce a report.
@@ -150,6 +153,7 @@ impl JobSpec {
             symmetric: false,
             budget: None,
             checkpoint: None,
+            tracer: stsyn_obs::Tracer::disabled(),
         }
     }
 
@@ -209,8 +213,15 @@ impl JobSpec {
         } else {
             None
         };
-        let opts = Options { scc: self.scc, symmetry, budget: self.budget.clone() };
+        let opts = Options {
+            scc: self.scc,
+            symmetry,
+            budget: self.budget.clone(),
+            tracer: self.tracer.clone(),
+        };
         let schedule = self.resolved_schedule(&problem);
+        let job_span =
+            self.tracer.span_with("job", &[("job", stsyn_obs::Json::from(self.name.as_str()))]);
 
         let result = match self.mode {
             JobMode::Weak => problem.synthesize_weak_with(&opts),
@@ -243,6 +254,7 @@ impl JobSpec {
             })
         })?;
 
+        job_span.close();
         let emitted_name = format!("{}_SS", self.name);
         let pss = outcome.extract_protocol();
         let emitted_dsl = printer::to_dsl(&emitted_name, &pss, &self.invariant);

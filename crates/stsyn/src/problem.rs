@@ -37,11 +37,23 @@ pub struct Options {
     /// [`SynthesisError::ResourceExhausted`] carrying well-formed partial
     /// progress.
     pub budget: Option<Budget>,
+    /// Trace sink for the run: phase spans, per-rank frontier sizes,
+    /// SCC/GC/reorder events and the final statistics record all flow
+    /// through it (see the `stsyn-obs` crate). The default is the
+    /// disabled tracer, whose hooks cost one `Option` check. Excluded
+    /// from checkpoint fingerprints, so traced and untraced runs share
+    /// journals.
+    pub tracer: stsyn_obs::Tracer,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scc: SccAlgorithm::Skeleton, symmetry: None, budget: None }
+        Options {
+            scc: SccAlgorithm::Skeleton,
+            symmetry: None,
+            budget: None,
+            tracer: stsyn_obs::Tracer::disabled(),
+        }
     }
 }
 
@@ -299,6 +311,8 @@ impl AddConvergence {
         .map_err(SynthesisError::Checkpoint)?;
         for w in session.warnings() {
             eprintln!("stsyn: checkpoint warning: {w}");
+            opts.tracer
+                .warn("checkpoint.warning", &[("message", stsyn_obs::Json::from(w.as_str()))]);
         }
         let result = crate::heuristic::synthesize_checkpointed(
             &self.protocol,

@@ -78,6 +78,61 @@ fn interrupted_run_resumes_bit_identical() {
 }
 
 #[test]
+fn manager_counters_survive_resume() {
+    // PR 5 bugfix: cumulative manager counters (cache probes, gc runs,
+    // peak live nodes) are journaled at every checkpoint fence and adopted
+    // on resume, so a resumed run's metrics continue the crashed run's
+    // series instead of restarting from zero with the rebuilt manager.
+    let (p, i) = matching(3);
+    let problem = AddConvergence::new(p.clone(), i.clone()).unwrap();
+    let dir = temp_dir("counters");
+    let mut first = problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+    let first_stats = first.ctx().mgr_ref().stats();
+    assert!(first_stats.cache_lookups > 0);
+
+    // Resuming the finished journal replays everything on a fresh manager.
+    // The replay itself does far less BDD work than the original run, so
+    // without counter adoption the resumed run would report *fewer*
+    // lookups than the run it replays — the silent reset this fixes.
+    let mut replayed = problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+    let replayed_stats = replayed.ctx().mgr_ref().stats();
+    assert!(
+        replayed_stats.cache_lookups >= first_stats.cache_lookups,
+        "resume reset cache_lookups: {} < {}",
+        replayed_stats.cache_lookups,
+        first_stats.cache_lookups
+    );
+    assert!(replayed_stats.cache_hits >= first_stats.cache_hits);
+    // Peak-live is compared against the journal's own fence value in the
+    // checkpoint unit tests; the first run's *final* peak can exceed every
+    // fence (work after the last journaled step still raises it).
+    assert!(replayed_stats.peak_live_nodes > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Same guarantee across a mid-run crash: kill at ~half the reference
+    // ticks, resume, and require the continued series to cover at least
+    // the work the killed run had journaled by its last fence.
+    let ref_dir = temp_dir("counters-ref");
+    let ref_opts = Options { budget: Some(huge_budget()), ..Options::default() };
+    let reference = problem.synthesize_resumable(&ref_opts, &ref_dir).unwrap();
+    let total = reference.stats.bdd_ticks;
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+    let dir = temp_dir("counters-kill");
+    let inject = Options {
+        budget: Some(Budget::unlimited().with_fail_at_tick(total / 2)),
+        ..Options::default()
+    };
+    assert!(problem.synthesize_resumable(&inject, &dir).is_err());
+    let mut resumed = problem.synthesize_resumable(&Options::default(), &dir).unwrap();
+    let resumed_stats = resumed.ctx().mgr_ref().stats();
+    assert!(
+        resumed_stats.cache_lookups > 0 && resumed_stats.cache_hits > 0,
+        "resumed run lost its counter series"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn fresh_run_refuses_populated_directory() {
     let (p, i) = matching(3);
     let problem = AddConvergence::new(p, i).unwrap();

@@ -12,6 +12,7 @@
 
 use crate::encode::{SymbolicContext, INFALLIBLE};
 use stsyn_bdd::{Bdd, BddError, Manager};
+use stsyn_obs::{Json, TraceLevel};
 
 /// Callback invoked after every rank layer is committed (checkpointing
 /// hook): receives the manager, the layer index and the layer predicate.
@@ -142,6 +143,15 @@ pub fn try_compute_ranks_resumed(
         }
         ranks.push(fresh);
         explored = step!(ctx.mgr().try_or(explored, fresh));
+        // The per-rank frontier size is the paper's Fig. 7/9 space metric;
+        // the node count is only computed when a Debug-level sink wants it.
+        if ctx.mgr_ref().tracer().level_enabled(TraceLevel::Debug) {
+            let nodes = ctx.mgr_ref().node_count(fresh) as u64;
+            ctx.mgr_ref().tracer().debug(
+                "rank.layer",
+                &[("rank", Json::from((ranks.len() - 1) as u64)), ("nodes", Json::from(nodes))],
+            );
+        }
         if let Some(obs) = observer.as_mut() {
             obs(ctx.mgr_ref(), ranks.len() - 1, fresh);
         }

@@ -19,6 +19,7 @@
 
 use crate::encode::{SymbolicContext, INFALLIBLE};
 use stsyn_bdd::{Bdd, BddError};
+use stsyn_obs::{Json, TraceLevel};
 
 /// Which symbolic SCC algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,20 +115,33 @@ pub fn try_scc_decomposition(
     // non-trivial SCC, and trimming is cheap. This mirrors the "restrict
     // attention to the cyclic core" optimization in symbolic SCC practice.
     let core = trim(ctx, relation, x)?;
-    if core.is_false() {
-        return Ok(Vec::new());
-    }
-    let mut all = match algorithm {
-        SccAlgorithm::Skeleton => skeleton_sccs(ctx, relation, core)?,
-        SccAlgorithm::Lockstep => lockstep_sccs(ctx, relation, core)?,
-        SccAlgorithm::XieBeerel => xie_beerel_sccs(ctx, relation, core)?,
-    };
-    let mut keep = Vec::with_capacity(all.len());
-    for scc in all.drain(..) {
-        let internal = ctx.try_restrict_relation(relation, scc)?;
-        if !internal.is_false() {
-            keep.push(scc);
+    let mut iters = 0usize;
+    let mut keep = Vec::new();
+    if !core.is_false() {
+        let mut all = match algorithm {
+            SccAlgorithm::Skeleton => skeleton_sccs(ctx, relation, core, &mut iters)?,
+            SccAlgorithm::Lockstep => lockstep_sccs(ctx, relation, core, &mut iters)?,
+            SccAlgorithm::XieBeerel => xie_beerel_sccs(ctx, relation, core, &mut iters)?,
+        };
+        keep.reserve(all.len());
+        for scc in all.drain(..) {
+            let internal = ctx.try_restrict_relation(relation, scc)?;
+            if !internal.is_false() {
+                keep.push(scc);
+            }
         }
+    }
+    if ctx.mgr_ref().tracer().level_enabled(TraceLevel::Info) {
+        let nodes: usize = keep.iter().map(|&s| ctx.mgr_ref().node_count(s)).sum();
+        ctx.mgr_ref().tracer().info(
+            "scc.call",
+            &[
+                ("algorithm", Json::from(format!("{algorithm:?}").as_str())),
+                ("sccs", Json::from(keep.len() as u64)),
+                ("iterations", Json::from(iters as u64)),
+                ("nodes", Json::from(nodes as u64)),
+            ],
+        );
     }
     Ok(keep)
 }
@@ -185,12 +199,18 @@ fn skel_forward(
 }
 
 /// SCC-Find with skeletons, iterative via an explicit worklist.
-fn skeleton_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec<Bdd>, BddError> {
+fn skeleton_sccs(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    x: Bdd,
+    iters: &mut usize,
+) -> Result<Vec<Bdd>, BddError> {
     let mut out = Vec::new();
     // (vertex set V, skeleton S, skeleton head N); invariant N ⊆ S ⊆ V and
     // S = ∅ ⟺ N = ∅.
     let mut work: Vec<(Bdd, Bdd, Bdd)> = vec![(x, Bdd::FALSE, Bdd::FALSE)];
     while let Some((v, s, n)) = work.pop() {
+        *iters += 1;
         if v.is_false() {
             continue;
         }
@@ -232,10 +252,16 @@ fn skeleton_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec
 
 // --- Lockstep (Bloem–Gabow–Somenzi) ---------------------------------------
 
-fn lockstep_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec<Bdd>, BddError> {
+fn lockstep_sccs(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    x: Bdd,
+    iters: &mut usize,
+) -> Result<Vec<Bdd>, BddError> {
     let mut out = Vec::new();
     let mut work: Vec<Bdd> = vec![x];
     while let Some(v) = work.pop() {
+        *iters += 1;
         if v.is_false() {
             continue;
         }
@@ -293,10 +319,16 @@ fn lockstep_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec
 
 // --- Xie–Beerel ------------------------------------------------------------
 
-fn xie_beerel_sccs(ctx: &mut SymbolicContext, relation: Bdd, x: Bdd) -> Result<Vec<Bdd>, BddError> {
+fn xie_beerel_sccs(
+    ctx: &mut SymbolicContext,
+    relation: Bdd,
+    x: Bdd,
+    iters: &mut usize,
+) -> Result<Vec<Bdd>, BddError> {
     let mut out = Vec::new();
     let mut work: Vec<Bdd> = vec![x];
     while let Some(v) = work.pop() {
+        *iters += 1;
         if v.is_false() {
             continue;
         }

@@ -55,6 +55,16 @@ for case in $CASES; do
 done
 client stats
 
+echo "== metrics scrape =="
+METRICS=$(client metrics)
+echo "$METRICS" | grep -q '^stsyn_jobs_accepted_total 3$' \
+    || { echo "FAIL: metrics did not count 3 accepted jobs" >&2; exit 1; }
+echo "$METRICS" | grep -q '^stsyn_jobs_completed_total 3$' \
+    || { echo "FAIL: metrics did not count 3 completed jobs" >&2; exit 1; }
+echo "$METRICS" | grep -q '^# TYPE stsyn_queue_depth gauge$' \
+    || { echo "FAIL: metrics exposition lacks TYPE lines" >&2; exit 1; }
+echo "OK: metrics verb serves Prometheus text"
+
 echo "== SIGKILL mid-job, restart, resume =="
 client submit --case coloring --n 20 >/dev/null   # long job -> id 4
 JOURNAL="$WORK/state/jobs/00000004/ckpt/journal.bin"
