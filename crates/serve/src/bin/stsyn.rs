@@ -19,7 +19,9 @@
 //!            [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]
 //! stsyn serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--state-dir DIR] [--print-addr]
-//! stsyn client --addr HOST:PORT submit (FILE | --case NAME --n N [--d D])
+//!             [--max-conns N] [--io-timeout SECS] [--quarantine-after K]
+//! stsyn client --addr HOST:PORT [--retries N] [--retry-base-ms MS]
+//!              submit (FILE | --case NAME --n N [--d D])
 //!              [--weak] [--schedule 1,2,3,0] [--priority P] [--timeout SECS]
 //!              [--max-nodes N] [--max-ticks N]
 //!              [--wait [--wait-secs S]] [--emit-dsl OUT.stsyn] [--quiet]
@@ -48,13 +50,23 @@
 //! The daemon applies the same machinery per job, which is what lets a
 //! `SIGKILL`ed daemon resume its in-flight jobs on restart.
 //!
+//! The daemon hardens itself against hostile or unlucky clients and
+//! jobs: `--max-conns` caps concurrent connections (excess ones get a
+//! typed `busy` rejection), `--io-timeout` reaps stalled or idle
+//! connections, and `--quarantine-after` moves a job that keeps crashing
+//! its worker into a durable quarantine instead of retrying it forever.
+//! The client retries transient failures (connection loss, `queue-full`,
+//! `busy`) with jittered exponential backoff — `--retries` bounds the
+//! attempts, `--retry-base-ms` sets the first delay, and idempotent
+//! submission keys make retried submits safe.
+//!
 //! Exit codes: 0 success, 1 synthesis failure (including a verification
 //! FAIL), 2 usage error, 3 input error (unreadable file, parse or type
 //! error), 4 resource budget exhausted (`--timeout` / `--max-nodes`),
 //! 5 checkpoint error (`--checkpoint-dir` unwritable, locked by a live
 //! process, or holding a journal from a different problem), 6 service
 //! connection or protocol error, 7 submission rejected by the daemon
-//! (queue full or shutting down).
+//! (queue full, connection cap, or shutting down).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -62,7 +74,9 @@ use stsyn_core::job::{JobCheckpoint, JobError, JobMode, JobReport, JobSpec};
 use stsyn_core::SynthesisError;
 use stsyn_obs::{TraceLevel, Tracer};
 use stsyn_protocol::dsl;
-use stsyn_serve::{Client, ClientError, Json, Server, ServerConfig, ShutdownMode, SubmitSpec};
+use stsyn_serve::{
+    Client, ClientError, Json, RetryPolicy, Server, ServerConfig, ShutdownMode, SubmitSpec,
+};
 use stsyn_symbolic::scc::SccAlgorithm;
 use stsyn_symbolic::Budget;
 
@@ -100,8 +114,10 @@ fn usage_text() -> &'static str {
      [--checkpoint-dir DIR] [--resume] \
      [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]\n\
      \x20      stsyn serve [--addr HOST:PORT] [--workers N] [--queue N] \
-     [--state-dir DIR] [--print-addr]\n\
-     \x20      stsyn client --addr HOST:PORT submit (FILE | --case NAME --n N [--d D]) \
+     [--state-dir DIR] [--print-addr] \
+     [--max-conns N] [--io-timeout SECS] [--quarantine-after K]\n\
+     \x20      stsyn client --addr HOST:PORT [--retries N] [--retry-base-ms MS] \
+     submit (FILE | --case NAME --n N [--d D]) \
      [--weak] [--priority P] [--wait] [--emit-dsl OUT.stsyn]\n\
      \x20      stsyn client --addr HOST:PORT status ID | result ID | cancel ID | stats | \
      metrics | shutdown [--mode drain|checkpoint]\n\
@@ -490,6 +506,34 @@ fn serve_main(argv: &[String]) -> Result<ExitCode, CliError> {
                     })?;
             }
             "--state-dir" => cfg.state_dir = flag_value(&mut it, "--state-dir")?.into(),
+            "--max-conns" => {
+                let v = flag_value(&mut it, "--max-conns")?;
+                cfg.max_conns = v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    CliError::usage(format!("--max-conns `{v}` is not a positive integer"))
+                })?;
+            }
+            "--io-timeout" => {
+                let v = flag_value(&mut it, "--io-timeout")?;
+                let secs =
+                    v.parse::<f64>().ok().filter(|&s| s >= 0.0 && s.is_finite()).ok_or_else(
+                        || {
+                            CliError::usage(format!(
+                                "--io-timeout `{v}` is not a non-negative number of seconds"
+                            ))
+                        },
+                    )?;
+                // 0 disables the socket deadlines.
+                cfg.io_timeout = Duration::from_secs_f64(secs);
+            }
+            "--quarantine-after" => {
+                let v = flag_value(&mut it, "--quarantine-after")?;
+                cfg.quarantine_after =
+                    v.parse::<u32>().ok().filter(|&k| k > 0).ok_or_else(|| {
+                        CliError::usage(format!(
+                            "--quarantine-after `{v}` is not a positive integer"
+                        ))
+                    })?;
+            }
             "--trace" => trace = Some(flag_value(&mut it, "--trace")?),
             "--trace-level" => {
                 trace_level = parse_trace_level(&flag_value(&mut it, "--trace-level")?)?;
@@ -520,9 +564,25 @@ fn serve_main(argv: &[String]) -> Result<ExitCode, CliError> {
 
 fn client_main(argv: &[String]) -> Result<ExitCode, CliError> {
     let mut addr: Option<String> = None;
+    let mut policy = RetryPolicy::default();
     let mut i = 0;
-    while i + 1 < argv.len() && argv[i] == "--addr" {
-        addr = Some(argv[i + 1].clone());
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = Some(argv[i + 1].clone()),
+            "--retries" => {
+                policy.max_retries = argv[i + 1]
+                    .parse::<u32>()
+                    .map_err(|_| CliError::usage("--retries needs a non-negative integer"))?;
+            }
+            "--retry-base-ms" => {
+                let ms =
+                    argv[i + 1].parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                        CliError::usage("--retry-base-ms needs a positive integer")
+                    })?;
+                policy.base_delay = Duration::from_millis(ms);
+            }
+            _ => break,
+        }
         i += 2;
     }
     let addr = addr.ok_or_else(|| CliError::usage("client needs --addr HOST:PORT"))?;
@@ -530,8 +590,8 @@ fn client_main(argv: &[String]) -> Result<ExitCode, CliError> {
         return Err(CliError::usage("client needs a verb"));
     };
     let args = &argv[i + 1..];
-    let mut client =
-        Client::connect(addr.as_str()).map_err(|e| CliError::Service(e.to_string()))?;
+    let mut client = Client::connect_with(addr.as_str(), policy)
+        .map_err(|e| CliError::Service(e.to_string()))?;
     match verb.as_str() {
         "submit" => client_submit(&mut client, args),
         "status" => {
@@ -591,7 +651,7 @@ fn map_client_err(e: ClientError) -> CliError {
     match e {
         ClientError::Rejected { code, message } => {
             let exit = match code.as_str() {
-                "queue-full" | "shutting-down" => EXIT_REJECTED,
+                "queue-full" | "busy" | "shutting-down" => EXIT_REJECTED,
                 "input-error" | "bad-request" | "bad-spec" | "unknown-job" => EXIT_INPUT,
                 "budget-exhausted" => EXIT_RESOURCES,
                 "checkpoint-error" => EXIT_CHECKPOINT,

@@ -1,0 +1,345 @@
+//! A deterministic, seeded chaos proxy for fault-injection testing of
+//! the wire protocol.
+//!
+//! [`ChaosProxy`] sits between a client and the daemon on loopback TCP
+//! and injects exactly one scripted fault into the **first** connection
+//! that passes through it; every later connection (a client's retry) is
+//! forwarded transparently. The fault — kind, direction and byte offset
+//! — is derived from a seed and a sweep point number by [`FaultPlan::
+//! derive`], so a failing sweep point reproduces exactly from its
+//! `(seed, point)` pair with no real randomness involved.
+//!
+//! The four fault kinds mirror the ways a real network hurts an NDJSON
+//! protocol:
+//!
+//! * [`Fault::Disconnect`] — the peer vanishes *between* frames (the cut
+//!   is deferred to the next `\n` boundary);
+//! * [`Fault::TornFrame`] — the peer vanishes *mid-frame*, leaving a
+//!   truncated JSON line on the other side;
+//! * [`Fault::SlowWrite`] — bytes dribble through one at a time for a
+//!   stretch (no loss; exercises timeouts that must *not* fire);
+//! * [`Fault::StalledRead`] — the stream freezes for longer than the
+//!   receiver's I/O deadline, then dies (exercises idle/stall reaping).
+//!
+//! The module also hosts [`XorShift64`], the dependency-free PRNG shared
+//! with the client's retry jitter.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A tiny xorshift* PRNG: deterministic, seedable, dependency-free.
+/// Quality is plenty for jitter and fault-plan derivation.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator (a zero seed is remapped — xorshift has a fixed
+    /// point at zero).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// What the proxy does to the victim connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Close both ends at the next frame boundary after the offset.
+    Disconnect,
+    /// Dribble the next stretch of bytes one at a time with a delay.
+    SlowWrite,
+    /// Cut mid-frame at exactly the offset, leaving a torn line.
+    TornFrame,
+    /// Freeze the stream for `stall`, then close it.
+    StalledRead,
+}
+
+/// Which half of the duplex stream the fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Requests: client bytes on their way to the daemon.
+    ClientToServer,
+    /// Responses: daemon bytes on their way back to the client.
+    ServerToClient,
+}
+
+/// One fully-determined fault: kind, direction, trigger offset, timing.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// The fault kind.
+    pub fault: Fault,
+    /// The direction it fires in.
+    pub direction: Direction,
+    /// Cumulative byte offset (in that direction) at which it fires.
+    pub offset: u64,
+    /// Freeze length for [`Fault::StalledRead`]; pick it longer than the
+    /// receiver's I/O deadline so the reap path actually triggers.
+    pub stall: Duration,
+    /// Per-byte delay for [`Fault::SlowWrite`].
+    pub slow: Duration,
+}
+
+impl FaultPlan {
+    /// Derive sweep point `point` of the seeded sweep `seed`. The same
+    /// pair always yields the same plan.
+    pub fn derive(seed: u64, point: u64, stall: Duration) -> FaultPlan {
+        let mut rng = XorShift64::new(seed ^ point.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 1);
+        let fault = match rng.below(4) {
+            0 => Fault::Disconnect,
+            1 => Fault::SlowWrite,
+            2 => Fault::TornFrame,
+            _ => Fault::StalledRead,
+        };
+        let direction =
+            if rng.below(2) == 0 { Direction::ClientToServer } else { Direction::ServerToClient };
+        // Submit requests and their responses are ~40–200 bytes, so most
+        // offsets land inside live traffic (an offset past the stream's
+        // total traffic simply never fires — a fault-free point).
+        let offset = rng.below(160);
+        FaultPlan { fault, direction, offset, stall, slow: Duration::from_millis(1 + rng.below(3)) }
+    }
+}
+
+/// The in-process chaos proxy. Stop it with [`ChaosProxy::stop`] (or let
+/// `Drop` signal its threads to wind down).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    fired: Arc<AtomicU64>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Listen on an ephemeral loopback port, forwarding every connection
+    /// to `upstream`; the first connection suffers `plan`'s fault.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let fired = Arc::new(AtomicU64::new(0));
+        let armed = Arc::new(AtomicBool::new(true));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let fired = Arc::clone(&fired);
+            std::thread::spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let Ok(server) = TcpStream::connect(upstream) else {
+                            continue; // upstream gone: drop the client too
+                        };
+                        // Only the first connection is the victim.
+                        let victim = armed.swap(false, Ordering::SeqCst);
+                        spawn_pumps(client, server, victim.then_some(plan), &fired);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            })
+        };
+        Ok(ChaosProxy { addr, stop, fired, acceptor: Some(acceptor) })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many faults have actually fired (0 or 1 per proxy — a plan
+    /// whose offset lies past the connection's traffic never triggers).
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting and join the acceptor (pump threads die with their
+    /// sockets).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Start the two per-direction pump threads for one proxied connection.
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    plan: Option<FaultPlan>,
+    fired: &Arc<AtomicU64>,
+) {
+    let (c2, s2) = match (client.try_clone(), server.try_clone()) {
+        (Ok(c), Ok(s)) => (c, s),
+        _ => return,
+    };
+    let up = plan.filter(|p| p.direction == Direction::ClientToServer);
+    let down = plan.filter(|p| p.direction == Direction::ServerToClient);
+    let f1 = Arc::clone(fired);
+    let f2 = Arc::clone(fired);
+    std::thread::spawn(move || pump(client, s2, up, &f1));
+    std::thread::spawn(move || pump(server, c2, down, &f2));
+}
+
+/// Copy bytes `from` → `to`, applying `plan`'s fault when the cumulative
+/// byte count crosses its offset. Exits on EOF, error, or a killing
+/// fault; both sockets are fully shut down on exit so the peer threads
+/// unblock too.
+fn pump(mut from: TcpStream, mut to: TcpStream, plan: Option<FaultPlan>, fired: &AtomicU64) {
+    let mut forwarded: u64 = 0;
+    let mut pending = plan;
+    // How many bytes of slow dribble remain once a SlowWrite fired.
+    let mut slow_left: u64 = 0;
+    let mut slow_delay = Duration::ZERO;
+    // A Disconnect waits for the next frame boundary after its offset.
+    let mut cut_at_newline = false;
+    let mut buf = [0u8; 512];
+    'outer: loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        let mut chunk = &buf[..n];
+        while !chunk.is_empty() {
+            // Fault trigger inside this chunk?
+            if let Some(p) = pending {
+                let until_fault = p.offset.saturating_sub(forwarded) as usize;
+                if until_fault < chunk.len() {
+                    // Forward the clean prefix first.
+                    let (clean, rest) = chunk.split_at(until_fault);
+                    if !clean.is_empty() && to.write_all(clean).is_err() {
+                        break 'outer;
+                    }
+                    forwarded += clean.len() as u64;
+                    pending = None;
+                    fired.fetch_add(1, Ordering::SeqCst);
+                    match p.fault {
+                        Fault::TornFrame => break 'outer, // cut mid-frame, now
+                        Fault::Disconnect => {
+                            cut_at_newline = true;
+                            chunk = rest;
+                            continue;
+                        }
+                        Fault::StalledRead => {
+                            std::thread::sleep(p.stall);
+                            break 'outer;
+                        }
+                        Fault::SlowWrite => {
+                            slow_left = 48;
+                            slow_delay = p.slow;
+                            chunk = rest;
+                            continue;
+                        }
+                    }
+                }
+            }
+            if cut_at_newline {
+                // Forward through the end of the current frame, then die.
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        let _ = to.write_all(&chunk[..=i]);
+                        break 'outer;
+                    }
+                    None => {
+                        if to.write_all(chunk).is_err() {
+                            break 'outer;
+                        }
+                        forwarded += chunk.len() as u64;
+                        break; // need more bytes to find the boundary
+                    }
+                }
+            } else if slow_left > 0 {
+                let take = (slow_left as usize).min(chunk.len());
+                for &b in &chunk[..take] {
+                    std::thread::sleep(slow_delay);
+                    if to.write_all(&[b]).is_err() {
+                        break 'outer;
+                    }
+                }
+                forwarded += take as u64;
+                slow_left -= take as u64;
+                chunk = &chunk[take..];
+            } else {
+                if to.write_all(chunk).is_err() {
+                    break 'outer;
+                }
+                forwarded += chunk.len() as u64;
+                break;
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_are_deterministic_and_cover_all_kinds() {
+        let stall = Duration::from_millis(100);
+        let a = FaultPlan::derive(42, 7, stall);
+        let b = FaultPlan::derive(42, 7, stall);
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.direction, b.direction);
+        assert_eq!(a.offset, b.offset);
+        let mut kinds = std::collections::HashSet::new();
+        let mut dirs = std::collections::HashSet::new();
+        for point in 0..64 {
+            let p = FaultPlan::derive(42, point, stall);
+            kinds.insert(format!("{:?}", p.fault));
+            dirs.insert(format!("{:?}", p.direction));
+            assert!(p.offset < 160);
+        }
+        assert_eq!(kinds.len(), 4, "64 points must exercise all four fault kinds");
+        assert_eq!(dirs.len(), 2);
+    }
+
+    #[test]
+    fn xorshift_streams_differ_by_seed_and_repeat_by_seed() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(1);
+        let mut c = XorShift64::new(2);
+        let (xs, ys, zs): (Vec<u64>, Vec<u64>, Vec<u64>) = (
+            (0..8).map(|_| a.next_u64()).collect(),
+            (0..8).map(|_| b.next_u64()).collect(),
+            (0..8).map(|_| c.next_u64()).collect(),
+        );
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        let mut z = XorShift64::new(0); // zero seed must not wedge at zero
+        assert_ne!(z.next_u64(), 0);
+    }
+}

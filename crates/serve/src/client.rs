@@ -1,12 +1,27 @@
 //! A blocking client for the job service, used by `stsyn client ...`,
 //! the loopback test-suite and the throughput bench.
+//!
+//! ## Resilience
+//!
+//! Transient failures — a refused or dropped connection, a `queue-full`
+//! or `busy` rejection, a read that hit the socket deadline — are
+//! retried with capped exponential backoff and jitter, up to
+//! [`RetryPolicy::max_retries`] times per request. Retrying a `submit`
+//! is safe because every logical submission carries an idempotency key
+//! (auto-derived per [`Client::submit`] call): if the first attempt
+//! reached the daemon and only the *response* was lost, the retry is
+//! answered with the already-admitted job id instead of enqueueing a
+//! duplicate. Permanent rejections (`input-error`, `unknown-job`,
+//! `quarantined`, ...) are never retried.
 
+use crate::chaos::XorShift64;
 use crate::json::Json;
 use crate::server::ShutdownMode;
 use crate::wire::SubmitSpec;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Why a client call failed.
@@ -17,7 +32,8 @@ pub enum ClientError {
     /// The server answered with something unparseable (or hung up).
     Protocol(String),
     /// The server refused the request; carries the wire error code
-    /// (`queue-full`, `input-error`, `unknown-job`, ...) and message.
+    /// (`queue-full`, `busy`, `input-error`, `unknown-job`, ...) and
+    /// message.
     Rejected {
         /// Machine-readable error code.
         code: String,
@@ -36,6 +52,17 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// Is this worth another attempt? Connection trouble, garbled frames
+    /// and explicit backpressure are transient; everything else is a
+    /// definitive answer.
+    fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Protocol(_) => true,
+            ClientError::Rejected { code, .. } => code == "queue-full" || code == "busy",
+            ClientError::Timeout => false,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -51,37 +78,209 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// One connection to a daemon; requests are serialized on it.
+/// Retry/backoff configuration for one [`Client`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Socket read/write deadline; `None` blocks forever (a `wait` on a
+    /// long job polls, so requests themselves are always short).
+    pub io_timeout: Option<Duration>,
+    /// Jitter seed; `None` seeds from time/pid (tests pin it for
+    /// reproducible schedules).
+    pub seed: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            io_timeout: Some(Duration::from_secs(30)),
+            seed: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail-fast policy: no retries, no socket deadline. The error the
+    /// daemon actually sent is what the caller sees.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            io_timeout: None,
+            seed: None,
+        }
+    }
+}
+
+fn auto_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) ^ d.as_secs())
+        .unwrap_or(0);
+    nanos
+        ^ (u64::from(std::process::id()) << 32)
+        ^ COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+}
+
+/// One connection to a daemon; requests are serialized on it. The client
+/// reconnects transparently when a retryable request finds the
+/// connection dead.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+    rng: XorShift64,
+    /// Salt for auto-derived idempotency keys: distinct per client, so
+    /// two clients submitting the same workload still get two jobs.
+    client_key: u64,
+    /// Logical-submission counter feeding the auto idempotency key.
+    seq: u64,
+    /// Transient failures retried so far (observability; the CLI and
+    /// tests read it).
+    retries: u64,
 }
 
 impl Client {
-    /// Connect to `addr` (e.g. `127.0.0.1:7411`).
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+    /// Connect to `addr` (e.g. `127.0.0.1:7411`) with the default retry
+    /// policy.
+    pub fn connect<A: ToSocketAddrs + ToString>(addr: A) -> Result<Client, ClientError> {
+        Client::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit retry policy. The initial dial itself is
+    /// retried under the policy, so racing a daemon's startup works.
+    pub fn connect_with<A: ToSocketAddrs + ToString>(
+        addr: A,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let seed = policy.seed.unwrap_or_else(auto_seed);
+        let mut rng = XorShift64::new(seed);
+        let client_key = rng.next_u64();
+        let mut client = Client {
+            addr: addr.to_string(),
+            policy,
+            conn: None,
+            rng,
+            client_key,
+            seq: 0,
+            retries: 0,
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            match client.dial() {
+                Ok(()) => return Ok(client),
+                Err(e) if attempt < client.policy.max_retries => {
+                    attempt += 1;
+                    client.retries += 1;
+                    let delay = client.backoff_delay(attempt);
+                    std::thread::sleep(delay);
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Transient failures retried by this client so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn dial(&mut self) -> Result<(), ClientError> {
+        let stream =
+            TcpStream::connect(self.addr.as_str()).map_err(|e| ClientError::Io(e.to_string()))?;
         stream.set_nodelay(true).ok();
+        if let Some(t) = self.policy.io_timeout {
+            stream.set_read_timeout(Some(t)).map_err(|e| ClientError::Io(e.to_string()))?;
+            stream.set_write_timeout(Some(t)).map_err(|e| ClientError::Io(e.to_string()))?;
+        }
         let reader =
             BufReader::new(stream.try_clone().map_err(|e| ClientError::Io(e.to_string()))?);
-        Ok(Client { reader, writer: stream })
+        self.conn = Some((reader, stream));
+        Ok(())
+    }
+
+    /// Exponential backoff with half-jitter: half the nominal delay is
+    /// deterministic, the other half uniformly random, so retrying
+    /// clients don't stampede in lockstep.
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .policy
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.max_delay);
+        let nanos = exp.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(nanos / 2 + self.rng.below(nanos / 2 + 1))
     }
 
     /// Send one request object, read one response object. Responses with
-    /// `"ok": false` surface as [`ClientError::Rejected`].
+    /// `"ok": false` surface as [`ClientError::Rejected`]. Transient
+    /// failures are retried per the policy, reconnecting as needed.
     pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.request_once(req);
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    // Connection state after an I/O or framing failure is
+                    // unknowable — and a `busy` rejection is followed by a
+                    // server-side close — so start the next attempt fresh.
+                    self.conn = None;
+                    let delay = self.backoff_delay(attempt);
+                    std::thread::sleep(delay);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn request_once(&mut self, req: &Json) -> Result<Json, ClientError> {
+        if self.conn.is_none() {
+            self.dial()?;
+        }
+        let (reader, writer) = self.conn.as_mut().expect("dial() just set the connection");
         let mut line = req.to_string();
         line.push('\n');
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let sent = writer.write_all(line.as_bytes()).and_then(|()| writer.flush());
+        if let Err(e) = sent {
+            self.conn = None;
+            return Err(ClientError::Io(e.to_string()));
+        }
         let mut resp = String::new();
-        let n = self.reader.read_line(&mut resp).map_err(|e| ClientError::Io(e.to_string()))?;
+        let n = match reader.read_line(&mut resp) {
+            Ok(n) => n,
+            Err(e) => {
+                self.conn = None;
+                return Err(ClientError::Io(e.to_string()));
+            }
+        };
         if n == 0 {
+            self.conn = None;
             return Err(ClientError::Protocol("server closed the connection".into()));
         }
-        let v = Json::parse(&resp).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let v = match Json::parse(&resp) {
+            Ok(v) => v,
+            Err(e) => {
+                self.conn = None;
+                return Err(ClientError::Protocol(e.to_string()));
+            }
+        };
         if v.get("ok").and_then(Json::as_bool) == Some(false) {
             return Err(ClientError::Rejected {
                 code: v.get("code").and_then(Json::as_str).unwrap_or("error").to_string(),
@@ -91,13 +290,35 @@ impl Client {
         Ok(v)
     }
 
-    /// Submit a job; returns its id.
+    /// Submit a job; returns its id. When the spec carries no explicit
+    /// idempotency key, one is derived for this call — stable across the
+    /// call's internal retries (no duplicate jobs when a response is
+    /// lost), distinct across calls (submitting the same workload twice
+    /// on purpose still yields two jobs).
     pub fn submit(&mut self, spec: &SubmitSpec) -> Result<u64, ClientError> {
+        let mut spec = spec.clone();
+        if spec.idem.is_none() {
+            self.seq += 1;
+            spec.idem = Some(crate::wire::fold_idem(
+                spec.fingerprint()
+                    ^ self.client_key.wrapping_add(self.seq).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
+        }
         let resp =
             self.request(&Json::obj(vec![("op", "submit".into()), ("job", spec.to_json())]))?;
         resp.get("id")
             .and_then(Json::as_u64)
             .ok_or_else(|| ClientError::Protocol("submit response lacks an id".into()))
+    }
+
+    /// Submit with content-addressed dedup: the idempotency key is the
+    /// spec's [`fingerprint`](SubmitSpec::fingerprint), so an identical
+    /// workload already known to the daemon — from any client, or from a
+    /// previous daemon via restart recovery — returns the existing id.
+    pub fn submit_dedup(&mut self, spec: &SubmitSpec) -> Result<u64, ClientError> {
+        let mut spec = spec.clone();
+        spec.idem = Some(spec.fingerprint());
+        self.submit(&spec)
     }
 
     /// Job status (`state`, timings).
@@ -146,8 +367,13 @@ impl Client {
 
     /// Poll until the job reaches a terminal state, then fetch its
     /// result. Cancelled jobs surface as `Rejected { code: "cancelled" }`.
+    /// Polling backs off exponentially from 5 ms to a 400 ms cap (with
+    /// jitter), so short jobs return promptly and long jobs don't get
+    /// hammered by status requests.
     pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<Json, ClientError> {
         let deadline = Instant::now() + timeout;
+        let mut delay = Duration::from_millis(5);
+        let cap = Duration::from_millis(400);
         loop {
             match self.state(id)?.as_str() {
                 "queued" | "running" => {}
@@ -156,7 +382,10 @@ impl Client {
             if Instant::now() >= deadline {
                 return Err(ClientError::Timeout);
             }
-            std::thread::sleep(Duration::from_millis(25));
+            let nanos = delay.as_nanos() as u64;
+            let jittered = Duration::from_nanos(nanos / 2 + self.rng.below(nanos / 2 + 1));
+            std::thread::sleep(jittered.min(deadline.saturating_duration_since(Instant::now())));
+            delay = (delay * 2).min(cap);
         }
     }
 }

@@ -26,8 +26,11 @@
 //!   worker), persistent state directory, restart recovery, and the
 //!   `submit` / `status` / `result` / `cancel` / `stats` / `shutdown`
 //!   verbs.
-//! * [`client`] — a blocking client for the wire protocol.
+//! * [`client`] — a blocking client for the wire protocol, with capped
+//!   exponential-backoff retry made safe by idempotent submission.
 //! * [`wire`] — the job-specification encoding shared by both sides.
+//! * [`chaos`] — a deterministic seeded chaos proxy for fault-injection
+//!   tests (disconnects, torn frames, slow writes, stalled reads).
 //! * [`json`] — the dependency-free JSON layer underneath it all.
 //!
 //! ## Durability contract
@@ -40,17 +43,29 @@
 //! crash harness sweeps). Cancellation is cooperative through the same
 //! [`stsyn_symbolic::Budget`] flags the CLI uses, honored within one
 //! budget tick-check interval.
+//!
+//! ## Self-healing
+//!
+//! The daemon is hardened against its own failure modes: socket
+//! deadlines and a connection cap bound hostile or stalled clients, a
+//! `catch_unwind` fence plus worker supervision survives panicking jobs,
+//! and a durable attempts ledger quarantines poison jobs instead of
+//! retrying them forever. The client heals transient faults with
+//! jittered exponential backoff; idempotency keys make those retries
+//! exactly-once. See `DESIGN.md`'s "Fault model & self-healing" section.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod queue;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use chaos::{ChaosProxy, Direction, Fault, FaultPlan, XorShift64};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
 pub use queue::{PriorityQueue, PushError};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownMode};
-pub use wire::{JobSource, SubmitSpec};
+pub use wire::{ChaosJob, JobSource, SubmitSpec};

@@ -7,12 +7,16 @@
 //!    schedule checked) *synchronously*, persisted to
 //!    `state/jobs/<id>/spec.json`, registered, and pushed into the bounded
 //!    priority queue. A full queue rejects the submission with a distinct
-//!    `queue-full` error — backpressure, never unbounded memory.
+//!    `queue-full` error — backpressure, never unbounded memory. A
+//!    submission carrying an idempotency key that the daemon has already
+//!    admitted is answered with the existing job id instead of a second
+//!    enqueue, which is what makes client-side retry safe.
 //! 2. **run** — a worker claims the job, attaches its cancel flag (plus
 //!    the server-wide checkpoint-shutdown flag) to the job's [`Budget`],
 //!    and runs it through [`stsyn_core::job::JobSpec::run`]. Strong jobs
 //!    checkpoint into `state/jobs/<id>/ckpt/`, so a killed daemon resumes
-//!    them on restart.
+//!    them on restart. Every attempt is fenced by `catch_unwind`: a
+//!    panicking job is recorded as a crash, not a lost worker.
 //! 3. **finish** — the result (success or failure) is written atomically
 //!    to `result.json`; a user cancellation leaves a `cancelled` marker.
 //!    Either file makes the job terminal across restarts.
@@ -24,6 +28,23 @@
 //! is re-enqueued — with `resume` semantics when a checkpoint journal
 //! exists, which replays the killed run's committed work and produces a
 //! result byte-identical to an uninterrupted run (PR 2's guarantee).
+//! Quarantined jobs (see below) are reloaded queryable but never re-run.
+//!
+//! ## Self-healing
+//!
+//! * Every accepted socket gets read/write deadlines; a stalled or idle
+//!   connection is reaped instead of pinning a handler thread forever.
+//! * Concurrent connection handlers are capped (`max_conns`); excess
+//!   connections get a typed `busy` rejection.
+//! * Each job attempt is appended to a durable `attempts.log` ledger in
+//!   its job directory (`start` / `done` / `cut` / `crash <msg>` lines).
+//!   An attempt that never closed — a panic, or a SIGKILL'd daemon that
+//!   died mid-run without a checkpoint cut — leaves its `start`
+//!   unmatched. A job accumulating `quarantine_after` suspect attempts is
+//!   moved to `state/quarantine/<id>/` and never retried again, so one
+//!   poison job cannot starve the pool across restarts.
+//! * A supervisor thread respawns worker threads killed by a panic that
+//!   escapes the job fence.
 //!
 //! ## Shutdown
 //!
@@ -35,13 +56,13 @@
 
 use crate::json::Json;
 use crate::queue::{PriorityQueue, PushError};
-use crate::wire::{SubmitSpec, MAX_REQUEST_BYTES};
+use crate::wire::{read_line_bounded, ChaosJob, SubmitSpec, MAX_REQUEST_BYTES};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use stsyn_core::job::{JobCheckpoint, JobError, JobMode};
@@ -54,6 +75,16 @@ const SPEC_FILE: &str = "spec.json";
 const RESULT_FILE: &str = "result.json";
 const CANCEL_MARKER: &str = "cancelled";
 const CKPT_DIR: &str = "ckpt";
+/// Durable per-attempt ledger (`start`/`done`/`cut`/`crash <msg>` lines).
+const ATTEMPTS_FILE: &str = "attempts.log";
+/// Marker + metadata written when a job is quarantined.
+const QUARANTINE_INFO: &str = "quarantine.json";
+/// Sibling of `jobs/` holding quarantined job directories.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Bounded pool of short-lived threads that answer `busy` to connections
+/// beyond `max_conns`; past this, excess sockets are simply dropped.
+const MAX_REJECTORS: usize = 8;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +95,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it are rejected.
     pub queue_capacity: usize,
+    /// Hard cap on concurrent connection-handler threads; connections
+    /// beyond it receive a typed `busy` rejection.
+    pub max_conns: usize,
+    /// Read/write deadline on every accepted socket; a connection idle
+    /// or stalled past it is reaped. Zero disables the deadlines.
+    pub io_timeout: Duration,
+    /// Quarantine a job once this many of its attempts died without a
+    /// clean finish (panic or daemon kill mid-run).
+    pub quarantine_after: u32,
     /// Persistent state directory (created if missing).
     pub state_dir: PathBuf,
     /// Tracer for daemon diagnostics and per-job spans. Defaults to
@@ -79,6 +119,9 @@ impl ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_capacity: 64,
+            max_conns: 64,
+            io_timeout: Duration::from_secs(30),
+            quarantine_after: 3,
             state_dir: state_dir.into(),
             tracer: Tracer::to_stderr(stsyn_obs::TraceLevel::Warn),
         }
@@ -110,6 +153,16 @@ pub struct Counters {
     pub cancelled: AtomicU64,
     /// In-flight jobs re-enqueued from a checkpoint journal at startup.
     pub resumed: AtomicU64,
+    /// Job attempts that panicked (caught by the worker's fence).
+    pub crashed: AtomicU64,
+    /// Jobs moved to quarantine by this daemon instance.
+    pub quarantined: AtomicU64,
+    /// Connections rejected at the `max_conns` cap.
+    pub conn_rejected: AtomicU64,
+    /// Dead worker threads respawned by the supervisor.
+    pub worker_respawns: AtomicU64,
+    /// Submissions answered from the idempotency map (no new job).
+    pub dedup_hits: AtomicU64,
     /// Largest per-job peak live BDD node count seen so far.
     pub peak_nodes_max: AtomicU64,
     /// Total milliseconds completed claims spent queued (wait time).
@@ -129,6 +182,9 @@ enum JobState {
     Cancelled,
     /// Cut by a checkpoint shutdown; will resume on the next start.
     Interrupted,
+    /// Poison job: crashed its worker too often; parked durably, never
+    /// retried.
+    Quarantined,
 }
 
 impl JobState {
@@ -140,6 +196,7 @@ impl JobState {
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
             JobState::Interrupted => "interrupted",
+            JobState::Quarantined => "quarantined",
         }
     }
 }
@@ -157,14 +214,34 @@ struct JobEntry {
     result: Option<Json>,
 }
 
+impl JobEntry {
+    fn new(spec: SubmitSpec) -> JobEntry {
+        JobEntry {
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            user_cancelled: false,
+            queued_at: Instant::now(),
+            queue_ms: None,
+            run_ms: None,
+            resumed: false,
+            result: None,
+        }
+    }
+}
+
 struct Shared {
     cfg: ServerConfig,
     queue: PriorityQueue<u64>,
     jobs: Mutex<HashMap<u64, JobEntry>>,
+    /// Idempotency key -> job id, for dedup of retried submissions.
+    idem: Mutex<HashMap<u64, u64>>,
     next_id: AtomicU64,
     counters: Counters,
     busy: AtomicUsize,
     live_workers: AtomicUsize,
+    /// Open (admitted) client connections, for the `max_conns` cap.
+    conns: AtomicUsize,
     stop: AtomicBool,
     shutdown_cancel: Arc<AtomicBool>,
     started: Instant,
@@ -173,6 +250,10 @@ struct Shared {
 impl Shared {
     fn job_dir(&self, id: u64) -> PathBuf {
         self.cfg.state_dir.join("jobs").join(format!("{id:08}"))
+    }
+
+    fn quarantine_dir(&self, id: u64) -> PathBuf {
+        self.cfg.state_dir.join(QUARANTINE_DIR).join(format!("{id:08}"))
     }
 
     fn begin_shutdown(&self, mode: ShutdownMode) {
@@ -187,13 +268,23 @@ impl Shared {
     }
 }
 
+/// Lock the job registry, recovering from a poisoned lock: a panicking
+/// worker must not take the whole registry (and thus the daemon) down.
+fn lock_jobs(shared: &Shared) -> MutexGuard<'_, HashMap<u64, JobEntry>> {
+    shared.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_idem(shared: &Shared) -> MutexGuard<'_, HashMap<u64, u64>> {
+    shared.idem.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A running daemon. Dropping the handle does **not** stop the server;
 /// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: JoinHandle<()>,
 }
 
 impl ServerHandle {
@@ -207,11 +298,9 @@ impl ServerHandle {
         self.shared.begin_shutdown(mode);
     }
 
-    /// Wait for workers and the acceptor to exit.
+    /// Wait for workers (via their supervisor) and the acceptor to exit.
     pub fn join(self) {
-        for w in self.workers {
-            let _ = w.join();
-        }
+        let _ = self.supervisor.join();
         let _ = self.acceptor.join();
     }
 }
@@ -221,7 +310,7 @@ pub struct Server;
 
 impl Server {
     /// Start the daemon: recover persisted jobs, bind the listener, and
-    /// spawn the worker pool and acceptor.
+    /// spawn the worker pool, its supervisor, and the acceptor.
     pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         let workers = cfg.workers.max(1);
         let queue_capacity = cfg.queue_capacity.max(1);
@@ -233,10 +322,12 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: PriorityQueue::new(queue_capacity),
             jobs: Mutex::new(HashMap::new()),
+            idem: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
             busy: AtomicUsize::new(0),
             live_workers: AtomicUsize::new(workers),
+            conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             shutdown_cancel: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
@@ -244,89 +335,159 @@ impl Server {
         });
         recover_jobs(&shared)?;
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    worker_loop(&shared);
-                    shared.live_workers.fetch_sub(1, Ordering::SeqCst);
-                })
-            })
-            .collect();
+        let worker_handles: Vec<JoinHandle<()>> =
+            (0..workers).map(|_| spawn_worker(&shared)).collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervise_workers(&shared, worker_handles))
+        };
 
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let shared = Arc::clone(&shared);
-                        std::thread::spawn(move || {
-                            let _ = handle_conn(&shared, stream);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        // Keep serving status/result queries while a drain
-                        // shutdown lets the workers finish; exit once they
-                        // are all gone.
-                        if shared.stop.load(Ordering::SeqCst)
-                            && shared.live_workers.load(Ordering::SeqCst) == 0
-                        {
-                            break;
+            std::thread::spawn(move || {
+                let rejectors = Arc::new(AtomicUsize::new(0));
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if shared.conns.load(Ordering::SeqCst) >= shared.cfg.max_conns.max(1) {
+                                reject_busy(&shared, stream, &rejectors);
+                                continue;
+                            }
+                            shared.conns.fetch_add(1, Ordering::SeqCst);
+                            let shared = Arc::clone(&shared);
+                            std::thread::spawn(move || {
+                                let _ = handle_conn(&shared, stream);
+                                shared.conns.fetch_sub(1, Ordering::SeqCst);
+                            });
                         }
-                        std::thread::sleep(Duration::from_millis(5));
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            // Keep serving status/result queries while a drain
+                            // shutdown lets the workers finish; exit once they
+                            // are all gone.
+                            if shared.stop.load(Ordering::SeqCst)
+                                && shared.live_workers.load(Ordering::SeqCst) == 0
+                            {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
                     }
-                    Err(_) => break,
                 }
             })
         };
 
-        Ok(ServerHandle { addr, shared, acceptor, workers: worker_handles })
+        Ok(ServerHandle { addr, shared, acceptor, supervisor })
     }
 }
 
-/// Reload the persistent state directory into the registry and queue.
-fn recover_jobs(shared: &Shared) -> io::Result<()> {
-    let jobs_dir = shared.cfg.state_dir.join("jobs");
+fn spawn_worker(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        // Decrement on *any* exit, clean or panicking, so the acceptor's
+        // drain condition and the supervisor both see the truth.
+        struct LiveGuard(Arc<Shared>);
+        impl Drop for LiveGuard {
+            fn drop(&mut self) {
+                self.0.live_workers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _live = LiveGuard(Arc::clone(&shared));
+        worker_loop(&shared);
+    })
+}
+
+/// Reap finished worker threads. Workers exit cleanly only when the
+/// queue is closed (shutdown); any earlier exit is a panic that escaped
+/// the job fence — respawn a replacement so the pool keeps its size.
+fn supervise_workers(shared: &Arc<Shared>, mut handles: Vec<JoinHandle<()>>) {
+    loop {
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let dead = handles.swap_remove(i);
+                let _ = dead.join();
+                // Recheck right before respawning: a shutdown that began
+                // after the worker died must win.
+                if !shared.stop.load(Ordering::SeqCst) {
+                    shared.live_workers.fetch_add(1, Ordering::SeqCst);
+                    shared.counters.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                    shared.cfg.tracer.warn(
+                        "serve.worker_respawn",
+                        &[("live", Json::from(shared.live_workers.load(Ordering::SeqCst) as u64))],
+                    );
+                    handles.push(spawn_worker(shared));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if handles.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn scan_job_ids(dir: &Path) -> io::Result<Vec<u64>> {
     let mut ids: Vec<u64> = Vec::new();
-    for entry in std::fs::read_dir(&jobs_dir)? {
+    for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         if let Some(id) = entry.file_name().to_str().and_then(|s| s.parse::<u64>().ok()) {
             ids.push(id);
         }
     }
     ids.sort_unstable();
+    Ok(ids)
+}
+
+fn load_spec(shared: &Shared, dir: &Path, id: u64) -> Option<SubmitSpec> {
+    let spec = std::fs::read_to_string(dir.join(SPEC_FILE))
+        .ok()
+        .and_then(|s| Json::parse(&s).ok())
+        .and_then(|v| SubmitSpec::from_json(&v).ok());
+    if spec.is_none() {
+        shared.cfg.tracer.warn(
+            "serve.unreadable_spec",
+            &[("job", Json::from(id)), ("message", Json::from("unreadable spec, skipping"))],
+        );
+    }
+    spec
+}
+
+/// Record a recovered job's idempotency key so a client retrying across
+/// a daemon restart still dedups onto the original id.
+fn remember_idem(shared: &Shared, spec: &SubmitSpec, id: u64) {
+    if let Some(key) = spec.idem {
+        lock_idem(shared).entry(key).or_insert(id);
+    }
+}
+
+/// Reload the persistent state directory into the registry and queue.
+fn recover_jobs(shared: &Shared) -> io::Result<()> {
     let mut max_id = 0;
-    for id in ids {
+
+    // Quarantined jobs: queryable, never re-enqueued.
+    let qdir = shared.cfg.state_dir.join(QUARANTINE_DIR);
+    if qdir.is_dir() {
+        for id in scan_job_ids(&qdir)? {
+            max_id = max_id.max(id);
+            let dir = qdir.join(format!("{id:08}"));
+            let Some(spec) = load_spec(shared, &dir, id) else { continue };
+            remember_idem(shared, &spec, id);
+            let mut entry = JobEntry::new(spec);
+            entry.state = JobState::Quarantined;
+            lock_jobs(shared).insert(id, entry);
+        }
+    }
+
+    let jobs_dir = shared.cfg.state_dir.join("jobs");
+    for id in scan_job_ids(&jobs_dir)? {
         max_id = max_id.max(id);
         let dir = shared.job_dir(id);
-        let spec = match std::fs::read_to_string(dir.join(SPEC_FILE))
-            .ok()
-            .and_then(|s| Json::parse(&s).ok())
-            .and_then(|v| SubmitSpec::from_json(&v).ok())
-        {
-            Some(s) => s,
-            None => {
-                shared.cfg.tracer.warn(
-                    "serve.unreadable_spec",
-                    &[
-                        ("job", Json::from(id)),
-                        ("message", Json::from("unreadable spec, skipping")),
-                    ],
-                );
-                continue;
-            }
-        };
-        let mut entry = JobEntry {
-            spec,
-            state: JobState::Queued,
-            cancel: Arc::new(AtomicBool::new(false)),
-            user_cancelled: false,
-            queued_at: Instant::now(),
-            queue_ms: None,
-            run_ms: None,
-            resumed: false,
-            result: None,
-        };
+        let Some(spec) = load_spec(shared, &dir, id) else { continue };
+        remember_idem(shared, &spec, id);
+        let mut entry = JobEntry::new(spec);
         if let Ok(text) = std::fs::read_to_string(dir.join(RESULT_FILE)) {
             if let Ok(result) = Json::parse(&text) {
                 entry.state = if result.get("ok").and_then(Json::as_bool).unwrap_or(false) {
@@ -335,24 +496,33 @@ fn recover_jobs(shared: &Shared) -> io::Result<()> {
                     JobState::Failed
                 };
                 entry.result = Some(result);
-                shared.jobs.lock().unwrap().insert(id, entry);
+                lock_jobs(shared).insert(id, entry);
                 continue;
             }
         }
         if dir.join(CANCEL_MARKER).exists() {
             entry.state = JobState::Cancelled;
-            shared.jobs.lock().unwrap().insert(id, entry);
+            lock_jobs(shared).insert(id, entry);
+            continue;
+        }
+        // A quarantine marker whose directory rename failed: treat it as
+        // quarantined in place.
+        if dir.join(QUARANTINE_INFO).exists() {
+            entry.state = JobState::Quarantined;
+            lock_jobs(shared).insert(id, entry);
             continue;
         }
         // Queued or in flight when the previous daemon died: re-enqueue.
         // A checkpoint journal means the run had started — it will resume
-        // from its committed prefix.
+        // from its committed prefix. The attempts ledger keeps counting
+        // across restarts, so a job that keeps killing daemons reaches
+        // quarantine instead of looping forever (checked at claim time).
         entry.resumed = dir.join(CKPT_DIR).join("journal.bin").exists();
         if entry.resumed {
             shared.counters.resumed.fetch_add(1, Ordering::Relaxed);
         }
         let priority = entry.spec.priority;
-        shared.jobs.lock().unwrap().insert(id, entry);
+        lock_jobs(shared).insert(id, entry);
         let _ = shared.queue.push_recovered(priority, id);
     }
     shared.next_id.store(max_id + 1, Ordering::SeqCst);
@@ -371,51 +541,226 @@ fn write_json_atomic(path: &Path, value: &Json) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-fn worker_loop(shared: &Shared) {
+/// Append one fsync'd line to the job's attempt ledger.
+fn append_attempt(dir: &Path, line: &str) -> io::Result<()> {
+    let mut f =
+        std::fs::OpenOptions::new().create(true).append(true).open(dir.join(ATTEMPTS_FILE))?;
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")?;
+    f.sync_all()
+}
+
+/// Attempts that died without a clean finish: `start` lines minus
+/// `done`/`cut` lines. A panic leaves its start unmatched (the `crash`
+/// line is diagnostic only), and so does a SIGKILL mid-run — which is
+/// exactly the set of attempts that should count toward quarantine.
+fn suspect_attempts(dir: &Path) -> u32 {
+    let Ok(text) = std::fs::read_to_string(dir.join(ATTEMPTS_FILE)) else { return 0 };
+    let mut open: i64 = 0;
+    for line in text.lines() {
+        match line.split_whitespace().next() {
+            Some("start") => open += 1,
+            Some("done" | "cut") => open -= 1,
+            _ => {}
+        }
+    }
+    open.max(0) as u32
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
     while let Some(id) = shared.queue.pop() {
-        // Claim the job; a cancel that won the race leaves it non-Queued.
-        let claimed = {
-            let mut jobs = shared.jobs.lock().unwrap();
-            match jobs.get_mut(&id) {
-                Some(e) if e.state == JobState::Queued => {
-                    e.state = JobState::Running;
-                    let queue_ms = e.queued_at.elapsed().as_millis() as u64;
-                    e.queue_ms = Some(queue_ms);
-                    Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed, queue_ms))
-                }
-                _ => None,
-            }
-        };
-        let Some((spec, cancel, resumed, queue_ms)) = claimed else { continue };
-        shared.counters.queue_wait_ms_total.fetch_add(queue_ms, Ordering::Relaxed);
-        shared.counters.queue_waited.fetch_add(1, Ordering::Relaxed);
-        shared.busy.fetch_add(1, Ordering::SeqCst);
-        let span = shared
-            .cfg
-            .tracer
-            .span_with("serve.job", &[("id", Json::from(id)), ("queue_ms", Json::from(queue_ms))]);
-        let started = Instant::now();
-        let finished = execute_job(shared, id, &spec, &cancel);
-        let run_ms = started.elapsed().as_millis() as u64;
-        span.close();
-        shared.counters.run_ms_total.fetch_add(run_ms, Ordering::Relaxed);
-        shared.busy.fetch_sub(1, Ordering::SeqCst);
-        record_finish(shared, id, resumed, run_ms, finished);
+        run_claimed(shared, id);
     }
 }
 
-enum Finished {
-    Done { result: Json, peak_nodes: u64 },
-    Failed { code: &'static str, message: String },
+/// Decrements `busy` when the attempt ends; while armed, also converts a
+/// panic unwinding through the worker thread into a recorded crash, so
+/// even a job that kills its worker (panic outside the fence) is retried
+/// or quarantined rather than silently stuck in `running`.
+struct JobGuard {
+    shared: Arc<Shared>,
+    id: u64,
+    armed: bool,
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self.shared.busy.fetch_sub(1, Ordering::SeqCst);
+        if self.armed {
+            handle_crash(&self.shared, self.id, "worker thread died mid-job");
+        }
+    }
+}
+
+/// Run one popped job id through claim, poison check, fenced execution
+/// and crash accounting.
+fn run_claimed(shared: &Arc<Shared>, id: u64) {
+    // Claim the job; a cancel that won the race leaves it non-Queued.
+    let claimed = {
+        let mut jobs = lock_jobs(shared);
+        match jobs.get_mut(&id) {
+            Some(e) if e.state == JobState::Queued => {
+                e.state = JobState::Running;
+                let queue_ms = e.queued_at.elapsed().as_millis() as u64;
+                e.queue_ms = Some(queue_ms);
+                Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed, queue_ms))
+            }
+            _ => None,
+        }
+    };
+    let Some((spec, cancel, resumed, queue_ms)) = claimed else { return };
+
+    // Poison check before burning another attempt on it.
+    let dir = shared.job_dir(id);
+    let suspect = suspect_attempts(&dir);
+    if suspect >= shared.cfg.quarantine_after.max(1) {
+        quarantine_job(shared, id, suspect);
+        return;
+    }
+    let _ = append_attempt(&dir, "start");
+
+    shared.counters.queue_wait_ms_total.fetch_add(queue_ms, Ordering::Relaxed);
+    shared.counters.queue_waited.fetch_add(1, Ordering::Relaxed);
+    shared.busy.fetch_add(1, Ordering::SeqCst);
+    let mut guard = JobGuard { shared: Arc::clone(shared), id, armed: true };
+    if spec.chaos_job() == Some(ChaosJob::LoseWorker) {
+        // Deliberately outside the fence: kills this worker thread, so
+        // the crash path *and* the supervisor respawn path both fire.
+        panic!("chaos: __lose_worker__ kills its worker thread");
+    }
+    let span = shared
+        .cfg
+        .tracer
+        .span_with("serve.job", &[("id", Json::from(id)), ("queue_ms", Json::from(queue_ms))]);
+    let started = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_job(shared, id, &spec, &cancel)
+    }));
+    let run_ms = started.elapsed().as_millis() as u64;
+    span.close();
+    shared.counters.run_ms_total.fetch_add(run_ms, Ordering::Relaxed);
+    guard.armed = false;
+    drop(guard);
+    match outcome {
+        Ok(outcome) => record_finish(shared, id, resumed, run_ms, outcome),
+        Err(payload) => handle_crash(shared, id, &panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record one crashed attempt; retry the job unless it just hit the
+/// quarantine threshold.
+fn handle_crash(shared: &Shared, id: u64, message: &str) {
+    shared.counters.crashed.fetch_add(1, Ordering::Relaxed);
+    let dir = shared.job_dir(id);
+    let one_line = message.replace('\n', " ");
+    let _ = append_attempt(&dir, &format!("crash {one_line}"));
+    shared.cfg.tracer.warn(
+        "serve.job_crashed",
+        &[("job", Json::from(id)), ("message", Json::from(one_line.as_str()))],
+    );
+    let suspect = suspect_attempts(&dir);
+    if suspect >= shared.cfg.quarantine_after.max(1) {
+        quarantine_job(shared, id, suspect);
+        return;
+    }
+    // Below the threshold: requeue for another attempt (resuming from
+    // the checkpoint journal when one exists).
+    let priority = {
+        let mut jobs = lock_jobs(shared);
+        match jobs.get_mut(&id) {
+            Some(e) => {
+                e.state = JobState::Queued;
+                e.queued_at = Instant::now();
+                e.resumed = dir.join(CKPT_DIR).join("journal.bin").exists();
+                Some(e.spec.priority)
+            }
+            None => None,
+        }
+    };
+    let Some(priority) = priority else { return };
+    if shared.queue.push_recovered(priority, id).is_err() {
+        // Queue already closed. A checkpoint shutdown parks the job for
+        // the next daemon; a drain must settle it now.
+        if shared.shutdown_cancel.load(Ordering::SeqCst) {
+            if let Some(e) = lock_jobs(shared).get_mut(&id) {
+                e.state = JobState::Interrupted;
+            }
+        } else {
+            record_finish(shared, id, false, 0, JobOutcome::Crashed { message: one_line });
+        }
+    }
+}
+
+/// Park a poison job durably: metadata marker, directory move to
+/// `state/quarantine/<id>/`, registry state, counter, trace event.
+fn quarantine_job(shared: &Shared, id: u64, crashes: u32) {
+    let dir = shared.job_dir(id);
+    let info = Json::obj(vec![
+        ("id", id.into()),
+        ("suspect_attempts", u64::from(crashes).into()),
+        ("reason", "crashed or killed its worker too many times".into()),
+    ]);
+    // The marker alone already quarantines the job (recovery honours it
+    // in place), so a failed rename cannot un-poison anything.
+    let _ = write_json_atomic(&dir.join(QUARANTINE_INFO), &info);
+    let qdir = shared.quarantine_dir(id);
+    if let Some(parent) = qdir.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::rename(&dir, &qdir);
+    if let Some(e) = lock_jobs(shared).get_mut(&id) {
+        e.state = JobState::Quarantined;
+    }
+    shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+    shared.cfg.tracer.warn(
+        "serve.job_quarantined",
+        &[("job", Json::from(id)), ("suspect_attempts", Json::from(u64::from(crashes)))],
+    );
+}
+
+enum JobOutcome {
+    Done {
+        result: Json,
+        peak_nodes: u64,
+    },
+    Failed {
+        code: &'static str,
+        message: String,
+    },
+    /// The job panicked; recorded so retry/quarantine accounting and the
+    /// stored result stay typed.
+    Crashed {
+        message: String,
+    },
     CancelledByUser,
     CutByShutdown,
 }
 
 /// Run one job under its budget and checkpoint directory.
-fn execute_job(shared: &Shared, id: u64, spec: &SubmitSpec, cancel: &Arc<AtomicBool>) -> Finished {
+fn execute_job(
+    shared: &Shared,
+    id: u64,
+    spec: &SubmitSpec,
+    cancel: &Arc<AtomicBool>,
+) -> JobOutcome {
+    if spec.chaos_job() == Some(ChaosJob::Crash) {
+        // Inside the catch_unwind fence: exercises crash recording,
+        // retry and quarantine without losing the worker thread.
+        panic!("chaos: __crash__ panics inside the job fence");
+    }
     let mut job = match spec.materialize() {
         Ok(j) => j,
-        Err(m) => return Finished::Failed { code: "input-error", message: m },
+        Err(m) => return JobOutcome::Failed { code: "input-error", message: m },
     };
     // Cancellation is always armed: the per-job flag (live `cancel` op)
     // and the server-wide checkpoint-shutdown flag.
@@ -430,7 +775,7 @@ fn execute_job(shared: &Shared, id: u64, spec: &SubmitSpec, cancel: &Arc<AtomicB
     if job.mode == JobMode::Strong {
         let ckpt = shared.job_dir(id).join(CKPT_DIR);
         if std::fs::create_dir_all(&ckpt).is_err() {
-            return Finished::Failed {
+            return JobOutcome::Failed {
                 code: "io-error",
                 message: format!("cannot create checkpoint dir {}", ckpt.display()),
             };
@@ -464,35 +809,39 @@ fn execute_job(shared: &Shared, id: u64, spec: &SubmitSpec, cancel: &Arc<AtomicB
                 ("protocol", report.emitted_dsl.as_str().into()),
                 ("stats", stats),
             ]);
-            Finished::Done { result, peak_nodes: s.peak_live_nodes as u64 }
+            JobOutcome::Done { result, peak_nodes: s.peak_live_nodes as u64 }
         }
         Err(JobError::Synthesis(SynthesisError::ResourceExhausted { cause, .. }))
             if cause.resource() == Resource::Cancelled =>
         {
             if cancel.load(Ordering::SeqCst) {
-                Finished::CancelledByUser
+                JobOutcome::CancelledByUser
             } else {
-                Finished::CutByShutdown
+                JobOutcome::CutByShutdown
             }
         }
         Err(JobError::Synthesis(e @ SynthesisError::ResourceExhausted { .. })) => {
-            Finished::Failed { code: "budget-exhausted", message: e.to_string() }
+            JobOutcome::Failed { code: "budget-exhausted", message: e.to_string() }
         }
         Err(JobError::Synthesis(SynthesisError::Checkpoint(e))) => {
-            Finished::Failed { code: "checkpoint-error", message: e.to_string() }
+            JobOutcome::Failed { code: "checkpoint-error", message: e.to_string() }
         }
         Err(JobError::Synthesis(e)) => {
-            Finished::Failed { code: "synthesis-failed", message: e.to_string() }
+            JobOutcome::Failed { code: "synthesis-failed", message: e.to_string() }
         }
-        Err(JobError::Input(m)) => Finished::Failed { code: "input-error", message: m },
-        Err(JobError::Spec(m)) => Finished::Failed { code: "bad-spec", message: m },
+        Err(JobError::Input(m)) => JobOutcome::Failed { code: "input-error", message: m },
+        Err(JobError::Spec(m)) => JobOutcome::Failed { code: "bad-spec", message: m },
     }
 }
 
-fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished: Finished) {
+fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished: JobOutcome) {
     let dir = shared.job_dir(id);
+    // Close this attempt in the ledger: `cut` keeps a checkpoint-cut run
+    // out of the suspect count without marking it clean-finished.
+    let closing = if matches!(finished, JobOutcome::CutByShutdown) { "cut" } else { "done" };
+    let _ = append_attempt(&dir, closing);
     let (state, result) = match finished {
-        Finished::Done { mut result, peak_nodes } => {
+        JobOutcome::Done { mut result, peak_nodes } => {
             if let Json::Obj(pairs) = &mut result {
                 pairs.push(("run_ms".into(), run_ms.into()));
                 pairs.push(("resumed".into(), resumed.into()));
@@ -502,28 +851,27 @@ fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished:
             shared.counters.peak_nodes_max.fetch_max(peak_nodes, Ordering::Relaxed);
             (JobState::Done, Some(result))
         }
-        Finished::Failed { code, message } => {
-            let result = Json::obj(vec![
-                ("ok", false.into()),
-                ("state", "failed".into()),
-                ("id", id.into()),
-                ("code", code.into()),
-                ("error", message.as_str().into()),
-                ("run_ms", run_ms.into()),
-            ]);
+        JobOutcome::Failed { code, message } => {
+            let result = failed_result(id, code, &message, run_ms);
             let _ = write_json_atomic(&dir.join(RESULT_FILE), &result);
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
             (JobState::Failed, Some(result))
         }
-        Finished::CancelledByUser => {
+        JobOutcome::Crashed { message } => {
+            let result = failed_result(id, "crashed", &message, run_ms);
+            let _ = write_json_atomic(&dir.join(RESULT_FILE), &result);
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            (JobState::Failed, Some(result))
+        }
+        JobOutcome::CancelledByUser => {
             let _ = std::fs::write(dir.join(CANCEL_MARKER), b"cancelled by client\n");
             shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             (JobState::Cancelled, None)
         }
         // Leave spec + checkpoint untouched: the next daemon resumes it.
-        Finished::CutByShutdown => (JobState::Interrupted, None),
+        JobOutcome::CutByShutdown => (JobState::Interrupted, None),
     };
-    let mut jobs = shared.jobs.lock().unwrap();
+    let mut jobs = lock_jobs(shared);
     if let Some(e) = jobs.get_mut(&id) {
         e.state = state;
         e.run_ms = Some(run_ms);
@@ -531,15 +879,82 @@ fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished:
     }
 }
 
+fn failed_result(id: u64, code: &str, message: &str, run_ms: u64) -> Json {
+    Json::obj(vec![
+        ("ok", false.into()),
+        ("state", "failed".into()),
+        ("id", id.into()),
+        ("code", code.into()),
+        ("error", message.into()),
+        ("run_ms", run_ms.into()),
+    ])
+}
+
+/// Reject one over-cap connection with a typed `busy` line, from a
+/// bounded pool of short-lived threads (beyond the pool, just drop).
+fn reject_busy(shared: &Arc<Shared>, stream: TcpStream, rejectors: &Arc<AtomicUsize>) {
+    shared.counters.conn_rejected.fetch_add(1, Ordering::Relaxed);
+    shared.cfg.tracer.warn(
+        "serve.conn_rejected",
+        &[("max_conns", Json::from(shared.cfg.max_conns.max(1) as u64))],
+    );
+    if rejectors.fetch_add(1, Ordering::SeqCst) >= MAX_REJECTORS {
+        rejectors.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    let limit = shared.cfg.max_conns.max(1);
+    let rejectors = Arc::clone(rejectors);
+    std::thread::spawn(move || {
+        let _ = busy_response(stream, limit);
+        rejectors.fetch_sub(1, Ordering::SeqCst);
+    });
+}
+
+/// Read one request line first — so the client's send completes and our
+/// answer is not destroyed by a TCP reset on unread data — then answer
+/// `busy` and close.
+fn busy_response(stream: TcpStream, max_conns: usize) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let _ = read_line_bounded(&mut reader, MAX_REQUEST_BYTES);
+    let mut writer = stream;
+    let resp =
+        err_response("busy", &format!("connection limit reached ({max_conns}); retry later"));
+    writer.write_all(resp.to_string().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
 /// One client connection: newline-delimited JSON requests in, one JSON
-/// response line per request out.
+/// response line per request out. Socket deadlines bound every read and
+/// write; a connection that idles or stalls past them is reaped.
 fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    if !shared.cfg.io_timeout.is_zero() {
+        stream.set_read_timeout(Some(shared.cfg.io_timeout))?;
+        stream.set_write_timeout(Some(shared.cfg.io_timeout))?;
+    }
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let Some(line) = read_line_bounded(&mut reader, MAX_REQUEST_BYTES)? else {
-            return Ok(()); // client closed
+        let line = match read_line_bounded(&mut reader, MAX_REQUEST_BYTES) {
+            Ok(None) => return Ok(()), // client closed
+            Ok(Some(line)) => line,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                return Ok(()); // idle or stalled past the deadline: reap
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized or non-UTF-8 frame: the framing is broken
+                // beyond recovery, but the error is still typed — answer
+                // once, then drop the connection.
+                let resp = err_response("bad-request", &e.to_string());
+                writer.write_all(resp.to_string().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         };
         if line.trim().is_empty() {
             continue;
@@ -552,20 +967,6 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
-}
-
-fn read_line_bounded(reader: &mut BufReader<TcpStream>, max: usize) -> io::Result<Option<String>> {
-    let mut buf = Vec::new();
-    let n = reader.by_ref().take(max as u64 + 1).read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if buf.last() != Some(&b'\n') && buf.len() > max {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "request line too long"));
-    }
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request is not UTF-8"))
 }
 
 fn err_response(code: &str, message: &str) -> Json {
@@ -602,7 +1003,33 @@ fn op_submit(shared: &Shared, req: &Json) -> Json {
     if let Err(m) = spec.materialize() {
         return err_response("input-error", &m);
     }
+    match spec.idem {
+        // Hold the idempotency lock across the whole admission so two
+        // racing resubmissions of one key cannot both enqueue.
+        Some(key) => {
+            let mut idem = lock_idem(shared);
+            if let Some(&existing) = idem.get(&key) {
+                shared.counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return Json::obj(vec![
+                    ("ok", true.into()),
+                    ("id", existing.into()),
+                    ("dedup", true.into()),
+                ]);
+            }
+            let resp = admit_job(shared, spec);
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                if let Some(id) = resp.get("id").and_then(Json::as_u64) {
+                    idem.insert(key, id);
+                }
+            }
+            resp
+        }
+        None => admit_job(shared, spec),
+    }
+}
 
+/// Persist, register and enqueue an already-validated submission.
+fn admit_job(shared: &Shared, spec: SubmitSpec) -> Json {
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     let dir = shared.job_dir(id);
     let persisted = std::fs::create_dir_all(&dir)
@@ -612,27 +1039,14 @@ fn op_submit(shared: &Shared, req: &Json) -> Json {
         return err_response("io-error", &format!("cannot persist job: {e}"));
     }
     let priority = spec.priority;
-    shared.jobs.lock().unwrap().insert(
-        id,
-        JobEntry {
-            spec,
-            state: JobState::Queued,
-            cancel: Arc::new(AtomicBool::new(false)),
-            user_cancelled: false,
-            queued_at: Instant::now(),
-            queue_ms: None,
-            run_ms: None,
-            resumed: false,
-            result: None,
-        },
-    );
+    lock_jobs(shared).insert(id, JobEntry::new(spec));
     match shared.queue.push(priority, id) {
         Ok(()) => {
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
             Json::obj(vec![("ok", true.into()), ("id", id.into())])
         }
         Err(kind) => {
-            shared.jobs.lock().unwrap().remove(&id);
+            lock_jobs(shared).remove(&id);
             let _ = std::fs::remove_dir_all(&dir);
             match kind {
                 PushError::Full => {
@@ -662,7 +1076,7 @@ fn op_status(shared: &Shared, req: &Json) -> Json {
         Ok(id) => id,
         Err(e) => return e,
     };
-    let jobs = shared.jobs.lock().unwrap();
+    let jobs = lock_jobs(shared);
     match jobs.get(&id) {
         None => err_response("unknown-job", &format!("no job {id}")),
         Some(e) => {
@@ -688,12 +1102,16 @@ fn op_result(shared: &Shared, req: &Json) -> Json {
         Ok(id) => id,
         Err(e) => return e,
     };
-    let jobs = shared.jobs.lock().unwrap();
+    let jobs = lock_jobs(shared);
     match jobs.get(&id) {
         None => err_response("unknown-job", &format!("no job {id}")),
         Some(e) => match (&e.state, &e.result) {
             (JobState::Done | JobState::Failed, Some(r)) => r.clone(),
             (JobState::Cancelled, _) => err_response("cancelled", "job was cancelled"),
+            (JobState::Quarantined, _) => err_response(
+                "quarantined",
+                "job crashed its worker too many times and was quarantined",
+            ),
             (JobState::Interrupted, _) => {
                 err_response("interrupted", "job was checkpointed by a shutdown; resubmit-free resume happens on the next daemon start")
             }
@@ -713,7 +1131,7 @@ fn op_cancel(shared: &Shared, req: &Json) -> Json {
         Ok(id) => id,
         Err(e) => return e,
     };
-    let mut jobs = shared.jobs.lock().unwrap();
+    let mut jobs = lock_jobs(shared);
     match jobs.get_mut(&id) {
         None => err_response("unknown-job", &format!("no job {id}")),
         Some(e) => {
@@ -746,6 +1164,11 @@ fn op_cancel(shared: &Shared, req: &Json) -> Json {
     }
 }
 
+/// Jobs currently parked in quarantine (registry scan).
+fn quarantined_now(shared: &Shared) -> usize {
+    lock_jobs(shared).values().filter(|e| e.state == JobState::Quarantined).count()
+}
+
 fn op_stats(shared: &Shared) -> Json {
     let c = &shared.counters;
     let busy = shared.busy.load(Ordering::SeqCst);
@@ -758,9 +1181,16 @@ fn op_stats(shared: &Shared) -> Json {
         ("failed", c.failed.load(Ordering::Relaxed).into()),
         ("cancelled", c.cancelled.load(Ordering::Relaxed).into()),
         ("resumed", c.resumed.load(Ordering::Relaxed).into()),
+        ("crashed", c.crashed.load(Ordering::Relaxed).into()),
+        ("quarantined", quarantined_now(shared).into()),
+        ("dedup_hits", c.dedup_hits.load(Ordering::Relaxed).into()),
+        ("conn_rejected", c.conn_rejected.load(Ordering::Relaxed).into()),
+        ("worker_respawns", c.worker_respawns.load(Ordering::Relaxed).into()),
+        ("conns", shared.conns.load(Ordering::SeqCst).into()),
         ("queue_depth", shared.queue.len().into()),
         ("running", busy.into()),
         ("workers", workers.into()),
+        ("live_workers", shared.live_workers.load(Ordering::SeqCst).into()),
         ("utilization", (busy as f64 / workers as f64).into()),
         ("peak_nodes_max", c.peak_nodes_max.load(Ordering::Relaxed).into()),
         ("queue_wait_ms_total", c.queue_wait_ms_total.load(Ordering::Relaxed).into()),
@@ -814,6 +1244,31 @@ fn op_metrics(shared: &Shared) -> Json {
         c.resumed.load(Ordering::Relaxed),
     )
     .counter(
+        "stsyn_jobs_crashed_total",
+        "Job attempts that panicked or killed their worker",
+        c.crashed.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_jobs_quarantined_total",
+        "Jobs moved to quarantine by this daemon",
+        c.quarantined.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_conns_rejected_total",
+        "Connections rejected at the connection cap",
+        c.conn_rejected.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_worker_respawns_total",
+        "Dead worker threads respawned by the supervisor",
+        c.worker_respawns.load(Ordering::Relaxed),
+    )
+    .counter(
+        "stsyn_submit_dedup_total",
+        "Submissions answered from the idempotency map",
+        c.dedup_hits.load(Ordering::Relaxed),
+    )
+    .counter(
         "stsyn_queue_wait_ms_total",
         "Milliseconds claimed jobs spent queued",
         c.queue_wait_ms_total.load(Ordering::Relaxed),
@@ -824,8 +1279,23 @@ fn op_metrics(shared: &Shared) -> Json {
         c.run_ms_total.load(Ordering::Relaxed),
     )
     .gauge("stsyn_queue_depth", "Jobs currently queued", shared.queue.len() as f64)
+    .gauge(
+        "stsyn_quarantined_jobs",
+        "Jobs currently parked in quarantine",
+        quarantined_now(shared) as f64,
+    )
+    .gauge(
+        "stsyn_conns_open",
+        "Open client connections",
+        shared.conns.load(Ordering::SeqCst) as f64,
+    )
     .gauge("stsyn_workers_busy", "Workers currently running a job", busy as f64)
     .gauge("stsyn_workers", "Worker pool size", workers as f64)
+    .gauge(
+        "stsyn_workers_live",
+        "Worker threads currently alive",
+        shared.live_workers.load(Ordering::SeqCst) as f64,
+    )
     .gauge("stsyn_worker_utilization", "Busy workers over pool size", busy as f64 / workers as f64)
     .gauge("stsyn_queue_wait_ms_avg", "Mean queue wait of claimed jobs", avg_wait_ms(c))
     .gauge(

@@ -11,6 +11,7 @@
 //! never shells out to the CLI).
 
 use crate::json::Json;
+use std::io::{self, BufRead, Read};
 use stsyn_core::job::{JobMode, JobSpec};
 use stsyn_symbolic::Budget;
 
@@ -20,6 +21,47 @@ pub const MAX_REQUEST_BYTES: usize = 4 << 20;
 pub const MAX_DSL_BYTES: usize = 1 << 20;
 /// Largest accepted `n` for parametric case studies.
 pub const MAX_CASE_SIZE: usize = 64;
+
+/// Read one newline-terminated frame, bounded at `max` bytes.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte. An over-long line
+/// or non-UTF-8 bytes surface as [`io::ErrorKind::InvalidData`] — a
+/// *typed* framing error the daemon answers with a `bad-request`
+/// response instead of panicking or buffering without bound. A final
+/// line without a trailing newline (a torn frame ending in EOF) is
+/// returned as-is and left to the JSON parser to reject.
+pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(max as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > max {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "request line too long"));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request is not UTF-8"))
+}
+
+/// Fold a 64-bit hash into the 53 bits an f64-backed JSON number
+/// round-trips exactly — idempotency keys cross the wire as numbers.
+pub(crate) fn fold_idem(h: u64) -> u64 {
+    (h ^ (h >> 53)) & ((1u64 << 53) - 1)
+}
+
+/// Reserved chaos-testing workloads (the `__crash__` / `__lose_worker__`
+/// case names): deterministic fault triggers the supervision layer is
+/// tested — and demonstrated — against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosJob {
+    /// The job panics inside the worker's `catch_unwind` fence: exercises
+    /// crash recording, retry and poison-job quarantine.
+    Crash,
+    /// The job panics *outside* the fence, killing its worker thread:
+    /// exercises worker respawn by the supervisor.
+    LoseWorker,
+}
 
 /// The workload of a submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +98,13 @@ pub struct SubmitSpec {
     pub max_nodes: Option<usize>,
     /// BDD operation tick ceiling.
     pub max_ticks: Option<u64>,
+    /// Idempotency key: resubmitting a key the daemon has already
+    /// accepted returns the existing job id instead of enqueueing a
+    /// duplicate, which is what makes client-side submit retries safe.
+    /// [`Client::submit`](crate::Client::submit) derives one per logical
+    /// submission; set it to [`SubmitSpec::fingerprint`] for
+    /// content-addressed dedup of identical workloads.
+    pub idem: Option<u64>,
 }
 
 impl SubmitSpec {
@@ -69,11 +118,44 @@ impl SubmitSpec {
             timeout_secs: None,
             max_nodes: None,
             max_ticks: None,
+            idem: None,
         }
     }
 
     /// Encode for the socket / the persistent spec file.
     pub fn to_json(&self) -> Json {
+        let mut pairs = self.content_pairs();
+        if let Some(k) = self.idem {
+            pairs.push(("idem", k.into()));
+        }
+        Json::obj(pairs)
+    }
+
+    /// The submission's content identity: a stable FNV-1a hash of its
+    /// canonical JSON encoding *excluding* the idempotency key, so the
+    /// same workload + knobs always fingerprint the same regardless of
+    /// which submission attempt carried it. Folded to 53 bits so the
+    /// value survives the wire's f64-backed JSON numbers exactly.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = Json::obj(self.content_pairs()).to_string();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        fold_idem(h)
+    }
+
+    /// The reserved chaos-testing workload this spec names, if any.
+    pub fn chaos_job(&self) -> Option<ChaosJob> {
+        match &self.source {
+            JobSource::Case { name, .. } if name == "__crash__" => Some(ChaosJob::Crash),
+            JobSource::Case { name, .. } if name == "__lose_worker__" => Some(ChaosJob::LoseWorker),
+            _ => None,
+        }
+    }
+
+    fn content_pairs(&self) -> Vec<(&'static str, Json)> {
         let mut pairs: Vec<(&str, Json)> = Vec::new();
         match &self.source {
             JobSource::Case { name, n, d } => {
@@ -103,7 +185,7 @@ impl SubmitSpec {
         if let Some(n) = self.max_ticks {
             pairs.push(("max_ticks", n.into()));
         }
-        Json::obj(pairs)
+        pairs
     }
 
     /// Decode a submission object, rejecting malformed fields with a
@@ -157,6 +239,9 @@ impl SubmitSpec {
         if let Some(n) = v.get("max_ticks") {
             spec.max_ticks = Some(n.as_u64().ok_or("`max_ticks` must be a non-negative integer")?);
         }
+        if let Some(k) = v.get("idem") {
+            spec.idem = Some(k.as_u64().ok_or("`idem` must be a non-negative integer")?);
+        }
         Ok(spec)
     }
 
@@ -193,6 +278,10 @@ impl SubmitSpec {
                 }
                 let d = if *d == 0 { 3 } else { *d };
                 let (p, i) = match name.as_str() {
+                    // Chaos self-test workloads: a real (tiny) problem so
+                    // the spec validates; the daemon's worker recognizes
+                    // the marker and panics at the scripted point.
+                    "__crash__" | "__lose_worker__" => stsyn_cases::coloring(n),
                     "coloring" => stsyn_cases::coloring(n),
                     "matching" => stsyn_cases::matching(n),
                     "token_ring" => stsyn_cases::token_ring(n, d),
@@ -230,6 +319,7 @@ mod tests {
         spec.timeout_secs = Some(1.5);
         spec.max_nodes = Some(100_000);
         spec.max_ticks = Some(42);
+        spec.idem = Some(0xFEED_F00D);
         let back = SubmitSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
 
@@ -275,6 +365,61 @@ mod tests {
             SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 });
         bad_sched.schedule = Some(vec![0, 0, 1]);
         assert!(bad_sched.materialize().is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_content_identity_not_submission_identity() {
+        let mut a = SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 });
+        let mut b = a.clone();
+        // The idempotency key is transport identity, not content identity.
+        a.idem = Some(1);
+        b.idem = Some(2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any content knob changes the fingerprint.
+        b.priority = 7;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let dsl = SubmitSpec::new(JobSource::Dsl("protocol X {\n}".into()));
+        assert_ne!(a.fingerprint(), dsl.fingerprint());
+    }
+
+    #[test]
+    fn chaos_markers_are_recognized_and_materialize() {
+        for (name, marker) in
+            [("__crash__", ChaosJob::Crash), ("__lose_worker__", ChaosJob::LoseWorker)]
+        {
+            let spec = SubmitSpec::new(JobSource::Case { name: name.into(), n: 3, d: 0 });
+            assert_eq!(spec.chaos_job(), Some(marker));
+            assert!(spec.materialize().is_ok(), "{name} must pass submit validation");
+        }
+        assert_eq!(case_spec().chaos_job(), None);
+    }
+
+    fn case_spec() -> SubmitSpec {
+        SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 })
+    }
+
+    #[test]
+    fn read_line_bounded_rejects_oversize_and_non_utf8_with_typed_errors() {
+        use std::io::{Cursor, ErrorKind};
+        let mut ok = Cursor::new(b"{\"op\":\"stats\"}\n".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut ok, 64).unwrap().as_deref(),
+            Some("{\"op\":\"stats\"}\n")
+        );
+        let mut eof = Cursor::new(Vec::new());
+        assert!(read_line_bounded(&mut eof, 64).unwrap().is_none());
+        // A torn final frame (EOF, no newline) within the bound comes
+        // back for the JSON parser to reject.
+        let mut torn = Cursor::new(b"{\"op\":".to_vec());
+        assert_eq!(read_line_bounded(&mut torn, 64).unwrap().as_deref(), Some("{\"op\":"));
+        // Over-long and non-UTF-8 are typed framing errors, not panics.
+        let mut long = Cursor::new(vec![b'a'; 100]);
+        assert_eq!(read_line_bounded(&mut long, 64).unwrap_err().kind(), ErrorKind::InvalidData);
+        let mut bad = Cursor::new(vec![0xFF, 0xFE, b'\n']);
+        assert_eq!(read_line_bounded(&mut bad, 64).unwrap_err().kind(), ErrorKind::InvalidData);
+        // Exactly at the bound, with its newline, still fits.
+        let mut exact = Cursor::new([vec![b'x'; 63], vec![b'\n']].concat());
+        assert_eq!(read_line_bounded(&mut exact, 64).unwrap().unwrap().len(), 64);
     }
 
     #[test]

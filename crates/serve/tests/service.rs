@@ -6,7 +6,8 @@ use std::io::BufRead;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use stsyn_serve::{
-    Client, ClientError, JobSource, Json, Server, ServerConfig, ShutdownMode, SubmitSpec,
+    Client, ClientError, JobSource, Json, RetryPolicy, Server, ServerConfig, ShutdownMode,
+    SubmitSpec,
 };
 
 /// Minimal self-cleaning temp dir (no external crate).
@@ -172,7 +173,9 @@ fn full_queue_rejects_with_distinct_error() {
     cfg.workers = 1;
     cfg.queue_capacity = 2;
     let (handle, addr) = start(cfg);
-    let mut client = Client::connect(addr).unwrap();
+    // Fail fast: this test asserts the *first* rejection, so the default
+    // retry-on-queue-full policy would hide what it is checking.
+    let mut client = Client::connect_with(addr, RetryPolicy::none()).unwrap();
 
     // A long job occupies the single worker...
     let blocker = client.submit(&case("coloring", 16)).unwrap();
@@ -296,6 +299,154 @@ fn drain_shutdown_finishes_queue_and_results_survive_restart() {
         assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
         assert_eq!(result.get("protocol").and_then(Json::as_str), Some(want.as_str()));
     }
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn panicking_job_lands_in_quarantine_while_pool_keeps_serving() {
+    let dir = tempdir::TempDir::new("quarantine");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 2;
+    cfg.quarantine_after = 2;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    // `__crash__` panics inside the worker's catch_unwind fence on every
+    // attempt; a healthy job rides along on the other worker.
+    let poison = client.submit(&case("__crash__", 3)).unwrap();
+    let healthy = client.submit(&case("coloring", 3)).unwrap();
+
+    poll_state(&mut client, poison, "quarantined", WAIT);
+    let result = client.wait(healthy, WAIT).unwrap();
+    assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+
+    match client.result(poison) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, "quarantined"),
+        other => panic!("expected a quarantined rejection, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("quarantined").and_then(Json::as_u64), Some(1), "stats: {stats}");
+    assert!(stats.get("crashed").and_then(Json::as_u64).unwrap() >= 2, "stats: {stats}");
+    // The job directory moved to the durable quarantine area.
+    let parked = dir.path.join("quarantine").join(format!("{poison:08}"));
+    assert!(parked.join("spec.json").exists(), "missing {}", parked.display());
+    assert!(parked.join("quarantine.json").exists());
+
+    let text = client.metrics().unwrap();
+    assert!(text.contains("stsyn_jobs_quarantined_total 1"), "{text}");
+    assert!(text.contains("stsyn_quarantined_jobs 1"), "{text}");
+
+    // A restart keeps the job parked — quarantine is what breaks the
+    // crash-on-recovery loop — and the daemon stays healthy.
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+    let (handle, addr) = start(ServerConfig::new(&dir.path));
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.state(poison).unwrap(), "quarantined");
+    let id = client.submit(&case("coloring", 3)).unwrap();
+    assert_eq!(client.wait(id, WAIT).unwrap().get("state").and_then(Json::as_str), Some("done"));
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn killed_worker_is_respawned_by_the_supervisor() {
+    let dir = tempdir::TempDir::new("respawn");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 1;
+    cfg.quarantine_after = 1;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    // `__lose_worker__` panics *outside* the fence: the worker thread
+    // dies with the job.
+    let killer = client.submit(&case("__lose_worker__", 3)).unwrap();
+    poll_state(&mut client, killer, "quarantined", WAIT);
+
+    // With a pool of one, this job only completes if the supervisor
+    // replaced the dead worker.
+    let id = client.submit(&case("coloring", 3)).unwrap();
+    let result = client.wait(id, WAIT).unwrap();
+    assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+    let stats = client.stats().unwrap();
+    assert!(stats.get("worker_respawns").and_then(Json::as_u64).unwrap() >= 1, "stats: {stats}");
+    assert_eq!(stats.get("live_workers").and_then(Json::as_u64), Some(1), "stats: {stats}");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_busy_and_retry_heals() {
+    let dir = tempdir::TempDir::new("busy");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 1;
+    cfg.max_conns = 1;
+    let (handle, addr) = start(cfg);
+
+    // The first client's answered request proves its handler holds the
+    // only slot before the second client dials.
+    let mut first = Client::connect_with(addr, RetryPolicy::none()).unwrap();
+    first.stats().unwrap();
+    let mut second = Client::connect_with(addr, RetryPolicy::none()).unwrap();
+    match second.stats() {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, "busy"),
+        other => panic!("expected a busy rejection, got {other:?}"),
+    }
+    let stats = first.stats().unwrap();
+    assert!(stats.get("conn_rejected").and_then(Json::as_u64).unwrap() >= 1, "stats: {stats}");
+    let text = first.metrics().unwrap();
+    assert!(text.contains("stsyn_conns_rejected_total"), "{text}");
+
+    // Once the slot frees, a retrying client gets through on its own.
+    drop(first);
+    let policy = RetryPolicy {
+        max_retries: 40,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        io_timeout: Some(Duration::from_secs(5)),
+        seed: Some(7),
+    };
+    let mut third = Client::connect_with(addr, policy).unwrap();
+    assert!(third.stats().is_ok());
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn idempotent_resubmission_dedups_to_one_job() {
+    let dir = tempdir::TempDir::new("idem");
+    let mut cfg = ServerConfig::new(&dir.path);
+    cfg.workers = 1;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    let spec = case("coloring", 3);
+    let a = client.submit_dedup(&spec).unwrap();
+    let b = client.submit_dedup(&spec).unwrap();
+    assert_eq!(a, b, "content-addressed resubmission must return the same job");
+    // Dedup is keyed on content, not connection: another client joins
+    // the same job.
+    let mut other = Client::connect(addr).unwrap();
+    assert_eq!(other.submit_dedup(&spec).unwrap(), a);
+    // Plain submits are distinct logical submissions and must NOT dedup.
+    let c = client.submit(&spec).unwrap();
+    assert_ne!(a, c);
+
+    assert_eq!(client.wait(a, WAIT).unwrap().get("state").and_then(Json::as_str), Some("done"));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("accepted").and_then(Json::as_u64), Some(2), "stats: {stats}");
+    assert!(stats.get("dedup_hits").and_then(Json::as_u64).unwrap() >= 2, "stats: {stats}");
+
+    // The idempotency map is rebuilt from spec.json on recovery, so
+    // dedup keeps working across a daemon restart.
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+    let (handle, addr) = start(ServerConfig::new(&dir.path));
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.submit_dedup(&spec).unwrap(), a);
     handle.shutdown(ShutdownMode::Drain);
     handle.join();
 }

@@ -1,0 +1,212 @@
+//! Fuzz-style table test for the NDJSON wire layer: malformed frames —
+//! truncated, oversized, interleaved, non-JSON, non-UTF-8 — must each
+//! produce a **typed** error response (or a clean connection drop where
+//! the framing is unrecoverable), never a panic, and must never wedge
+//! the daemon for the next well-formed client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+use stsyn_serve::{Client, Json, Server, ServerConfig, ShutdownMode};
+
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempDir {
+        pub path: PathBuf,
+    }
+
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "stsyn-fuzz-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+fn raw_conn(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+/// Read one NDJSON response line, tolerating a connection the server
+/// already dropped (returns `None`).
+fn read_response(stream: &TcpStream) -> Option<Json> {
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(Json::parse(line.trim_end()).expect("response must be valid JSON")),
+        Err(_) => None,
+    }
+}
+
+fn assert_typed_error(resp: &Json, table_entry: &str) {
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false), "{table_entry}: {resp}");
+    let code = resp.get("code").and_then(Json::as_str).unwrap_or_default();
+    assert_eq!(code, "bad-request", "{table_entry}: {resp}");
+    assert!(
+        resp.get("error").and_then(Json::as_str).is_some_and(|m| !m.is_empty()),
+        "{table_entry}: error message missing in {resp}"
+    );
+}
+
+/// The daemon must still serve a fresh well-formed client after every
+/// hostile frame — the real invariant the table is sweeping.
+fn assert_daemon_alive(addr: SocketAddr, table_entry: &str) {
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{table_entry}: daemon unhealthy after hostile frame"
+    );
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_never_wedge_the_daemon() {
+    let dir = tempdir::TempDir::new("table");
+    let handle = Server::start(ServerConfig::new(&dir.path)).unwrap();
+    let addr = handle.addr();
+
+    // Each entry: a hostile byte sequence and whether the server keeps
+    // the connection open afterwards (parse errors are recoverable; a
+    // broken framing layer is answered once, then dropped).
+    let table: &[(&str, &[u8], bool)] = &[
+        ("plain garbage text", b"this is not json\n", true),
+        ("non-object JSON scalar", b"42\n", true),
+        ("JSON array instead of object", b"[1,2,3]\n", true),
+        ("missing op field", b"{\"job\":{}}\n", true),
+        ("unknown op", b"{\"op\":\"explode\"}\n", true),
+        ("two objects interleaved in one frame", b"{\"op\":\"stats\"}{\"op\":\"stats\"}\n", true),
+        ("unterminated JSON object", b"{\"op\":\"stats\"\n", true),
+        ("non-UTF-8 bytes", b"{\"op\":\xff\xfe\"stats\"}\n", false),
+    ];
+
+    for &(name, bytes, conn_survives) in table {
+        let mut stream = raw_conn(addr);
+        stream.write_all(bytes).unwrap();
+        stream.flush().unwrap();
+        let resp = read_response(&stream)
+            .unwrap_or_else(|| panic!("{name}: expected a typed error response, got EOF"));
+        assert_typed_error(&resp, name);
+        if conn_survives {
+            // The same connection must recover and answer a valid request.
+            stream.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+            let resp = read_response(&stream)
+                .unwrap_or_else(|| panic!("{name}: connection died after recoverable error"));
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{name}: {resp}");
+        } else {
+            // Unrecoverable framing: after the one typed answer the
+            // server hangs up.
+            stream.write_all(b"{\"op\":\"stats\"}\n").ok();
+            let mut rest = Vec::new();
+            let _ = stream.try_clone().unwrap().take(4096).read_to_end(&mut rest);
+            assert!(
+                rest.is_empty(),
+                "{name}: expected the server to drop the connection, got {rest:?}"
+            );
+        }
+        assert_daemon_alive(addr, name);
+    }
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn truncated_frame_at_eof_is_rejected_not_executed() {
+    let dir = tempdir::TempDir::new("torn");
+    let handle = Server::start(ServerConfig::new(&dir.path)).unwrap();
+    let addr = handle.addr();
+
+    // A frame torn mid-submit with the write side closed: the server
+    // sees EOF before the newline and must reject the fragment — never
+    // guess at the intent of half a request.
+    let mut stream = raw_conn(addr);
+    stream.write_all(b"{\"op\":\"submit\",\"job\":{\"case\":\"coloring\",\"n\":3").unwrap();
+    stream.flush().unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let resp = read_response(&stream).expect("torn frame should get a typed reply");
+    assert_typed_error(&resp, "torn submit frame");
+
+    // Nothing was admitted.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("accepted").and_then(Json::as_u64), Some(0), "stats: {stats}");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn oversized_frame_is_refused_without_unbounded_buffering() {
+    let dir = tempdir::TempDir::new("oversize");
+    let handle = Server::start(ServerConfig::new(&dir.path)).unwrap();
+    let addr = handle.addr();
+
+    // 5 MiB of 'a' with no newline: past the 4 MiB frame cap the server
+    // answers with a typed error (or resets the connection while we are
+    // still writing the tail — both prove it stopped buffering).
+    let stream = raw_conn(addr);
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut wrote_all = true;
+    {
+        let mut w = stream.try_clone().unwrap();
+        for _ in 0..80 {
+            if w.write_all(&chunk).is_err() {
+                wrote_all = false;
+                break;
+            }
+        }
+    }
+    match read_response(&stream) {
+        Some(resp) => assert_typed_error(&resp, "oversized frame"),
+        None => assert!(
+            !wrote_all || read_response(&stream).is_none(),
+            "oversized frame: server neither answered nor hung up"
+        ),
+    }
+    assert_daemon_alive(addr, "oversized frame");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn blank_lines_are_skipped_not_answered() {
+    let dir = tempdir::TempDir::new("blank");
+    let handle = Server::start(ServerConfig::new(&dir.path)).unwrap();
+    let addr = handle.addr();
+
+    // Blank keep-alive lines before a real request: exactly one
+    // response must come back.
+    let mut stream = raw_conn(addr);
+    stream.write_all(b"\n\n  \n{\"op\":\"stats\"}\n").unwrap();
+    stream.flush().unwrap();
+    let resp = read_response(&stream).expect("stats after blank lines should be answered");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut rest = Vec::new();
+    let _ = stream.try_clone().unwrap().take(4096).read_to_end(&mut rest);
+    assert!(rest.is_empty(), "blank lines produced spurious responses: {rest:?}");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}

@@ -2,7 +2,10 @@
 # Service smoke test: drive a real `stsyn serve` daemon with the client
 # CLI against the repository's example protocols, diff every service
 # result against a direct single-shot run, and prove one SIGKILL +
-# restart cycle resumes to the identical bytes.
+# restart cycle resumes to the identical bytes. Also exercises the
+# self-healing paths: a poison job must quarantine without taking the
+# daemon down, and an over-cap connection must get a typed `busy`
+# rejection (client exit code 7).
 #
 # Usage: scripts/service_smoke.sh [path-to-stsyn-binary]
 set -euo pipefail
@@ -18,7 +21,7 @@ trap cleanup EXIT
 
 start_daemon() {
     "$STSYN" serve --addr 127.0.0.1:0 --workers 2 --state-dir "$WORK/state" \
-        --print-addr >"$WORK/daemon.out" &
+        --quarantine-after 2 --print-addr >"$WORK/daemon.out" &
     DAEMON_PID=$!
     for _ in $(seq 1 100); do
         ADDR=$(sed -n 's/^listening on //p' "$WORK/daemon.out")
@@ -65,9 +68,32 @@ echo "$METRICS" | grep -q '^# TYPE stsyn_queue_depth gauge$' \
     || { echo "FAIL: metrics exposition lacks TYPE lines" >&2; exit 1; }
 echo "OK: metrics verb serves Prometheus text"
 
+echo "== poison job: crashes its worker, lands in quarantine =="
+client submit --case __crash__ --n 3 >/dev/null   # deliberate panic -> id 4
+QSTATE=""
+for _ in $(seq 1 200); do
+    QSTATE=$(client status 4 | sed 's/^job 4: //')
+    [ "$QSTATE" = "quarantined" ] && break
+    sleep 0.05
+done
+[ "$QSTATE" = "quarantined" ] \
+    || { echo "FAIL: poison job stuck in state $QSTATE, expected quarantined" >&2; exit 1; }
+[ -f "$WORK/state/quarantine/00000004/quarantine.json" ] \
+    || { echo "FAIL: quarantined job dir was not moved aside" >&2; exit 1; }
+client stats | grep -q "quarantined *1" \
+    || { echo "FAIL: stats did not count the quarantined job" >&2; exit 1; }
+client metrics | grep -q '^stsyn_jobs_quarantined_total 1$' \
+    || { echo "FAIL: metrics did not count the quarantined job" >&2; exit 1; }
+# The pool must still serve after eating the poison job.
+client submit "examples/protocols/coloring5.stsyn" --wait --quiet \
+    --emit-dsl "$WORK/coloring5.after-poison.stsyn" >/dev/null
+diff -q "$WORK/coloring5.direct.stsyn" "$WORK/coloring5.after-poison.stsyn" >/dev/null \
+    || { echo "FAIL: post-quarantine result differs from the direct run" >&2; exit 1; }
+echo "OK: poison job quarantined after 2 crashes; pool kept serving"
+
 echo "== SIGKILL mid-job, restart, resume =="
-client submit --case coloring --n 20 >/dev/null   # long job -> id 4
-JOURNAL="$WORK/state/jobs/00000004/ckpt/journal.bin"
+client submit --case coloring --n 20 >/dev/null   # long job -> id 6
+JOURNAL="$WORK/state/jobs/00000006/ckpt/journal.bin"
 for _ in $(seq 1 200); do
     [ -f "$JOURNAL" ] && break
     sleep 0.05
@@ -79,15 +105,18 @@ DAEMON_PID=""
 
 : >"$WORK/daemon.out"
 start_daemon
-client result 4 >/dev/null 2>&1 || true   # may still be resuming
+client result 6 >/dev/null 2>&1 || true   # may still be resuming
 for _ in $(seq 1 600); do
-    STATE=$(client status 4 | sed 's/^job 4: //')
+    STATE=$(client status 6 | sed 's/^job 6: //')
     [ "$STATE" = "done" ] && break
     sleep 0.5
 done
 [ "$STATE" = "done" ] || { echo "FAIL: resumed job stuck in state $STATE" >&2; exit 1; }
-client result 4 --quiet --emit-dsl "$WORK/coloring20.resumed.stsyn" >/dev/null
+client result 6 --quiet --emit-dsl "$WORK/coloring20.resumed.stsyn" >/dev/null
 "$STSYN" "examples/protocols/coloring5.stsyn" --quiet >/dev/null  # sanity: CLI still fine
+# Quarantine state must survive the restart too.
+[ "$(client status 4 | sed 's/^job 4: //')" = "quarantined" ] \
+    || { echo "FAIL: quarantine did not survive the restart" >&2; exit 1; }
 
 # Reference: direct run of the same case via the client-equivalent spec.
 "$STSYN" client --addr "$ADDR" stats | grep -q "resumed *1" \
@@ -99,6 +128,39 @@ if ! diff -q "$WORK/coloring20.resumed.stsyn" "$WORK/coloring20.fresh.stsyn" >/d
     exit 1
 fi
 echo "OK: killed-and-resumed job byte-identical to uninterrupted run"
+
+client shutdown --mode drain >/dev/null
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "== connection cap: over-cap client gets a typed busy rejection =="
+"$STSYN" serve --addr 127.0.0.1:0 --workers 1 --max-conns 1 \
+    --state-dir "$WORK/state-busy" --print-addr >"$WORK/daemon-busy.out" &
+DAEMON_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$WORK/daemon-busy.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: busy daemon never printed its address" >&2; exit 1; }
+# Pin the single connection slot with a raw idle socket...
+exec 9<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+sleep 0.2
+# ...then a fail-fast client must be rejected with `busy` and exit 7.
+set +e
+BUSY_ERR=$(client --retries 0 stats 2>&1 >/dev/null)
+BUSY_CODE=$?
+set -e
+[ "$BUSY_CODE" -eq 7 ] \
+    || { echo "FAIL: over-cap client exited $BUSY_CODE, expected 7" >&2; exit 1; }
+echo "$BUSY_ERR" | grep -qi "busy" \
+    || { echo "FAIL: rejection was not typed busy: $BUSY_ERR" >&2; exit 1; }
+exec 9>&- 9<&-
+sleep 0.2
+client stats >/dev/null \
+    || { echo "FAIL: daemon unhealthy after freeing the connection slot" >&2; exit 1; }
+echo "OK: connection cap rejected with typed busy; slot freed cleanly"
 
 client shutdown --mode drain >/dev/null
 wait "$DAEMON_PID" 2>/dev/null || true
