@@ -1,26 +1,41 @@
-//! `service_throughput` — measure the job service's end-to-end overhead.
+//! `service_throughput` — a closed-loop load generator for the job
+//! service, single daemons and routed fleets alike.
 //!
 //! ```text
 //! cargo run --release -p stsyn-bench --bin service_throughput [-- --fast]
 //! ```
 //!
-//! For each worker-pool size the harness starts an in-process daemon,
-//! floods it with a batch of small synthesis jobs from concurrent client
-//! connections, and records wall-clock throughput (jobs/sec) plus queue
-//! latency (the time a job sat queued before a worker claimed it, as
-//! reported by the `status` verb). The series lands in
-//! `results/service_throughput.csv`.
+//! Each topology is flooded by concurrent clients that loop
+//! submit→wait over small synthesis jobs. The harness records
+//! wall-clock throughput (jobs/sec), queue latency (time a job sat
+//! queued before a worker claimed it, from the `status` verb), and
+//! end-to-end submit→result latency per job (p50/p99 across the whole
+//! batch). Topologies:
+//!
+//! * `direct` — one in-process daemon, worker pools of 1/2/4;
+//! * `routed` — a `stsyn route` front door consistent-hashing the same
+//!   load across 2 or 3 single-worker in-process shards, measuring what
+//!   the fleet hop costs and what sharding buys.
+//!
+//! The series lands in `results/service_throughput.csv`.
 
-use std::time::Instant;
-use stsyn_serve::{Client, JobSource, Json, Server, ServerConfig, ShutdownMode, SubmitSpec};
+use std::time::{Duration, Instant};
+use stsyn_serve::{
+    Client, JobSource, Json, Router, RouterConfig, Server, ServerConfig, ShutdownMode, SubmitSpec,
+};
 
 struct Row {
+    topology: &'static str,
+    shards: usize,
     workers: usize,
     jobs: usize,
+    clients: usize,
     wall_secs: f64,
     jobs_per_sec: f64,
     mean_queue_ms: f64,
     p95_queue_ms: u64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
 }
 
 fn main() {
@@ -31,62 +46,141 @@ fn main() {
 
     let mut rows = Vec::new();
     for workers in [1, 2, 4] {
-        eprintln!("service_throughput: {workers} worker(s), {jobs} jobs…");
-        rows.push(run_batch(workers, jobs, clients));
+        eprintln!("service_throughput: direct, {workers} worker(s), {jobs} jobs…");
+        rows.push(run_direct(workers, jobs, clients));
+    }
+    for shards in [2, 3] {
+        eprintln!("service_throughput: routed, {shards} shard(s), {jobs} jobs…");
+        rows.push(run_routed(shards, jobs, clients));
     }
 
-    let mut csv = String::from("workers,jobs,wall_secs,jobs_per_sec,mean_queue_ms,p95_queue_ms\n");
+    let mut csv = String::from(
+        "topology,shards,workers,jobs,clients,wall_secs,jobs_per_sec,\
+         mean_queue_ms,p95_queue_ms,p50_latency_ms,p99_latency_ms\n",
+    );
     println!(
-        "{:<8} {:<6} {:<10} {:<10} {:<14} p95_queue_ms",
-        "workers", "jobs", "wall_s", "jobs/s", "mean_queue_ms"
+        "{:<8} {:<7} {:<8} {:<6} {:<10} {:<8} {:<14} {:<13} {:<15} p99_latency_ms",
+        "topology",
+        "shards",
+        "workers",
+        "jobs",
+        "wall_s",
+        "jobs/s",
+        "mean_queue_ms",
+        "p95_queue_ms",
+        "p50_latency_ms"
     );
     for r in &rows {
         println!(
-            "{:<8} {:<6} {:<10.3} {:<10.1} {:<14.1} {}",
-            r.workers, r.jobs, r.wall_secs, r.jobs_per_sec, r.mean_queue_ms, r.p95_queue_ms
+            "{:<8} {:<7} {:<8} {:<6} {:<10.3} {:<8.1} {:<14.1} {:<13} {:<15.1} {:.1}",
+            r.topology,
+            r.shards,
+            r.workers,
+            r.jobs,
+            r.wall_secs,
+            r.jobs_per_sec,
+            r.mean_queue_ms,
+            r.p95_queue_ms,
+            r.p50_latency_ms,
+            r.p99_latency_ms
         );
         csv.push_str(&format!(
-            "{},{},{:.4},{:.2},{:.2},{}\n",
-            r.workers, r.jobs, r.wall_secs, r.jobs_per_sec, r.mean_queue_ms, r.p95_queue_ms
+            "{},{},{},{},{},{:.4},{:.2},{:.2},{},{:.2},{:.2}\n",
+            r.topology,
+            r.shards,
+            r.workers,
+            r.jobs,
+            r.clients,
+            r.wall_secs,
+            r.jobs_per_sec,
+            r.mean_queue_ms,
+            r.p95_queue_ms,
+            r.p50_latency_ms,
+            r.p99_latency_ms
         ));
     }
     std::fs::write("results/service_throughput.csv", csv).expect("write csv");
     eprintln!("series written to results/service_throughput.csv");
 }
 
-fn run_batch(workers: usize, jobs: usize, clients: usize) -> Row {
-    let state_dir =
-        std::env::temp_dir().join(format!("stsyn-throughput-{}-{}", std::process::id(), workers));
-    let _ = std::fs::remove_dir_all(&state_dir);
-    let mut cfg = ServerConfig::new(&state_dir);
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stsyn-throughput-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_direct(workers: usize, jobs: usize, clients: usize) -> Row {
+    let dir = state_dir(&format!("direct-{workers}"));
+    let mut cfg = ServerConfig::new(&dir);
     cfg.workers = workers;
     cfg.queue_capacity = jobs + 8;
     let handle = Server::start(cfg).expect("start daemon");
-    let addr = handle.addr();
 
-    // Concurrent clients submit their share of the batch, then each waits
-    // for its own jobs — the daemon is saturated the whole time.
+    let (row_core, _) = drive(handle.addr(), jobs, clients);
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    Row { topology: "direct", shards: 1, workers, ..row_core }
+}
+
+fn run_routed(shards: usize, jobs: usize, clients: usize) -> Row {
+    let dir = state_dir(&format!("routed-{shards}"));
+    let handles: Vec<_> = (0..shards)
+        .map(|i| {
+            let mut cfg = ServerConfig::new(dir.join(format!("shard{i}")));
+            cfg.workers = 1;
+            cfg.queue_capacity = jobs + 8;
+            Server::start(cfg).expect("start shard")
+        })
+        .collect();
+    let cfg = RouterConfig::new(handles.iter().map(|h| h.addr().to_string()).collect());
+    let router = Router::start(cfg).expect("start router");
+
+    let (row_core, _) = drive(router.addr(), jobs, clients);
+    router.shutdown();
+    router.join();
+    for h in handles {
+        h.shutdown(ShutdownMode::Drain);
+        h.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Row { topology: "routed", shards, workers: shards, ..row_core }
+}
+
+/// Closed-loop drive: each client loops submit→wait over its share of
+/// the batch, timing every job end to end. Works identically against a
+/// daemon and a router (same wire protocol).
+fn drive(addr: std::net::SocketAddr, jobs: usize, clients: usize) -> (Row, Vec<u64>) {
     let started = Instant::now();
-    let ids: Vec<u64> = std::thread::scope(|scope| {
+    let per_job: Vec<(u64, f64)> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for c in 0..clients {
             let share = jobs / clients + usize::from(c < jobs % clients);
             joins.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 let spec = SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 });
-                let ids: Vec<u64> =
-                    (0..share).map(|_| client.submit(&spec).expect("submit")).collect();
-                for &id in &ids {
-                    client.wait(id, std::time::Duration::from_secs(600)).expect("job result");
-                }
-                ids
+                (0..share)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        let id = client.submit(&spec).expect("submit");
+                        client.wait(id, Duration::from_secs(600)).expect("job result");
+                        (id, t0.elapsed().as_secs_f64() * 1e3)
+                    })
+                    .collect::<Vec<(u64, f64)>>()
             }));
         }
         joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
     });
     let wall_secs = started.elapsed().as_secs_f64();
 
-    // Queue latency: how long each job sat before a worker claimed it.
+    let ids: Vec<u64> = per_job.iter().map(|&(id, _)| id).collect();
+    let mut latency_ms: Vec<f64> = per_job.iter().map(|&(_, l)| l).collect();
+    latency_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50_latency_ms = latency_ms[latency_ms.len().saturating_sub(1) / 2];
+    let p99_latency_ms = latency_ms[(latency_ms.len().saturating_sub(1)) * 99 / 100];
+
+    // Queue latency: how long each job sat before a worker claimed it
+    // (`status` proxies shard-aware through a router).
     let mut client = Client::connect(addr).expect("connect");
     let mut queue_ms: Vec<u64> = ids
         .iter()
@@ -98,16 +192,20 @@ fn run_batch(workers: usize, jobs: usize, clients: usize) -> Row {
     let mean_queue_ms = queue_ms.iter().sum::<u64>() as f64 / queue_ms.len().max(1) as f64;
     let p95_queue_ms = queue_ms[(queue_ms.len().saturating_sub(1)) * 95 / 100];
 
-    handle.shutdown(ShutdownMode::Drain);
-    handle.join();
-    let _ = std::fs::remove_dir_all(&state_dir);
-
-    Row {
-        workers,
-        jobs,
-        wall_secs,
-        jobs_per_sec: jobs as f64 / wall_secs,
-        mean_queue_ms,
-        p95_queue_ms,
-    }
+    (
+        Row {
+            topology: "direct",
+            shards: 0,
+            workers: 0,
+            jobs,
+            clients,
+            wall_secs,
+            jobs_per_sec: jobs as f64 / wall_secs,
+            mean_queue_ms,
+            p95_queue_ms,
+            p50_latency_ms,
+            p99_latency_ms,
+        },
+        ids,
+    )
 }

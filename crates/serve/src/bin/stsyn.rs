@@ -1,6 +1,6 @@
 //! `stsyn` — the STabilization Synthesizer command-line tool.
 //!
-//! Three modes share one binary:
+//! Four modes share one binary:
 //!
 //! * **one-shot** (`stsyn FILE [flags]`): read a protocol description
 //!   (see `stsyn_protocol::dsl` for the format), add convergence, and
@@ -9,8 +9,13 @@
 //! * **daemon** (`stsyn serve [flags]`): run the `stsyn-serve` job
 //!   service — a persistent queue plus worker pool accepting concurrent
 //!   submissions over newline-delimited JSON on TCP;
+//! * **router** (`stsyn route --shard HOST:PORT ...`): the fleet front
+//!   door — consistent-hashes submissions across N daemons, probes shard
+//!   health, and fails pending jobs over to surviving shards when a
+//!   daemon dies (see `stsyn_serve::router`);
 //! * **client** (`stsyn client --addr HOST:PORT VERB ...`): drive a
-//!   running daemon — submit, status, result, cancel, stats, shutdown.
+//!   running daemon or router — submit, status, result, cancel, ping,
+//!   stats, fleet-stats, fleet-metrics, shutdown.
 //!
 //! ```text
 //! stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric]
@@ -20,6 +25,10 @@
 //! stsyn serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--state-dir DIR] [--print-addr]
 //!             [--max-conns N] [--io-timeout SECS] [--quarantine-after K]
+//! stsyn route --shard HOST:PORT [--shard HOST:PORT ...]
+//!             [--addr HOST:PORT] [--print-addr]
+//!             [--probe-interval-ms MS] [--probe-timeout-ms MS]
+//!             [--down-after K] [--io-timeout SECS]
 //! stsyn client --addr HOST:PORT [--retries N] [--retry-base-ms MS]
 //!              submit (FILE | --case NAME --n N [--d D])
 //!              [--weak] [--schedule 1,2,3,0] [--priority P] [--timeout SECS]
@@ -30,6 +39,9 @@
 //! stsyn client --addr HOST:PORT cancel ID
 //! stsyn client --addr HOST:PORT stats
 //! stsyn client --addr HOST:PORT metrics
+//! stsyn client --addr HOST:PORT ping
+//! stsyn client --addr HOST:PORT fleet-stats
+//! stsyn client --addr HOST:PORT fleet-metrics
 //! stsyn client --addr HOST:PORT shutdown [--mode drain|checkpoint]
 //! stsyn trace-summary TRACE.ndjson
 //! ```
@@ -66,7 +78,9 @@
 //! 5 checkpoint error (`--checkpoint-dir` unwritable, locked by a live
 //! process, or holding a journal from a different problem), 6 service
 //! connection or protocol error, 7 submission rejected by the daemon
-//! (queue full, connection cap, or shutting down).
+//! (queue full, connection cap, or shutting down), 8 fleet degraded
+//! (the router answered `degraded` or `no-shards` — the needed shard is
+//! down and retries were exhausted).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -75,7 +89,8 @@ use stsyn_core::SynthesisError;
 use stsyn_obs::{TraceLevel, Tracer};
 use stsyn_protocol::dsl;
 use stsyn_serve::{
-    Client, ClientError, Json, RetryPolicy, Server, ServerConfig, ShutdownMode, SubmitSpec,
+    Client, ClientError, Json, RetryPolicy, Router, RouterConfig, Server, ServerConfig,
+    ShutdownMode, SubmitSpec,
 };
 use stsyn_symbolic::scc::SccAlgorithm;
 use stsyn_symbolic::Budget;
@@ -87,6 +102,7 @@ const EXIT_RESOURCES: u8 = 4;
 const EXIT_CHECKPOINT: u8 = 5;
 const EXIT_SERVICE: u8 = 6;
 const EXIT_REJECTED: u8 = 7;
+const EXIT_FLEET: u8 = 8;
 
 /// A typed CLI failure carrying its exit code — every user-input and
 /// I/O failure path funnels through this instead of panicking.
@@ -116,23 +132,27 @@ fn usage_text() -> &'static str {
      \x20      stsyn serve [--addr HOST:PORT] [--workers N] [--queue N] \
      [--state-dir DIR] [--print-addr] \
      [--max-conns N] [--io-timeout SECS] [--quarantine-after K]\n\
+     \x20      stsyn route --shard HOST:PORT [--shard HOST:PORT ...] [--addr HOST:PORT] \
+     [--print-addr] [--probe-interval-ms MS] [--probe-timeout-ms MS] \
+     [--down-after K] [--io-timeout SECS]\n\
      \x20      stsyn client --addr HOST:PORT [--retries N] [--retry-base-ms MS] \
      submit (FILE | --case NAME --n N [--d D]) \
      [--weak] [--priority P] [--wait] [--emit-dsl OUT.stsyn]\n\
-     \x20      stsyn client --addr HOST:PORT status ID | result ID | cancel ID | stats | \
-     metrics | shutdown [--mode drain|checkpoint]\n\
+     \x20      stsyn client --addr HOST:PORT status ID | result ID | cancel ID | ping | stats | \
+     metrics | fleet-stats | fleet-metrics | shutdown [--mode drain|checkpoint]\n\
      \x20      stsyn trace-summary TRACE.ndjson\n\
      \x20      one-shot/serve: [--trace PATH] [--trace-level warn|info|debug]; \
      one-shot adds [--metrics]\n\
      exit codes: 0 ok, 1 synthesis/verification failure, 2 usage, \
      3 input error, 4 budget exhausted, 5 checkpoint error, \
-     6 service connection error, 7 rejected by daemon"
+     6 service connection error, 7 rejected by daemon, 8 fleet degraded"
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some("serve") => serve_main(&argv[1..]),
+        Some("route") => route_main(&argv[1..]),
         Some("client") => client_main(&argv[1..]),
         Some("trace-summary") => trace_summary_main(&argv[1..]),
         _ => oneshot_main(&argv),
@@ -560,6 +580,97 @@ fn serve_main(argv: &[String]) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+// ------------------------------------------------------------------ route
+
+fn route_main(argv: &[String]) -> Result<ExitCode, CliError> {
+    let mut shards: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:7410".to_string();
+    let mut print_addr = false;
+    let mut trace: Option<String> = None;
+    let mut trace_level = TraceLevel::Info;
+    let mut probe_interval: Option<Duration> = None;
+    let mut probe_timeout: Option<Duration> = None;
+    let mut down_after: Option<u32> = None;
+    let mut io_timeout: Option<Duration> = None;
+    let mut it = argv.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shard" => shards.push(flag_value(&mut it, "--shard")?),
+            "--addr" => addr = flag_value(&mut it, "--addr")?,
+            "--probe-interval-ms" => {
+                let v = flag_value(&mut it, "--probe-interval-ms")?;
+                let ms = v.parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                    CliError::usage(format!("--probe-interval-ms `{v}` is not a positive integer"))
+                })?;
+                probe_interval = Some(Duration::from_millis(ms));
+            }
+            "--probe-timeout-ms" => {
+                let v = flag_value(&mut it, "--probe-timeout-ms")?;
+                let ms = v.parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                    CliError::usage(format!("--probe-timeout-ms `{v}` is not a positive integer"))
+                })?;
+                probe_timeout = Some(Duration::from_millis(ms));
+            }
+            "--down-after" => {
+                let v = flag_value(&mut it, "--down-after")?;
+                down_after = Some(v.parse::<u32>().ok().filter(|&k| k > 0).ok_or_else(|| {
+                    CliError::usage(format!("--down-after `{v}` is not a positive integer"))
+                })?);
+            }
+            "--io-timeout" => {
+                let v = flag_value(&mut it, "--io-timeout")?;
+                let secs =
+                    v.parse::<f64>().ok().filter(|&s| s >= 0.0 && s.is_finite()).ok_or_else(
+                        || {
+                            CliError::usage(format!(
+                                "--io-timeout `{v}` is not a non-negative number of seconds"
+                            ))
+                        },
+                    )?;
+                io_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--trace" => trace = Some(flag_value(&mut it, "--trace")?),
+            "--trace-level" => {
+                trace_level = parse_trace_level(&flag_value(&mut it, "--trace-level")?)?;
+            }
+            "--print-addr" => print_addr = true,
+            "--help" | "-h" => return Err(CliError::Usage(None)),
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    if shards.is_empty() {
+        return Err(CliError::usage("route needs at least one --shard HOST:PORT"));
+    }
+    let mut cfg = RouterConfig::new(shards);
+    cfg.addr = addr;
+    if let Some(d) = probe_interval {
+        cfg.probe_interval = d;
+    }
+    if let Some(d) = probe_timeout {
+        cfg.probe_timeout = d;
+    }
+    if let Some(k) = down_after {
+        cfg.down_after = k;
+    }
+    if let Some(d) = io_timeout {
+        cfg.io_timeout = d;
+    }
+    if let Some(path) = &trace {
+        cfg.tracer = open_trace(path, trace_level)?;
+    }
+    let handle =
+        Router::start(cfg).map_err(|e| CliError::Service(format!("cannot start router: {e}")))?;
+    if print_addr {
+        use std::io::Write as _;
+        println!("listening on {}", handle.addr());
+        let _ = std::io::stdout().flush();
+    } else {
+        eprintln!("stsyn-route: listening on {}", handle.addr());
+    }
+    handle.join();
+    Ok(ExitCode::SUCCESS)
+}
+
 // ----------------------------------------------------------------- client
 
 fn client_main(argv: &[String]) -> Result<ExitCode, CliError> {
@@ -626,6 +737,42 @@ fn client_main(argv: &[String]) -> Result<ExitCode, CliError> {
             print!("{text}");
             Ok(ExitCode::SUCCESS)
         }
+        "ping" => {
+            let resp = client.ping().map_err(map_client_err)?;
+            println!(
+                "pong from {} ({} up {:.1}s)",
+                addr,
+                resp.get("role").and_then(Json::as_str).unwrap_or("daemon"),
+                resp.get("uptime_secs").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "fleet-stats" => {
+            let resp = client.fleet_stats().map_err(map_client_err)?;
+            if let Some(Json::Obj(pairs)) = resp.get("router") {
+                for (k, v) in pairs.iter().filter(|(k, _)| k != "role") {
+                    println!("{k:<18} {v}");
+                }
+            }
+            if let Some(Json::Arr(shards)) = resp.get("shards") {
+                for s in shards {
+                    println!(
+                        "shard {} {:<22} {:<9} consec_failures={} latency_us={}",
+                        s.get("shard").and_then(Json::as_u64).unwrap_or(0),
+                        s.get("addr").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("health").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("consec_failures").and_then(Json::as_u64).unwrap_or(0),
+                        s.get("latency_us").and_then(Json::as_u64).unwrap_or(0),
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "fleet-metrics" => {
+            let text = client.fleet_metrics().map_err(map_client_err)?;
+            print!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
         "shutdown" => {
             let mode = match args {
                 [] => ShutdownMode::Drain,
@@ -652,6 +799,7 @@ fn map_client_err(e: ClientError) -> CliError {
         ClientError::Rejected { code, message } => {
             let exit = match code.as_str() {
                 "queue-full" | "busy" | "shutting-down" => EXIT_REJECTED,
+                "degraded" | "no-shards" => EXIT_FLEET,
                 "input-error" | "bad-request" | "bad-spec" | "unknown-job" => EXIT_INPUT,
                 "budget-exhausted" => EXIT_RESOURCES,
                 "checkpoint-error" => EXIT_CHECKPOINT,

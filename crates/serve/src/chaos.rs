@@ -22,11 +22,21 @@
 //!   receiver's I/O deadline, then dies (exercises idle/stall reaping).
 //!
 //! The module also hosts [`XorShift64`], the dependency-free PRNG shared
-//! with the client's retry jitter.
+//! with the client's retry jitter, and — since the fleet-level chaos
+//! harness — [`LinkProxy`], a *switchable* link between a router and one
+//! shard. Where [`ChaosProxy`] scripts one per-connection fault,
+//! `LinkProxy` models faults that take out a whole network path: flip it
+//! to [`LinkMode::BlackHole`] and every byte in flight (and every probe)
+//! vanishes without an error, flip it to [`LinkMode::Refuse`] and new
+//! connections die instantly, flip it back to [`LinkMode::Forward`] and
+//! the path heals — which is exactly the partition/heal cycle a
+//! self-stabilizing fleet must converge through. Killing the daemon
+//! process itself (the third fleet fault) needs no proxy: the fleet
+//! tests SIGKILL a real `stsyn serve` child.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -297,6 +307,194 @@ fn pump(mut from: TcpStream, mut to: TcpStream, plan: Option<FaultPlan>, fired: 
                 forwarded += chunk.len() as u64;
                 break;
             }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// What a [`LinkProxy`] currently does to its network path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkMode {
+    /// Healthy: bytes flow both ways.
+    Forward,
+    /// Partitioned: connections are accepted, bytes are swallowed, and
+    /// nothing ever comes back — readers on both sides hang until their
+    /// own deadlines fire. Also stalls health probes, since a probe's
+    /// request vanishes the same way.
+    BlackHole,
+    /// Hard-down: new connections are closed immediately, as if the peer
+    /// sent a reset; existing connections are cut.
+    Refuse,
+}
+
+impl LinkMode {
+    fn from_u8(v: u8) -> LinkMode {
+        match v {
+            0 => LinkMode::Forward,
+            1 => LinkMode::BlackHole,
+            _ => LinkMode::Refuse,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            LinkMode::Forward => 0,
+            LinkMode::BlackHole => 1,
+            LinkMode::Refuse => 2,
+        }
+    }
+}
+
+/// A runtime-switchable proxy for one router→shard link. Unlike
+/// [`ChaosProxy`] (one scripted per-connection fault), the mode applies
+/// to **all** traffic — including connections already in flight, which
+/// go dark within one pump iteration of a flip to a faulty mode.
+pub struct LinkProxy {
+    addr: SocketAddr,
+    mode: Arc<AtomicU8>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl LinkProxy {
+    /// Listen on an ephemeral loopback port, forwarding to `upstream`
+    /// while the mode is [`LinkMode::Forward`].
+    pub fn start(upstream: SocketAddr) -> std::io::Result<LinkProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mode = Arc::new(AtomicU8::new(LinkMode::Forward.as_u8()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let mode = Arc::clone(&mode);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((client, _)) => match LinkMode::from_u8(mode.load(Ordering::SeqCst)) {
+                        LinkMode::Refuse => drop(client),
+                        LinkMode::BlackHole => {
+                            // Swallow the connection: park it on a reader
+                            // that discards bytes until the link heals or
+                            // the peer gives up.
+                            let mode = Arc::clone(&mode);
+                            std::thread::spawn(move || black_hole(client, &mode));
+                        }
+                        LinkMode::Forward => {
+                            let Ok(server) = TcpStream::connect(upstream) else {
+                                continue;
+                            };
+                            let (c2, s2) = match (client.try_clone(), server.try_clone()) {
+                                (Ok(c), Ok(s)) => (c, s),
+                                _ => continue,
+                            };
+                            let m1 = Arc::clone(&mode);
+                            let m2 = Arc::clone(&mode);
+                            std::thread::spawn(move || link_pump(client, s2, &m1));
+                            std::thread::spawn(move || link_pump(server, c2, &m2));
+                        }
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            })
+        };
+        Ok(LinkProxy { addr, mode, stop, acceptor: Some(acceptor) })
+    }
+
+    /// The address the router should treat as the shard's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flip the link's mode; affects in-flight connections too.
+    pub fn set_mode(&self, mode: LinkMode) {
+        self.mode.store(mode.as_u8(), Ordering::SeqCst);
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> LinkMode {
+        LinkMode::from_u8(self.mode.load(Ordering::SeqCst))
+    }
+
+    /// Stop accepting and join the acceptor.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LinkProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Read and discard bytes while the link stays black-holed; exit (and
+/// thus drop the socket) once the mode changes or the peer goes away. A
+/// healed link does not resurrect swallowed connections — like a real
+/// partition, whatever was in flight is gone; recovery happens at the
+/// protocol layer (retries, failover), not the transport layer.
+fn black_hole(stream: TcpStream, mode: &AtomicU8) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut sink = [0u8; 256];
+    let mut s = stream;
+    loop {
+        if LinkMode::from_u8(mode.load(Ordering::SeqCst)) != LinkMode::BlackHole {
+            break;
+        }
+        match s.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = s.shutdown(Shutdown::Both);
+}
+
+/// Copy bytes while the link is healthy. A flip to [`LinkMode::BlackHole`]
+/// silently swallows everything from then on — both sockets stay open, so
+/// neither peer sees an error, only silence; a flip to
+/// [`LinkMode::Refuse`] cuts hard. A connection that lost bytes to the
+/// black hole is cut when the link heals (the protocol layer re-dials),
+/// like after a real partition. Short read timeouts keep the mode check
+/// responsive even on an idle connection.
+fn link_pump(mut from: TcpStream, mut to: TcpStream, mode: &AtomicU8) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut buf = [0u8; 512];
+    let mut swallowed = false;
+    loop {
+        match LinkMode::from_u8(mode.load(Ordering::SeqCst)) {
+            LinkMode::Forward if swallowed => break,
+            LinkMode::Forward => {}
+            LinkMode::BlackHole => swallowed = true,
+            LinkMode::Refuse => break,
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if !swallowed && to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
         }
     }
     let _ = from.shutdown(Shutdown::Both);

@@ -59,7 +59,11 @@ impl ClientError {
     fn is_transient(&self) -> bool {
         match self {
             ClientError::Io(_) | ClientError::Protocol(_) => true,
-            ClientError::Rejected { code, .. } => code == "queue-full" || code == "busy",
+            // `degraded` / `no-shards` come from the router while the
+            // fleet is mid-fault; a stabilizing fleet serves them soon.
+            ClientError::Rejected { code, .. } => {
+                matches!(code.as_str(), "queue-full" | "busy" | "degraded" | "no-shards")
+            }
             ClientError::Timeout => false,
         }
     }
@@ -345,6 +349,28 @@ impl Client {
     /// Service counters.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.request(&Json::obj(vec![("op", "stats".into())]))
+    }
+
+    /// Health probe: one `ping` round trip. Works against both a daemon
+    /// and a router (the router's pong carries `role: "router"`).
+    pub fn ping(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", "ping".into())]))
+    }
+
+    /// Fleet-wide stats from a router: its own counters plus per-shard
+    /// health and (for reachable shards) each shard's `stats` inline.
+    pub fn fleet_stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", "fleet-stats".into())]))
+    }
+
+    /// Fleet-wide Prometheus text from a router (router series plus job
+    /// counters aggregated across reachable shards).
+    pub fn fleet_metrics(&mut self) -> Result<String, ClientError> {
+        let resp = self.request(&Json::obj(vec![("op", "fleet-metrics".into())]))?;
+        resp.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics response lacks a metrics field".into()))
     }
 
     /// Service counters and gauges as Prometheus text-format exposition.

@@ -24,8 +24,12 @@
 //! * [`server`] — the daemon: job registry, worker pool (one
 //!   budget-guarded, checkpointed `stsyn_core::job::JobSpec::run` per
 //!   worker), persistent state directory, restart recovery, and the
-//!   `submit` / `status` / `result` / `cancel` / `stats` / `shutdown`
-//!   verbs.
+//!   `submit` / `status` / `result` / `cancel` / `ping` / `stats` /
+//!   `shutdown` verbs.
+//! * [`router`] — the fleet front door (`stsyn route`): consistent-hashes
+//!   idempotency keys across N backend daemons, probes shard health,
+//!   fails pending work over to surviving shards by resubmitting under
+//!   the same idempotency key, and aggregates fleet-wide stats/metrics.
 //! * [`client`] — a blocking client for the wire protocol, with capped
 //!   exponential-backoff retry made safe by idempotent submission.
 //! * [`wire`] — the job-specification encoding shared by both sides.
@@ -60,12 +64,14 @@ pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod wire;
 
-pub use chaos::{ChaosProxy, Direction, Fault, FaultPlan, XorShift64};
+pub use chaos::{ChaosProxy, Direction, Fault, FaultPlan, LinkMode, LinkProxy, XorShift64};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
 pub use queue::{PriorityQueue, PushError};
+pub use router::{HashRing, Router, RouterConfig, RouterHandle, ShardHealth};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownMode};
 pub use wire::{ChaosJob, JobSource, SubmitSpec};

@@ -14,7 +14,7 @@
 //! in the persistent state directory and are re-enqueued on restart).
 
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,10 +73,19 @@ impl<T> PriorityQueue<T> {
         }
     }
 
+    /// Lock the queue state, recovering from a poisoned lock. Every
+    /// mutation below is a single atomic step on a heap that cannot be
+    /// left half-updated by a panic, so the poisoned state is safe to
+    /// adopt — and one panicked worker must not wedge the whole queue
+    /// (and with it every producer and consumer) forever.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Enqueue with backpressure: refused with [`PushError::Full`] at
     /// capacity, [`PushError::Closed`] after shutdown.
     pub fn push(&self, priority: i64, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -95,7 +104,7 @@ impl<T> PriorityQueue<T> {
     /// persisted jobs at startup, which must never be dropped even if a
     /// restart finds more jobs on disk than the configured capacity.
     pub fn push_recovered(&self, priority: i64, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -110,7 +119,7 @@ impl<T> PriorityQueue<T> {
     /// Dequeue the highest-priority item, blocking while the queue is
     /// empty. Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         loop {
             if let Some(e) = inner.heap.pop() {
                 return Some(e.item);
@@ -118,19 +127,19 @@ impl<T> PriorityQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.nonempty.wait(inner).unwrap();
+            inner = self.nonempty.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Close for admissions; queued items may still be popped (drain).
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock_inner().closed = true;
         self.nonempty.notify_all();
     }
 
     /// Close and discard the backlog, returning the discarded items.
     pub fn close_and_clear(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.closed = true;
         let cleared = std::mem::take(&mut inner.heap).into_sorted_vec();
         drop(inner);
@@ -140,7 +149,7 @@ impl<T> PriorityQueue<T> {
 
     /// Current depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().heap.len()
+        self.lock_inner().heap.len()
     }
 
     /// Is the queue empty?

@@ -56,7 +56,7 @@
 
 use crate::json::Json;
 use crate::queue::{PriorityQueue, PushError};
-use crate::wire::{read_line_bounded, ChaosJob, SubmitSpec, MAX_REQUEST_BYTES};
+use crate::wire::{error_json, read_line_bounded, ChaosJob, SubmitSpec, MAX_REQUEST_BYTES};
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -970,7 +970,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
 }
 
 fn err_response(code: &str, message: &str) -> Json {
-    Json::obj(vec![("ok", false.into()), ("code", code.into()), ("error", message.into())])
+    error_json(code, message)
 }
 
 fn dispatch(shared: &Shared, req: &Json) -> Json {
@@ -979,12 +979,26 @@ fn dispatch(shared: &Shared, req: &Json) -> Json {
         Some("status") => op_status(shared, req),
         Some("result") => op_result(shared, req),
         Some("cancel") => op_cancel(shared, req),
+        Some("ping") => op_ping(shared),
         Some("stats") => op_stats(shared),
         Some("metrics") => op_metrics(shared),
         Some("shutdown") => op_shutdown(shared, req),
         Some(other) => err_response("bad-request", &format!("unknown op `{other}`")),
         None => err_response("bad-request", "request needs a string `op` field"),
     }
+}
+
+/// `ping` op: a minimal liveness probe. It touches no locks and no disk,
+/// so a healthy-but-busy daemon still answers it instantly — which is
+/// what makes it a usable health signal for a router's prober (probe
+/// latency measures the daemon's event loop, not a contended registry).
+fn op_ping(shared: &Shared) -> Json {
+    Json::obj(vec![
+        ("ok", true.into()),
+        ("pong", true.into()),
+        ("workers", shared.cfg.workers.max(1).into()),
+        ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
+    ])
 }
 
 fn op_submit(shared: &Shared, req: &Json) -> Json {

@@ -50,6 +50,19 @@ pub(crate) fn fold_idem(h: u64) -> u64 {
     (h ^ (h >> 53)) & ((1u64 << 53) - 1)
 }
 
+/// A wire error response: `{"ok":false,"code":...,"error":...}`. The
+/// daemon and the router build every refusal through this, so clients
+/// can always rely on the `code` field for typed handling.
+pub fn error_json(code: &str, message: &str) -> Json {
+    Json::obj(vec![("ok", false.into()), ("code", code.into()), ("error", message.into())])
+}
+
+/// Error code a router answers when a request's home shard is down and
+/// the operation cannot be failed over to a surviving shard.
+pub const CODE_DEGRADED: &str = "degraded";
+/// Error code a router answers when no shard is available at all.
+pub const CODE_NO_SHARDS: &str = "no-shards";
+
 /// Reserved chaos-testing workloads (the `__crash__` / `__lose_worker__`
 /// case names): deterministic fault triggers the supervision layer is
 /// tested — and demonstrated — against.

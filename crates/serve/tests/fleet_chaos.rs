@@ -1,0 +1,279 @@
+//! Fleet-level chaos sweep: a router over three **real** `stsyn serve`
+//! processes, with one whole-shard fault injected mid-job per point —
+//! `SIGKILL` of the daemon, a black-holed router→shard link (which also
+//! stalls probes: connects succeed, pongs never come), or a refused
+//! link. After every fault, every submitted job must still complete
+//! exactly once through the router with results byte-identical to
+//! single-shot runs, and the router must keep answering (typed errors,
+//! never hangs).
+//!
+//! The sweep is `FLEET_SWEEP_POINTS` points (default 8); each point's
+//! fault derives from `(FLEET_SEED, point)`, so a failing point
+//! reproduces in isolation.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::time::{Duration, Instant};
+use stsyn_serve::{
+    Client, JobSource, Json, LinkMode, LinkProxy, RetryPolicy, SubmitSpec, XorShift64,
+};
+
+/// Minimal self-cleaning temp dir (no external crate).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempDir {
+        pub path: PathBuf,
+    }
+
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "stsyn-fleet-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+const FLEET_SEED: u64 = 0x00F1_EE7C;
+const SHARDS: usize = 3;
+/// The victim workload: big enough (~1 s single-shot) that the fault
+/// reliably lands while it is running.
+const LONG_N: usize = 14;
+const WAIT: Duration = Duration::from_secs(300);
+
+fn sweep_points() -> u64 {
+    std::env::var("FLEET_SWEEP_POINTS").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+}
+
+fn case(name: &str, n: usize) -> SubmitSpec {
+    SubmitSpec::new(JobSource::Case { name: name.into(), n, d: 0 })
+}
+
+/// One real `stsyn serve` child process.
+struct Daemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(state_dir: &std::path::Path) -> Daemon {
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_stsyn"))
+            .arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--workers")
+            .arg("1")
+            .arg("--state-dir")
+            .arg(state_dir)
+            .arg("--print-addr")
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        let mut line = String::new();
+        std::io::BufReader::new(child.stdout.take().unwrap()).read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected daemon banner: {line:?}"));
+        Daemon { child, addr: addr.to_string() }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill(); // SIGKILL on Unix — no cleanup runs
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FleetFault {
+    /// SIGKILL the victim daemon: the process is gone mid-job.
+    KillDaemon,
+    /// Black-hole the victim's link: connects succeed, bytes vanish —
+    /// this is also the probe-stall case (pings connect, pongs never come).
+    BlackHole,
+    /// Refuse the victim's link: instant connection errors.
+    Refuse,
+}
+
+impl FleetFault {
+    fn derive(seed: u64, point: u64) -> FleetFault {
+        let mut rng = XorShift64::new(seed ^ point.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 1);
+        match rng.below(3) {
+            0 => FleetFault::KillDaemon,
+            1 => FleetFault::BlackHole,
+            _ => FleetFault::Refuse,
+        }
+    }
+}
+
+#[test]
+fn fleet_faults_never_lose_or_duplicate_jobs() {
+    let points = sweep_points();
+    // Single-shot references, computed once across the sweep (the specs
+    // repeat every point).
+    let mut reference: HashMap<u64, String> = HashMap::new();
+    let mut faults_seen = [0u64; 3];
+
+    for point in 0..points {
+        let fault = FleetFault::derive(FLEET_SEED, point);
+        faults_seen[match fault {
+            FleetFault::KillDaemon => 0,
+            FleetFault::BlackHole => 1,
+            FleetFault::Refuse => 2,
+        }] += 1;
+        run_point(point, fault, &mut reference);
+    }
+    // The seeded schedule must actually exercise the fault space.
+    if points >= 6 {
+        assert!(
+            faults_seen.iter().all(|&c| c > 0),
+            "seeded sweep of {points} points never hit some fault kind: {faults_seen:?}"
+        );
+    }
+}
+
+fn run_point(point: u64, fault: FleetFault, reference: &mut HashMap<u64, String>) {
+    let dir = tempdir::TempDir::new(&format!("pt{point}"));
+    let mut daemons: Vec<Daemon> =
+        (0..SHARDS).map(|i| Daemon::spawn(&dir.path.join(format!("shard{i}")))).collect();
+    let links: Vec<LinkProxy> =
+        daemons.iter().map(|d| LinkProxy::start(d.addr.parse().unwrap()).unwrap()).collect();
+
+    let mut cfg =
+        stsyn_serve::RouterConfig::new(links.iter().map(|l| l.addr().to_string()).collect());
+    cfg.probe_interval = Duration::from_millis(50);
+    cfg.probe_timeout = Duration::from_millis(250);
+    cfg.down_after = 2;
+    cfg.shard_io_timeout = Duration::from_secs(2);
+    let router = stsyn_serve::Router::start(cfg).unwrap();
+
+    // A patient client: the window between a shard dying and the prober
+    // marking it down surfaces as transient `degraded` answers, which
+    // the retry policy must ride out.
+    let policy = RetryPolicy {
+        max_retries: 10,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_secs(1),
+        io_timeout: Some(Duration::from_secs(30)),
+        seed: Some(FLEET_SEED ^ point),
+    };
+    let mut client = Client::connect_with(router.addr(), policy).unwrap();
+
+    // One long victim job plus short jobs across the case studies. Every
+    // spec gets a point-scoped idempotency key so points stay independent.
+    let mut specs = vec![
+        case("coloring", LONG_N),
+        case("coloring", 3),
+        case("matching", 3),
+        case("token_ring", 3),
+    ];
+    for (j, spec) in specs.iter_mut().enumerate() {
+        spec.idem =
+            Some((spec.fingerprint() ^ point.wrapping_mul(131) ^ j as u64) & ((1 << 53) - 1));
+    }
+    for spec in &specs {
+        reference
+            .entry(spec.fingerprint())
+            .or_insert_with(|| spec.materialize().unwrap().run().unwrap().emitted_dsl);
+    }
+
+    let mut ids = Vec::new();
+    let mut victim_shard = 0usize;
+    for (j, spec) in specs.iter().enumerate() {
+        let resp = client
+            .request(&Json::obj(vec![("op", "submit".into()), ("job", spec.to_json())]))
+            .unwrap();
+        let id = resp.get("id").and_then(Json::as_u64).unwrap();
+        if j == 0 {
+            victim_shard = resp.get("shard").and_then(Json::as_u64).unwrap() as usize;
+        }
+        ids.push(id);
+    }
+    let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "point {point}: duplicate router ids");
+
+    // Wait until the long job is actually running on its shard, then
+    // pull the rug out from under it.
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let state = client.state(ids[0]).unwrap();
+        if state == "running" || state == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "point {point}: victim job stuck in `{state}`");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    match fault {
+        FleetFault::KillDaemon => daemons[victim_shard].kill(),
+        FleetFault::BlackHole => links[victim_shard].set_mode(LinkMode::BlackHole),
+        FleetFault::Refuse => links[victim_shard].set_mode(LinkMode::Refuse),
+    }
+
+    // Despite a whole shard dying mid-job, every job completes exactly
+    // once with bytes identical to the single-shot reference.
+    for (spec, &id) in specs.iter().zip(&ids) {
+        let result = client.wait(id, WAIT).unwrap_or_else(|e| {
+            panic!("point {point} ({fault:?}): job {id} lost after shard fault: {e}")
+        });
+        assert_eq!(
+            result.get("state").and_then(Json::as_str),
+            Some("done"),
+            "point {point} ({fault:?}): job {id} did not complete"
+        );
+        assert_eq!(
+            result.get("id").and_then(Json::as_u64),
+            Some(id),
+            "point {point}: response id is not the router id"
+        );
+        assert_eq!(
+            result.get("protocol").and_then(Json::as_str),
+            Some(reference[&spec.fingerprint()].as_str()),
+            "point {point} ({fault:?}): result bytes diverged from the single-shot run"
+        );
+    }
+
+    // The router observed the fault and kept a coherent fleet view:
+    // exactly our submissions were admitted (no duplicates), and the
+    // victim shard's jobs failed over.
+    let fs = client.fleet_stats().unwrap();
+    let router_stats = fs.get("router").unwrap().clone();
+    assert_eq!(
+        router_stats.get("accepted").and_then(Json::as_u64),
+        Some(ids.len() as u64),
+        "point {point}: router admitted a different number of jobs than were submitted"
+    );
+    assert_eq!(router_stats.get("dedup_hits").and_then(Json::as_u64), Some(0));
+    assert!(
+        router_stats.get("failovers").and_then(Json::as_u64).unwrap() >= 1,
+        "point {point} ({fault:?}): the victim's jobs never failed over"
+    );
+
+    router.shutdown();
+    router.join();
+    for l in links {
+        l.stop();
+    }
+    for d in &mut daemons {
+        d.kill();
+    }
+}

@@ -13,8 +13,10 @@ set -euo pipefail
 STSYN=${1:-target/release/stsyn}
 WORK=$(mktemp -d)
 DAEMON_PID=""
+FLEET_PIDS=""
 cleanup() {
     [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    for pid in $FLEET_PIDS; do kill -9 "$pid" 2>/dev/null || true; done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -165,4 +167,111 @@ echo "OK: connection cap rejected with typed busy; slot freed cleanly"
 client shutdown --mode drain >/dev/null
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
+
+echo "== fleet: 3 shards behind a router, one SIGKILLed mid-job =="
+SHARD_ADDRS=""
+SHARD_PIDS=""
+for i in 0 1 2; do
+    "$STSYN" serve --addr 127.0.0.1:0 --workers 1 --state-dir "$WORK/fleet-shard$i" \
+        --print-addr >"$WORK/shard$i.out" &
+    pid=$!
+    FLEET_PIDS="$FLEET_PIDS $pid"
+    SHARD_PIDS="$SHARD_PIDS $pid"
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$WORK/shard$i.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "FAIL: shard $i never printed its address" >&2; exit 1; }
+    SHARD_ADDRS="$SHARD_ADDRS $addr"
+done
+# shellcheck disable=SC2086  # the addr list is deliberately word-split
+"$STSYN" route $(for a in $SHARD_ADDRS; do printf -- '--shard %s ' "$a"; done) \
+    --addr 127.0.0.1:0 --probe-interval-ms 100 --down-after 2 --print-addr \
+    >"$WORK/router.out" &
+ROUTER_PID=$!
+FLEET_PIDS="$FLEET_PIDS $ROUTER_PID"
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$WORK/router.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: router never printed its address" >&2; exit 1; }
+PONG=$(client ping)
+echo "$PONG" | grep -q "router" \
+    || { echo "FAIL: router ping did not identify as router" >&2; exit 1; }
+
+# A long job through the router; find the shard actually running it.
+client submit --case coloring --n 20 >/dev/null   # -> router id 1
+for _ in $(seq 1 200); do
+    STATE=$(client status 1 | sed 's/^job 1: //')
+    [ "$STATE" = "running" ] && break
+    sleep 0.05
+done
+[ "$STATE" = "running" ] || { echo "FAIL: fleet job never started running" >&2; exit 1; }
+VICTIM_PID=""
+idx=0
+for a in $SHARD_ADDRS; do
+    idx=$((idx + 1))
+    # Capture before grepping: `grep -q` closing the pipe early would
+    # EPIPE the client mid-print under pipefail.
+    shard_stats=$("$STSYN" client --addr "$a" stats)
+    if echo "$shard_stats" | grep -Eq '^running *1$'; then
+        VICTIM_PID=$(echo $SHARD_PIDS | cut -d' ' -f$idx)
+        VICTIM_ADDR=$a
+    fi
+done
+[ -n "$VICTIM_PID" ] || { echo "FAIL: no shard reports the running job" >&2; exit 1; }
+kill -9 "$VICTIM_PID"
+echo "killed shard $VICTIM_ADDR (pid $VICTIM_PID) mid-job"
+
+# The job must still complete through the router (failover resubmits it
+# under the same idempotency key to a surviving shard).
+STATE=""
+for _ in $(seq 1 600); do
+    STATE=$(client status 1 | sed 's/^job 1: //')
+    [ "$STATE" = "done" ] && break
+    sleep 0.5
+done
+[ "$STATE" = "done" ] \
+    || { echo "FAIL: fleet job stuck in state $STATE after shard kill" >&2; exit 1; }
+client result 1 --quiet --emit-dsl "$WORK/fleet.failover.stsyn" >/dev/null
+# Same workload again, post-kill: the surviving fleet must produce
+# byte-identical output.
+client submit --case coloring --n 20 --wait --quiet \
+    --emit-dsl "$WORK/fleet.fresh.stsyn" >/dev/null
+diff -q "$WORK/fleet.failover.stsyn" "$WORK/fleet.fresh.stsyn" >/dev/null \
+    || { echo "FAIL: failover result differs from a post-kill run" >&2; exit 1; }
+echo "OK: job survived its shard's SIGKILL with byte-identical result"
+
+FLEET_STATS=$(client fleet-stats)
+echo "$FLEET_STATS" | grep -q "down" \
+    || { echo "FAIL: fleet-stats does not show the killed shard as down" >&2; exit 1; }
+echo "$FLEET_STATS" | grep -Eq '^failovers *[1-9]' \
+    || { echo "FAIL: fleet-stats counted no failover" >&2; exit 1; }
+FLEET_METRICS=$(client fleet-metrics)
+echo "$FLEET_METRICS" | grep -q '^stsyn_fleet_shards_down 1$' \
+    || { echo "FAIL: fleet-metrics does not count 1 down shard" >&2; exit 1; }
+echo "OK: fleet-stats/fleet-metrics report the down shard and the failover"
+
+# Kill the survivors too: a fail-fast client must get a typed answer and
+# exit code 8, not a hang.
+for pid in $SHARD_PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+FLEET_CODE=0
+for _ in $(seq 1 100); do
+    set +e
+    client --retries 0 status 1 >/dev/null 2>&1
+    FLEET_CODE=$?
+    set -e
+    [ "$FLEET_CODE" -eq 8 ] && break
+    sleep 0.1
+done
+[ "$FLEET_CODE" -eq 8 ] \
+    || { echo "FAIL: dead-fleet client exited $FLEET_CODE, expected 8" >&2; exit 1; }
+echo "OK: dead fleet answers typed errors (exit 8), router never hangs"
+
+client shutdown >/dev/null 2>&1 || true
+wait "$ROUTER_PID" 2>/dev/null || true
 echo "service smoke test passed"
