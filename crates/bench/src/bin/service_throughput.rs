@@ -15,7 +15,12 @@
 //! * `direct` — one in-process daemon, worker pools of 1/2/4;
 //! * `routed` — a `stsyn route` front door consistent-hashing the same
 //!   load across 2 or 3 single-worker in-process shards, measuring what
-//!   the fleet hop costs and what sharding buys.
+//!   the fleet hop costs and what sharding buys;
+//! * `store` — a store-enabled daemon fed distinct workloads cold, then
+//!   the same workloads again: the resubmissions are answered from the
+//!   artifact store, and the cold vs hit p50/p99 columns
+//!   (`cold_p50_ms`/`cold_p99_ms`/`hit_p50_ms`/`hit_p99_ms`, zero on
+//!   the other rows) quantify what a hit saves.
 //!
 //! The series lands in `results/service_throughput.csv`.
 
@@ -36,6 +41,10 @@ struct Row {
     p95_queue_ms: u64,
     p50_latency_ms: f64,
     p99_latency_ms: f64,
+    cold_p50_ms: f64,
+    cold_p99_ms: f64,
+    hit_p50_ms: f64,
+    hit_p99_ms: f64,
 }
 
 fn main() {
@@ -53,10 +62,13 @@ fn main() {
         eprintln!("service_throughput: routed, {shards} shard(s), {jobs} jobs…");
         rows.push(run_routed(shards, jobs, clients));
     }
+    eprintln!("service_throughput: store, cold batch then resubmission…");
+    rows.push(run_store_resub(clients));
 
     let mut csv = String::from(
         "topology,shards,workers,jobs,clients,wall_secs,jobs_per_sec,\
-         mean_queue_ms,p95_queue_ms,p50_latency_ms,p99_latency_ms\n",
+         mean_queue_ms,p95_queue_ms,p50_latency_ms,p99_latency_ms,\
+         cold_p50_ms,cold_p99_ms,hit_p50_ms,hit_p99_ms\n",
     );
     println!(
         "{:<8} {:<7} {:<8} {:<6} {:<10} {:<8} {:<14} {:<13} {:<15} p99_latency_ms",
@@ -85,7 +97,7 @@ fn main() {
             r.p99_latency_ms
         );
         csv.push_str(&format!(
-            "{},{},{},{},{},{:.4},{:.2},{:.2},{},{:.2},{:.2}\n",
+            "{},{},{},{},{},{:.4},{:.2},{:.2},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
             r.topology,
             r.shards,
             r.workers,
@@ -96,7 +108,11 @@ fn main() {
             r.mean_queue_ms,
             r.p95_queue_ms,
             r.p50_latency_ms,
-            r.p99_latency_ms
+            r.p99_latency_ms,
+            r.cold_p50_ms,
+            r.cold_p99_ms,
+            r.hit_p50_ms,
+            r.hit_p99_ms
         ));
     }
     std::fs::write("results/service_throughput.csv", csv).expect("write csv");
@@ -205,7 +221,114 @@ fn drive(addr: std::net::SocketAddr, jobs: usize, clients: usize) -> (Row, Vec<u
             p95_queue_ms,
             p50_latency_ms,
             p99_latency_ms,
+            cold_p50_ms: 0.0,
+            cold_p99_ms: 0.0,
+            hit_p50_ms: 0.0,
+            hit_p99_ms: 0.0,
         },
         ids,
     )
+}
+
+/// Percentiles over an unsorted latency sample (consumes it).
+fn p50_p99(mut ms: Vec<f64>) -> (f64, f64) {
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (ms[ms.len().saturating_sub(1) / 2], ms[(ms.len().saturating_sub(1)) * 99 / 100])
+}
+
+/// Cold batch vs store-hit resubmission: distinct workloads (so no
+/// warm-start sharing muddies the cold numbers) submitted once each,
+/// then resubmitted with fresh idempotency keys. The second batch must
+/// be answered entirely by the artifact store.
+fn run_store_resub(clients: usize) -> Row {
+    let dir = state_dir("store");
+    let mut cfg = ServerConfig::new(&dir).with_store(0);
+    cfg.workers = 2;
+    let handle = Server::start(cfg).expect("start daemon");
+    let addr = handle.addr();
+
+    let specs: Vec<SubmitSpec> = [
+        ("coloring", 3),
+        ("matching", 3),
+        ("token_ring", 3),
+        ("two_ring", 3),
+        ("mis", 3),
+        ("coloring", 4),
+    ]
+    .into_iter()
+    .map(|(name, n)| SubmitSpec::new(JobSource::Case { name: name.into(), n, d: 0 }))
+    .collect();
+
+    let started = Instant::now();
+    let submit_batch = |salt: u64| -> Vec<(f64, bool)> {
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = specs
+                .chunks(specs.len().div_ceil(clients))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        chunk
+                            .iter()
+                            .map(|spec| {
+                                let mut spec = spec.clone();
+                                spec.idem = Some(
+                                    (spec.fingerprint() ^ salt.wrapping_mul(0x9E37_79B9))
+                                        & ((1 << 53) - 1),
+                                );
+                                let t0 = Instant::now();
+                                let resp = client
+                                    .request(&Json::obj(vec![
+                                        ("op", "submit".into()),
+                                        ("job", spec.to_json()),
+                                    ]))
+                                    .expect("submit");
+                                let id = resp.get("id").and_then(Json::as_u64).expect("id");
+                                let hit = resp.get("store").and_then(Json::as_str) == Some("hit");
+                                client.wait(id, Duration::from_secs(600)).expect("job result");
+                                (t0.elapsed().as_secs_f64() * 1e3, hit)
+                            })
+                            .collect::<Vec<(f64, bool)>>()
+                    })
+                })
+                .collect();
+            joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
+        })
+    };
+    let cold = submit_batch(1);
+    assert!(cold.iter().all(|&(_, hit)| !hit), "cold batch must not hit the store");
+    let hits = submit_batch(2);
+    assert!(hits.iter().all(|&(_, hit)| hit), "resubmission batch must be all store hits");
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let jobs = cold.len() + hits.len();
+    let all_ms: Vec<f64> = cold.iter().chain(hits.iter()).map(|&(ms, _)| ms).collect();
+    let (p50_latency_ms, p99_latency_ms) = p50_p99(all_ms);
+    let (cold_p50_ms, cold_p99_ms) = p50_p99(cold.into_iter().map(|(ms, _)| ms).collect());
+    let (hit_p50_ms, hit_p99_ms) = p50_p99(hits.into_iter().map(|(ms, _)| ms).collect());
+    eprintln!(
+        "service_throughput: store cold p50/p99 {cold_p50_ms:.1}/{cold_p99_ms:.1} ms, \
+         hit p50/p99 {hit_p50_ms:.1}/{hit_p99_ms:.1} ms"
+    );
+
+    Row {
+        topology: "store",
+        shards: 1,
+        workers: 2,
+        jobs,
+        clients,
+        wall_secs,
+        jobs_per_sec: jobs as f64 / wall_secs,
+        mean_queue_ms: 0.0,
+        p95_queue_ms: 0,
+        p50_latency_ms,
+        p99_latency_ms,
+        cold_p50_ms,
+        cold_p99_ms,
+        hit_p50_ms,
+        hit_p99_ms,
+    }
 }

@@ -26,6 +26,20 @@
 //! tracked per thread, so `parent` links reflect each worker thread's
 //! own nesting and events are attributed to the innermost open span of
 //! the emitting thread.
+//!
+//! ## Event families
+//!
+//! Names are dotted `layer.what` strings owned by the emitting layer.
+//! The families currently in use:
+//!
+//! - `bdd.*`, `synth.*` — core synthesis pipeline spans and counters.
+//! - `serve.*` — daemon lifecycle (worker supervision, quarantine,
+//!   retention pruning).
+//! - `store.*` — artifact-store traffic: `store.hit` /
+//!   `store.partial_hit` / `store.miss` / `store.evict` counters, plus
+//!   `store.corrupt`, `store.seed_rejected` and `store.publish_failed`
+//!   warnings. The serve daemon mirrors the counters as
+//!   `stsyn_store_*` Prometheus series via its `metrics` verb.
 
 use crate::json::Json;
 use std::cell::RefCell;

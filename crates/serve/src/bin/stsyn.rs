@@ -25,6 +25,7 @@
 //! stsyn serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--state-dir DIR] [--print-addr]
 //!             [--max-conns N] [--io-timeout SECS] [--quarantine-after K]
+//!             [--store-dir DIR] [--store-cap-bytes N] [--retain-jobs K]
 //! stsyn route --shard HOST:PORT [--shard HOST:PORT ...]
 //!             [--addr HOST:PORT] [--print-addr]
 //!             [--probe-interval-ms MS] [--probe-timeout-ms MS]
@@ -43,6 +44,9 @@
 //! stsyn client --addr HOST:PORT fleet-stats
 //! stsyn client --addr HOST:PORT fleet-metrics
 //! stsyn client --addr HOST:PORT shutdown [--mode drain|checkpoint]
+//! stsyn store stats --addr HOST:PORT
+//! stsyn store gc --addr HOST:PORT [--cap-bytes N]
+//! stsyn store verify --dir PATH
 //! stsyn trace-summary TRACE.ndjson
 //! ```
 //!
@@ -71,6 +75,18 @@
 //! `busy`) with jittered exponential backoff — `--retries` bounds the
 //! attempts, `--retry-base-ms` sets the first delay, and idempotent
 //! submission keys make retried submits safe.
+//!
+//! With `--store-dir` the daemon keeps a content-addressed artifact
+//! store: finished results and checkpoint prefixes are published under
+//! the submission's content fingerprint, resubmissions of identical
+//! content are answered from the store without queueing, and strong
+//! jobs matching a stored budget-free fingerprint warm-start from the
+//! stored checkpoint prefix. `--store-cap-bytes` bounds the store with
+//! LRU eviction, `--retain-jobs K` prunes completed job directories
+//! beyond the newest K once their results are published, and
+//! `stsyn store stats|gc|verify` inspect and maintain it (`verify`
+//! works offline on a store directory; `stats`/`gc` talk to a daemon or
+//! router — the router fans out to every reachable shard).
 //!
 //! Exit codes: 0 success, 1 synthesis failure (including a verification
 //! FAIL), 2 usage error, 3 input error (unreadable file, parse or type
@@ -131,7 +147,8 @@ fn usage_text() -> &'static str {
      [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]\n\
      \x20      stsyn serve [--addr HOST:PORT] [--workers N] [--queue N] \
      [--state-dir DIR] [--print-addr] \
-     [--max-conns N] [--io-timeout SECS] [--quarantine-after K]\n\
+     [--max-conns N] [--io-timeout SECS] [--quarantine-after K] \
+     [--store-dir DIR] [--store-cap-bytes N] [--retain-jobs K]\n\
      \x20      stsyn route --shard HOST:PORT [--shard HOST:PORT ...] [--addr HOST:PORT] \
      [--print-addr] [--probe-interval-ms MS] [--probe-timeout-ms MS] \
      [--down-after K] [--io-timeout SECS]\n\
@@ -140,6 +157,8 @@ fn usage_text() -> &'static str {
      [--weak] [--priority P] [--wait] [--emit-dsl OUT.stsyn]\n\
      \x20      stsyn client --addr HOST:PORT status ID | result ID | cancel ID | ping | stats | \
      metrics | fleet-stats | fleet-metrics | shutdown [--mode drain|checkpoint]\n\
+     \x20      stsyn store stats --addr HOST:PORT | gc --addr HOST:PORT [--cap-bytes N] | \
+     verify --dir PATH\n\
      \x20      stsyn trace-summary TRACE.ndjson\n\
      \x20      one-shot/serve: [--trace PATH] [--trace-level warn|info|debug]; \
      one-shot adds [--metrics]\n\
@@ -154,6 +173,7 @@ fn main() -> ExitCode {
         Some("serve") => serve_main(&argv[1..]),
         Some("route") => route_main(&argv[1..]),
         Some("client") => client_main(&argv[1..]),
+        Some("store") => store_main(&argv[1..]),
         Some("trace-summary") => trace_summary_main(&argv[1..]),
         _ => oneshot_main(&argv),
     };
@@ -554,6 +574,22 @@ fn serve_main(argv: &[String]) -> Result<ExitCode, CliError> {
                         ))
                     })?;
             }
+            "--store-dir" => cfg.store_dir = Some(flag_value(&mut it, "--store-dir")?.into()),
+            "--store-cap-bytes" => {
+                let v = flag_value(&mut it, "--store-cap-bytes")?;
+                cfg.store_cap_bytes = v.parse::<u64>().ok().ok_or_else(|| {
+                    CliError::usage(format!(
+                        "--store-cap-bytes `{v}` is not a byte count (0 = unbounded)"
+                    ))
+                })?;
+            }
+            "--retain-jobs" => {
+                let v = flag_value(&mut it, "--retain-jobs")?;
+                cfg.retain_jobs =
+                    Some(v.parse::<usize>().ok().filter(|&k| k > 0).ok_or_else(|| {
+                        CliError::usage(format!("--retain-jobs `{v}` is not a positive integer"))
+                    })?);
+            }
             "--trace" => trace = Some(flag_value(&mut it, "--trace")?),
             "--trace-level" => {
                 trace_level = parse_trace_level(&flag_value(&mut it, "--trace-level")?)?;
@@ -562,6 +598,11 @@ fn serve_main(argv: &[String]) -> Result<ExitCode, CliError> {
             "--help" | "-h" => return Err(CliError::Usage(None)),
             other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
         }
+    }
+    if cfg.store_dir.is_none() && (cfg.store_cap_bytes != 0 || cfg.retain_jobs.is_some()) {
+        return Err(CliError::usage(
+            "--store-cap-bytes and --retain-jobs need --store-dir (the store is off without it)",
+        ));
     }
     if let Some(path) = &trace {
         cfg.tracer = open_trace(path, trace_level)?;
@@ -792,6 +833,98 @@ fn parse_id(args: &[String]) -> Result<u64, CliError> {
     args.first()
         .and_then(|s| s.parse::<u64>().ok())
         .ok_or_else(|| CliError::usage("expected a numeric job ID"))
+}
+
+// ------------------------------------------------------------------ store
+
+/// `stsyn store stats|gc|verify` — inspect and maintain the artifact
+/// store. `stats` and `gc` talk to a running daemon or router (the
+/// router fans out to every reachable shard); `verify` opens a store
+/// directory offline, re-checks every artifact's CRC, and drops corrupt
+/// entries (exit 1 when any were found).
+fn store_main(argv: &[String]) -> Result<ExitCode, CliError> {
+    let Some(verb) = argv.first().map(String::as_str) else {
+        return Err(CliError::usage("store needs a verb: stats, gc or verify"));
+    };
+    let rest = &argv[1..];
+    let mut addr: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut cap_bytes: Option<u64> = None;
+    let mut it = rest.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(flag_value(&mut it, "--addr")?),
+            "--dir" => dir = Some(flag_value(&mut it, "--dir")?),
+            "--cap-bytes" => {
+                let v = flag_value(&mut it, "--cap-bytes")?;
+                cap_bytes = Some(v.parse::<u64>().ok().ok_or_else(|| {
+                    CliError::usage(format!("--cap-bytes `{v}` is not a byte count"))
+                })?);
+            }
+            "--help" | "-h" => return Err(CliError::Usage(None)),
+            other => return Err(CliError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    match verb {
+        "stats" => {
+            let addr = addr.ok_or_else(|| CliError::usage("store stats needs --addr"))?;
+            let mut client =
+                Client::connect(addr.as_str()).map_err(|e| CliError::Service(e.to_string()))?;
+            let resp = client.store_stats().map_err(map_client_err)?;
+            print_store_response(&resp);
+            Ok(ExitCode::SUCCESS)
+        }
+        "gc" => {
+            let addr = addr.ok_or_else(|| CliError::usage("store gc needs --addr"))?;
+            let mut client =
+                Client::connect(addr.as_str()).map_err(|e| CliError::Service(e.to_string()))?;
+            let resp = client.store_gc(cap_bytes).map_err(map_client_err)?;
+            print_store_response(&resp);
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let dir = dir.ok_or_else(|| CliError::usage("store verify needs --dir PATH"))?;
+            let store = stsyn_store::Store::open(&dir, 0)
+                .map_err(|e| CliError::Input(format!("{dir}: {e}")))?;
+            let report = store
+                .verify()
+                .map_err(|e| CliError::Input(format!("{dir}: verification failed: {e}")))?;
+            println!("verified        {}", report.verified);
+            println!("corrupt_dropped {}", report.corrupt_dropped);
+            if report.corrupt_dropped > 0 {
+                eprintln!("stsyn: store had corrupt entries; they were dropped");
+                return Ok(ExitCode::from(EXIT_SYNTH));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(CliError::usage(format!("unknown store verb `{other}`"))),
+    }
+}
+
+/// Print a `store-stats`/`store-gc` response: scalar totals first, then
+/// one line per shard when a router answered.
+fn print_store_response(resp: &Json) {
+    if let Json::Obj(pairs) = resp {
+        for (k, v) in pairs {
+            match (k.as_str(), v) {
+                ("ok", _) => {}
+                ("shards", Json::Arr(shards)) => {
+                    for shard in shards {
+                        let i = shard.get("shard").and_then(Json::as_u64).unwrap_or(0);
+                        let addr = shard.get("addr").and_then(Json::as_str).unwrap_or("?");
+                        match shard.get("response") {
+                            Some(r) => println!("shard {i} ({addr}): {r}"),
+                            None => println!(
+                                "shard {i} ({addr}): error {}",
+                                shard.get("error").and_then(Json::as_str).unwrap_or("?")
+                            ),
+                        }
+                    }
+                }
+                _ => println!("{k:<16} {v}"),
+            }
+        }
+    }
 }
 
 fn map_client_err(e: ClientError) -> CliError {

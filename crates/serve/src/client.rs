@@ -373,6 +373,24 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics response lacks a metrics field".into()))
     }
 
+    /// Artifact store counters and footprint. Against a daemon this is
+    /// its own store; against a router, per-shard responses plus fleet
+    /// totals. Errors `store-disabled` when no store is configured.
+    pub fn store_stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", "store-stats".into())]))
+    }
+
+    /// Evict store entries down to the configured cap, or to an
+    /// explicit byte-cap override. A router fans the GC out to every
+    /// reachable shard.
+    pub fn store_gc(&mut self, cap_bytes: Option<u64>) -> Result<Json, ClientError> {
+        let mut pairs: Vec<(&str, Json)> = vec![("op", "store-gc".into())];
+        if let Some(cap) = cap_bytes {
+            pairs.push(("cap_bytes", cap.into()));
+        }
+        self.request(&Json::obj(pairs))
+    }
+
     /// Service counters and gauges as Prometheus text-format exposition.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         let resp = self.request(&Json::obj(vec![("op", "metrics".into())]))?;

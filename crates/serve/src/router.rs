@@ -658,6 +658,7 @@ fn dispatch(shared: &Shared, req: &Json) -> Json {
         Some("stats") => op_router_stats(shared),
         Some("fleet-stats") => op_fleet_stats(shared),
         Some("metrics" | "fleet-metrics") => op_fleet_metrics(shared),
+        Some(op @ ("store-stats" | "store-gc")) => op_store_fanout(shared, req, op),
         Some("shutdown") => {
             shared.stop.store(true, Ordering::SeqCst);
             Json::obj(vec![("ok", true.into()), ("role", "router".into())])
@@ -719,6 +720,11 @@ fn op_submit(shared: &Shared, req: &Json) -> Json {
         // The shard already knew this key (e.g. re-route after a router
         // restart): surface the shard-side dedup too.
         pairs.push(("dedup", true.into()));
+    }
+    if let Some(hit) = resp.get("store").and_then(Json::as_str) {
+        // The shard answered from its artifact store: surface that so
+        // clients and benches can tell a cache hit from a synthesis.
+        pairs.push(("store", hit.into()));
     }
     Json::obj(pairs)
 }
@@ -967,6 +973,67 @@ fn op_fleet_stats(shared: &Shared) -> Json {
     Json::obj(pairs)
 }
 
+/// `store-stats` / `store-gc`: fan the store verb out to every
+/// reachable shard and answer with per-shard responses plus fleet
+/// totals (a shard with its store disabled reports but contributes
+/// nothing to the sums). `store-gc` forwards an optional `cap_bytes`
+/// override verbatim.
+fn op_store_fanout(shared: &Shared, req: &Json, op: &str) -> Json {
+    let sum_keys: &[&str] = if op == "store-gc" {
+        &["evicted", "freed_bytes", "entries", "bytes"]
+    } else {
+        &[
+            "entries",
+            "bytes",
+            "hits",
+            "partial_hits",
+            "misses",
+            "evictions",
+            "corrupt_dropped",
+            "publishes",
+            "jobs_pruned",
+        ]
+    };
+    let mut fwd_pairs: Vec<(&str, Json)> = vec![("op", op.into())];
+    if let Some(cap) = req.get("cap_bytes").and_then(Json::as_u64) {
+        fwd_pairs.push(("cap_bytes", cap.into()));
+    }
+    let fwd = Json::obj(fwd_pairs);
+    let mut shard_objs = Vec::with_capacity(shared.shards.len());
+    let mut totals = vec![0u64; sum_keys.len()];
+    let mut reporting = 0u64;
+    for (i, s) in shared.shards.iter().enumerate() {
+        if s.health() == ShardHealth::Down {
+            continue;
+        }
+        let mut pairs: Vec<(&str, Json)> =
+            vec![("shard", (i as u64).into()), ("addr", s.addr.as_str().into())];
+        match shard_request(shared, i, &fwd) {
+            Ok(resp) => {
+                if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                    reporting += 1;
+                    for (slot, key) in totals.iter_mut().zip(sum_keys) {
+                        *slot += resp.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    }
+                }
+                pairs.push(("response", resp));
+            }
+            Err(e) => pairs.push(("error", e.to_string().as_str().into())),
+        }
+        shard_objs.push(Json::obj(pairs));
+    }
+    let mut pairs: Vec<(&str, Json)> = vec![
+        ("ok", true.into()),
+        ("role", "router".into()),
+        ("shards_reporting", reporting.into()),
+    ];
+    for (key, total) in sum_keys.iter().zip(&totals) {
+        pairs.push((key, (*total).into()));
+    }
+    pairs.push(("shards", Json::Arr(shard_objs)));
+    Json::obj(pairs)
+}
+
 /// `fleet-metrics`: Prometheus text aggregating the fleet — router-level
 /// series plus job counters summed across every reachable shard.
 fn op_fleet_metrics(shared: &Shared) -> Json {
@@ -1025,6 +1092,12 @@ fn op_fleet_metrics(shared: &Shared) -> Json {
     let mut queue_depth = 0u64;
     let mut running = 0u64;
     let mut reachable = 0u64;
+    let mut store_hits = 0u64;
+    let mut store_partial = 0u64;
+    let mut store_misses = 0u64;
+    let mut store_evictions = 0u64;
+    let mut store_entries = 0u64;
+    let mut store_bytes = 0u64;
     for (i, s) in shared.shards.iter().enumerate() {
         if s.health() == ShardHealth::Down {
             continue;
@@ -1036,6 +1109,12 @@ fn op_fleet_metrics(shared: &Shared) -> Json {
             failed += get("failed");
             queue_depth += get("queue_depth");
             running += get("running");
+            store_hits += get("store_hits");
+            store_partial += get("store_partial_hits");
+            store_misses += get("store_misses");
+            store_evictions += get("store_evictions");
+            store_entries += get("store_entries");
+            store_bytes += get("store_bytes");
             reachable += 1;
         }
     }
@@ -1046,8 +1125,34 @@ fn op_fleet_metrics(shared: &Shared) -> Json {
             completed,
         )
         .counter("stsyn_fleet_jobs_failed_total", "Jobs failed across reachable shards", failed)
+        .counter(
+            "stsyn_fleet_store_hits_total",
+            "Store exact hits across reachable shards",
+            store_hits,
+        )
+        .counter(
+            "stsyn_fleet_store_partial_hits_total",
+            "Store warm-start seeds across reachable shards",
+            store_partial,
+        )
+        .counter(
+            "stsyn_fleet_store_misses_total",
+            "Store misses across reachable shards",
+            store_misses,
+        )
+        .counter(
+            "stsyn_fleet_store_evictions_total",
+            "Store evictions across reachable shards",
+            store_evictions,
+        )
         .gauge("stsyn_fleet_queue_depth", "Queued jobs across reachable shards", queue_depth as f64)
         .gauge("stsyn_fleet_running", "Running jobs across reachable shards", running as f64)
+        .gauge(
+            "stsyn_fleet_store_entries",
+            "Store entries across reachable shards",
+            store_entries as f64,
+        )
+        .gauge("stsyn_fleet_store_bytes", "Store bytes across reachable shards", store_bytes as f64)
         .gauge(
             "stsyn_fleet_shards_reporting",
             "Shards that answered the stats scrape",

@@ -68,6 +68,7 @@ use std::time::{Duration, Instant};
 use stsyn_core::job::{JobCheckpoint, JobError, JobMode};
 use stsyn_core::SynthesisError;
 use stsyn_obs::{MetricsText, Tracer};
+use stsyn_store::Store;
 use stsyn_symbolic::Resource;
 
 /// File names inside a job directory.
@@ -106,6 +107,17 @@ pub struct ServerConfig {
     pub quarantine_after: u32,
     /// Persistent state directory (created if missing).
     pub state_dir: PathBuf,
+    /// Artifact store directory. `None` (the default) disables the
+    /// store entirely: no admission lookups, no publishes. `stsyn serve
+    /// --store-dir` turns it on (conventionally `state/store/`).
+    pub store_dir: Option<PathBuf>,
+    /// Store byte cap for LRU eviction; 0 = unbounded.
+    pub store_cap_bytes: u64,
+    /// Keep at most this many completed job directories; older completed
+    /// jobs are pruned **only once their result is published to the
+    /// store** (so nothing observable is ever lost — a resubmission gets
+    /// the stored result). `None` disables pruning.
+    pub retain_jobs: Option<usize>,
     /// Tracer for daemon diagnostics and per-job spans. Defaults to
     /// NDJSON warnings on stderr; `stsyn serve --trace` swaps in a file
     /// sink at the requested level.
@@ -123,8 +135,19 @@ impl ServerConfig {
             io_timeout: Duration::from_secs(30),
             quarantine_after: 3,
             state_dir: state_dir.into(),
+            store_dir: None,
+            store_cap_bytes: 0,
+            retain_jobs: None,
             tracer: Tracer::to_stderr(stsyn_obs::TraceLevel::Warn),
         }
+    }
+
+    /// Enable the artifact store under `state/store/` (the conventional
+    /// location) with the given byte cap.
+    pub fn with_store(mut self, cap_bytes: u64) -> ServerConfig {
+        self.store_dir = Some(self.state_dir.join("store"));
+        self.store_cap_bytes = cap_bytes;
+        self
     }
 }
 
@@ -171,6 +194,9 @@ pub struct Counters {
     pub queue_waited: AtomicU64,
     /// Total milliseconds workers spent running jobs (busy time).
     pub run_ms_total: AtomicU64,
+    /// Completed job directories removed by retention GC (their results
+    /// live on in the artifact store).
+    pub pruned: AtomicU64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -210,6 +236,10 @@ struct JobEntry {
     queue_ms: Option<u64>,
     run_ms: Option<u64>,
     resumed: bool,
+    /// The job's checkpoint dir was seeded from a store warm hit; if the
+    /// resume machinery rejects the seed, the job retries cold instead
+    /// of failing.
+    warm: bool,
     /// Terminal payload (the stored `result.json` value) for Done/Failed.
     result: Option<Json>,
 }
@@ -225,6 +255,7 @@ impl JobEntry {
             queue_ms: None,
             run_ms: None,
             resumed: false,
+            warm: false,
             result: None,
         }
     }
@@ -245,6 +276,9 @@ struct Shared {
     stop: AtomicBool,
     shutdown_cancel: Arc<AtomicBool>,
     started: Instant,
+    /// Content-addressed artifact store; `None` when `--store-dir` is
+    /// not configured.
+    store: Option<Store>,
 }
 
 impl Shared {
@@ -319,6 +353,13 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        // The store opens (and recovers) before job recovery, so the
+        // retention pass below can already trust `contains_result`.
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(Store::open(dir, cfg.store_cap_bytes).map_err(io::Error::other)?),
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             queue: PriorityQueue::new(queue_capacity),
             jobs: Mutex::new(HashMap::new()),
@@ -331,9 +372,11 @@ impl Server {
             stop: AtomicBool::new(false),
             shutdown_cancel: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            store,
             cfg,
         });
         recover_jobs(&shared)?;
+        prune_job_dirs(&shared);
 
         let worker_handles: Vec<JoinHandle<()>> =
             (0..workers).map(|_| spawn_worker(&shared)).collect();
@@ -603,12 +646,12 @@ fn run_claimed(shared: &Arc<Shared>, id: u64) {
                 e.state = JobState::Running;
                 let queue_ms = e.queued_at.elapsed().as_millis() as u64;
                 e.queue_ms = Some(queue_ms);
-                Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed, queue_ms))
+                Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed, e.warm, queue_ms))
             }
             _ => None,
         }
     };
-    let Some((spec, cancel, resumed, queue_ms)) = claimed else { return };
+    let Some((spec, cancel, resumed, warm, queue_ms)) = claimed else { return };
 
     // Poison check before burning another attempt on it.
     let dir = shared.job_dir(id);
@@ -642,6 +685,42 @@ fn run_claimed(shared: &Arc<Shared>, id: u64) {
     guard.armed = false;
     drop(guard);
     match outcome {
+        // A warm-seeded checkpoint the resume machinery rejected (which
+        // a matching warm fingerprint should make impossible — this is
+        // the safety net): wipe the seed and retry the job cold rather
+        // than failing it. The store must never make a job worse.
+        Ok(JobOutcome::Failed { code: "checkpoint-error", message }) if warm => {
+            let _ = append_attempt(&dir, "done");
+            shared.cfg.tracer.warn(
+                "store.seed_rejected",
+                &[("job", Json::from(id)), ("message", Json::from(message.as_str()))],
+            );
+            let _ = std::fs::remove_dir_all(dir.join(CKPT_DIR));
+            let priority = {
+                let mut jobs = lock_jobs(shared);
+                match jobs.get_mut(&id) {
+                    Some(e) => {
+                        e.state = JobState::Queued;
+                        e.queued_at = Instant::now();
+                        e.warm = false;
+                        e.resumed = false;
+                        Some(e.spec.priority)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(priority) = priority {
+                if shared.queue.push_recovered(priority, id).is_err() {
+                    record_finish(
+                        shared,
+                        id,
+                        resumed,
+                        run_ms,
+                        JobOutcome::Failed { code: "checkpoint-error", message },
+                    );
+                }
+            }
+        }
         Ok(outcome) => record_finish(shared, id, resumed, run_ms, outcome),
         Err(payload) => handle_crash(shared, id, &panic_message(payload.as_ref())),
     }
@@ -840,6 +919,7 @@ fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished:
     // out of the suspect count without marking it clean-finished.
     let closing = if matches!(finished, JobOutcome::CutByShutdown) { "cut" } else { "done" };
     let _ = append_attempt(&dir, closing);
+    let spec = lock_jobs(shared).get(&id).map(|e| e.spec.clone());
     let (state, result) = match finished {
         JobOutcome::Done { mut result, peak_nodes } => {
             if let Json::Obj(pairs) = &mut result {
@@ -849,12 +929,24 @@ fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished:
             let _ = write_json_atomic(&dir.join(RESULT_FILE), &result);
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             shared.counters.peak_nodes_max.fetch_max(peak_nodes, Ordering::Relaxed);
+            if let Some(spec) = &spec {
+                publish_to_store(shared, spec, &dir, Some(&result));
+            }
             (JobState::Done, Some(result))
         }
         JobOutcome::Failed { code, message } => {
             let result = failed_result(id, code, &message, run_ms);
             let _ = write_json_atomic(&dir.join(RESULT_FILE), &result);
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            // A budget-exhausted run still committed a correct checkpoint
+            // prefix — publish it (without a result) so a resubmission
+            // with a bigger budget warm-starts from where this one ran
+            // out instead of from scratch.
+            if code == "budget-exhausted" {
+                if let Some(spec) = &spec {
+                    publish_to_store(shared, spec, &dir, None);
+                }
+            }
             (JobState::Failed, Some(result))
         }
         JobOutcome::Crashed { message } => {
@@ -871,12 +963,96 @@ fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished:
         // Leave spec + checkpoint untouched: the next daemon resumes it.
         JobOutcome::CutByShutdown => (JobState::Interrupted, None),
     };
-    let mut jobs = lock_jobs(shared);
-    if let Some(e) = jobs.get_mut(&id) {
-        e.state = state;
-        e.run_ms = Some(run_ms);
-        e.result = result;
+    {
+        let mut jobs = lock_jobs(shared);
+        if let Some(e) = jobs.get_mut(&id) {
+            e.state = state;
+            e.run_ms = Some(run_ms);
+            e.result = result;
+        }
     }
+    prune_job_dirs(shared);
+}
+
+/// Publish a finished job's artifacts: its terminal result (when it
+/// completed) and, for strong jobs, the checkpoint prefix it committed.
+/// Quarantined, crashed, cancelled and chaos jobs never reach here.
+fn publish_to_store(shared: &Shared, spec: &SubmitSpec, dir: &Path, result: Option<&Json>) {
+    let Some(store) = &shared.store else { return };
+    if spec.chaos_job().is_some() {
+        return;
+    }
+    let ckpt = dir.join(CKPT_DIR);
+    let ckpt_dir = ckpt.is_dir().then_some(ckpt.as_path());
+    let result_text = result.map(Json::to_string);
+    match store.publish(
+        spec.fingerprint(),
+        spec.warm_fingerprint(),
+        result_text.as_deref(),
+        ckpt_dir,
+    ) {
+        Ok(rep) => {
+            if rep.evicted > 0 {
+                shared.cfg.tracer.counter("store.evict", rep.evicted);
+                shared.cfg.tracer.debug(
+                    "store.evict",
+                    &[
+                        ("evicted", Json::from(rep.evicted)),
+                        ("freed_bytes", Json::from(rep.freed_bytes)),
+                    ],
+                );
+            }
+        }
+        Err(e) => {
+            shared
+                .cfg
+                .tracer
+                .warn("store.publish_failed", &[("message", Json::from(e.to_string()))]);
+        }
+    }
+}
+
+/// Retention GC: keep the newest `retain_jobs` completed job
+/// directories; prune older ones **only** when their result is
+/// published to the store (nothing observable is lost — resubmitting
+/// the same content gets the stored result). The persisted idempotency
+/// map self-prunes with them: it is rebuilt from surviving `spec.json`
+/// files at startup, and the in-memory entries are dropped here.
+fn prune_job_dirs(shared: &Shared) {
+    let Some(keep) = shared.cfg.retain_jobs else { return };
+    let Some(store) = &shared.store else { return };
+    // Collect candidates without holding the registry lock across any
+    // I/O (and never hold `jobs` and `idem` together: admission takes
+    // them in the other order).
+    let mut done: Vec<(u64, u64, Option<u64>)> = lock_jobs(shared)
+        .iter()
+        .filter(|(_, e)| e.state == JobState::Done)
+        .map(|(id, e)| (*id, e.spec.fingerprint(), e.spec.idem))
+        .collect();
+    done.sort_unstable_by_key(|e| std::cmp::Reverse(e.0)); // newest (largest id) first
+    let mut pruned: Vec<(u64, Option<u64>)> = Vec::new();
+    for &(id, fingerprint, idem) in done.iter().skip(keep) {
+        if !store.contains_result(fingerprint) {
+            continue;
+        }
+        if std::fs::remove_dir_all(shared.job_dir(id)).is_ok() {
+            pruned.push((id, idem));
+        }
+    }
+    if pruned.is_empty() {
+        return;
+    }
+    {
+        let mut idem_map = lock_idem(shared);
+        idem_map.retain(|_, mapped| !pruned.iter().any(|&(id, _)| *mapped == id));
+    }
+    let mut jobs = lock_jobs(shared);
+    for &(id, _) in &pruned {
+        jobs.remove(&id);
+    }
+    drop(jobs);
+    shared.counters.pruned.fetch_add(pruned.len() as u64, Ordering::Relaxed);
+    shared.cfg.tracer.debug("serve.jobs_pruned", &[("count", Json::from(pruned.len() as u64))]);
 }
 
 fn failed_result(id: u64, code: &str, message: &str, run_ms: u64) -> Json {
@@ -982,6 +1158,8 @@ fn dispatch(shared: &Shared, req: &Json) -> Json {
         Some("ping") => op_ping(shared),
         Some("stats") => op_stats(shared),
         Some("metrics") => op_metrics(shared),
+        Some("store-stats") => op_store_stats(shared),
+        Some("store-gc") => op_store_gc(shared, req),
         Some("shutdown") => op_shutdown(shared, req),
         Some(other) => err_response("bad-request", &format!("unknown op `{other}`")),
         None => err_response("bad-request", "request needs a string `op` field"),
@@ -1042,8 +1220,13 @@ fn op_submit(shared: &Shared, req: &Json) -> Json {
     }
 }
 
-/// Persist, register and enqueue an already-validated submission.
+/// Persist, register and enqueue an already-validated submission — or
+/// answer it straight from the artifact store when the exact content
+/// key has a published result.
 fn admit_job(shared: &Shared, spec: SubmitSpec) -> Json {
+    if let Some(resp) = store_exact_hit(shared, &spec) {
+        return resp;
+    }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     let dir = shared.job_dir(id);
     let persisted = std::fs::create_dir_all(&dir)
@@ -1052,8 +1235,11 @@ fn admit_job(shared: &Shared, spec: SubmitSpec) -> Json {
         let _ = std::fs::remove_dir_all(&dir);
         return err_response("io-error", &format!("cannot persist job: {e}"));
     }
+    let warm = seed_warm_start(shared, &spec, &dir);
     let priority = spec.priority;
-    lock_jobs(shared).insert(id, JobEntry::new(spec));
+    let mut entry = JobEntry::new(spec);
+    entry.warm = warm;
+    lock_jobs(shared).insert(id, entry);
     match shared.queue.push(priority, id) {
         Ok(()) => {
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -1075,6 +1261,97 @@ fn admit_job(shared: &Shared, spec: SubmitSpec) -> Json {
                 }
                 PushError::Closed => err_response("shutting-down", "daemon is shutting down"),
             }
+        }
+    }
+}
+
+/// Answer a submission from the store when its exact content key has a
+/// published (CRC-verified) result: the job is registered terminal
+/// under a fresh id — persisted like any finished job, so `status`,
+/// `result` and restart recovery all see it — without ever queueing.
+/// Any store trouble (miss, corruption, I/O) falls through to a normal
+/// admission; the store can make a submit cheaper, never break it.
+fn store_exact_hit(shared: &Shared, spec: &SubmitSpec) -> Option<Json> {
+    let store = shared.store.as_ref()?;
+    if spec.chaos_job().is_some() {
+        return None;
+    }
+    let key = spec.fingerprint();
+    let text = match store.lookup_result(key) {
+        Ok(Some(text)) => text,
+        Ok(None) => return None,
+        Err(e) => {
+            // Typed corruption: the store already evicted the entry.
+            shared.cfg.tracer.warn("store.corrupt", &[("message", Json::from(e.to_string()))]);
+            return None;
+        }
+    };
+    let Ok(mut result) = Json::parse(&text) else {
+        // CRC-verified bytes that fail to parse should be impossible;
+        // run the job rather than trust them.
+        return None;
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    if let Json::Obj(pairs) = &mut result {
+        for (k, v) in pairs.iter_mut() {
+            if k == "id" {
+                *v = id.into();
+            }
+        }
+        pairs.push(("store".into(), "hit".into()));
+    }
+    let dir = shared.job_dir(id);
+    let persisted = std::fs::create_dir_all(&dir)
+        .and_then(|()| write_json_atomic(&dir.join(SPEC_FILE), &spec.to_json()))
+        .and_then(|()| write_json_atomic(&dir.join(RESULT_FILE), &result));
+    if persisted.is_err() {
+        let _ = std::fs::remove_dir_all(&dir);
+        return None;
+    }
+    let mut entry = JobEntry::new(spec.clone());
+    entry.state = JobState::Done;
+    entry.queue_ms = Some(0);
+    entry.run_ms = Some(0);
+    entry.result = Some(result);
+    lock_jobs(shared).insert(id, entry);
+    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    shared.cfg.tracer.counter("store.hit", 1);
+    shared.cfg.tracer.debug("store.hit", &[("id", Json::from(id)), ("key", Json::from(key))]);
+    Some(Json::obj(vec![("ok", true.into()), ("id", id.into()), ("store", "hit".into())]))
+}
+
+/// Seed a freshly admitted strong job's checkpoint directory from the
+/// store's best budget-free ("warm") match, so `synthesize_resumable`
+/// replays the prior run's committed prefix instead of recomputing it.
+/// Returns whether the job runs warm-seeded.
+fn seed_warm_start(shared: &Shared, spec: &SubmitSpec, dir: &Path) -> bool {
+    let Some(store) = &shared.store else { return false };
+    // Weak jobs never checkpoint; chaos markers never synthesize.
+    if spec.weak || spec.chaos_job().is_some() {
+        return false;
+    }
+    let ckpt = dir.join(CKPT_DIR);
+    match store.seed_checkpoint(spec.warm_fingerprint(), &ckpt) {
+        Ok(Some(seed)) => {
+            shared.cfg.tracer.counter("store.partial_hit", 1);
+            shared.cfg.tracer.debug(
+                "store.partial_hit",
+                &[
+                    ("source_key", Json::from(seed.source_key)),
+                    ("ranks", Json::from(u64::from(seed.ranks))),
+                ],
+            );
+            true
+        }
+        Ok(None) => {
+            shared.cfg.tracer.counter("store.miss", 1);
+            false
+        }
+        Err(e) => {
+            shared.cfg.tracer.warn("store.corrupt", &[("message", Json::from(e.to_string()))]);
+            let _ = std::fs::remove_dir_all(&ckpt);
+            false
         }
     }
 }
@@ -1187,7 +1464,7 @@ fn op_stats(shared: &Shared) -> Json {
     let c = &shared.counters;
     let busy = shared.busy.load(Ordering::SeqCst);
     let workers = shared.cfg.workers.max(1);
-    Json::obj(vec![
+    let mut pairs = Json::obj(vec![
         ("ok", true.into()),
         ("accepted", c.accepted.load(Ordering::Relaxed).into()),
         ("rejected", c.rejected.load(Ordering::Relaxed).into()),
@@ -1211,7 +1488,22 @@ fn op_stats(shared: &Shared) -> Json {
         ("queue_wait_ms_avg", avg_wait_ms(c).into()),
         ("run_ms_total", c.run_ms_total.load(Ordering::Relaxed).into()),
         ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
-    ])
+    ]);
+    if let (Json::Obj(obj), Some(store)) = (&mut pairs, &shared.store) {
+        let s = store.stats();
+        obj.push(("store_enabled".into(), true.into()));
+        obj.push(("store_entries".into(), s.entries.into()));
+        obj.push(("store_bytes".into(), s.bytes.into()));
+        obj.push(("store_cap_bytes".into(), s.cap_bytes.into()));
+        obj.push(("store_hits".into(), s.hits.into()));
+        obj.push(("store_partial_hits".into(), s.partial_hits.into()));
+        obj.push(("store_misses".into(), s.misses.into()));
+        obj.push(("store_evictions".into(), s.evictions.into()));
+        obj.push(("store_corrupt_dropped".into(), s.corrupt_dropped.into()));
+        obj.push(("store_publishes".into(), s.publishes.into()));
+        obj.push(("jobs_pruned".into(), c.pruned.load(Ordering::Relaxed).into()));
+    }
+    pairs
 }
 
 fn avg_wait_ms(c: &Counters) -> f64 {
@@ -1318,7 +1610,87 @@ fn op_metrics(shared: &Shared) -> Json {
         c.peak_nodes_max.load(Ordering::Relaxed) as f64,
     )
     .gauge("stsyn_uptime_seconds", "Daemon uptime", shared.started.elapsed().as_secs_f64());
+    if let Some(store) = &shared.store {
+        let s = store.stats();
+        m.counter("stsyn_store_hits_total", "Submissions answered from the artifact store", s.hits)
+            .counter(
+                "stsyn_store_partial_hits_total",
+                "Jobs warm-started from a stored checkpoint prefix",
+                s.partial_hits,
+            )
+            .counter("stsyn_store_misses_total", "Store lookups that found nothing", s.misses)
+            .counter("stsyn_store_evictions_total", "Store entries evicted (LRU/GC)", s.evictions)
+            .counter(
+                "stsyn_store_corrupt_dropped_total",
+                "Store entries dropped after failing CRC verification",
+                s.corrupt_dropped,
+            )
+            .counter("stsyn_store_publishes_total", "Artifacts published to the store", s.publishes)
+            .counter(
+                "stsyn_jobs_pruned_total",
+                "Completed job directories removed by retention GC",
+                shared.counters.pruned.load(Ordering::Relaxed),
+            )
+            .gauge("stsyn_store_entries", "Live artifact store entries", s.entries as f64)
+            .gauge("stsyn_store_bytes", "Artifact store footprint in bytes", s.bytes as f64)
+            .gauge(
+                "stsyn_store_cap_bytes",
+                "Configured store byte cap (0 = unbounded)",
+                s.cap_bytes as f64,
+            );
+    }
     Json::obj(vec![("ok", true.into()), ("metrics", m.render().into())])
+}
+
+/// `store-stats` op: the artifact store's counters and footprint.
+fn op_store_stats(shared: &Shared) -> Json {
+    let Some(store) = &shared.store else {
+        return err_response(
+            "store-disabled",
+            "no artifact store configured (start with --store-dir)",
+        );
+    };
+    let s = store.stats();
+    Json::obj(vec![
+        ("ok", true.into()),
+        ("entries", s.entries.into()),
+        ("bytes", s.bytes.into()),
+        ("cap_bytes", s.cap_bytes.into()),
+        ("hits", s.hits.into()),
+        ("partial_hits", s.partial_hits.into()),
+        ("misses", s.misses.into()),
+        ("evictions", s.evictions.into()),
+        ("corrupt_dropped", s.corrupt_dropped.into()),
+        ("publishes", s.publishes.into()),
+        ("jobs_pruned", shared.counters.pruned.load(Ordering::Relaxed).into()),
+    ])
+}
+
+/// `store-gc` op: evict LRU entries down to the configured cap, or to
+/// an explicit `cap_bytes` override carried in the request.
+fn op_store_gc(shared: &Shared, req: &Json) -> Json {
+    let Some(store) = &shared.store else {
+        return err_response(
+            "store-disabled",
+            "no artifact store configured (start with --store-dir)",
+        );
+    };
+    let cap = req.get("cap_bytes").and_then(Json::as_u64);
+    match store.gc(cap) {
+        Ok(rep) => {
+            if rep.evicted > 0 {
+                shared.cfg.tracer.counter("store.evict", rep.evicted);
+            }
+            Json::obj(vec![
+                ("ok", true.into()),
+                ("evicted", rep.evicted.into()),
+                ("freed_bytes", rep.freed_bytes.into()),
+                ("entries", rep.entries.into()),
+                ("bytes", rep.bytes.into()),
+            ])
+        }
+        Err(e) => err_response("io-error", &format!("store gc failed: {e}")),
+    }
 }
 
 fn op_shutdown(shared: &Shared, req: &Json) -> Json {

@@ -168,7 +168,26 @@ impl SubmitSpec {
         }
     }
 
-    fn content_pairs(&self) -> Vec<(&'static str, Json)> {
+    /// The budget-free synthesis identity: what is being synthesized
+    /// (workload, mode, schedule) with the knobs that only shape *how
+    /// long* the run may take (budget, priority) left out. Two specs
+    /// with equal [`SubmitSpec::warm_fingerprint`]s walk byte-identical
+    /// rank layers, which is what lets one job's checkpoint prefix
+    /// warm-start another's run.
+    pub fn warm_fingerprint(&self) -> u64 {
+        let canonical = Json::obj(self.synthesis_pairs()).to_string();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        fold_idem(h)
+    }
+
+    /// The pairs that determine the synthesis walk itself — everything
+    /// [`SubmitSpec::materialize`] feeds into protocol construction and
+    /// scheduling, nothing that only bounds or prioritizes the run.
+    fn synthesis_pairs(&self) -> Vec<(&'static str, Json)> {
         let mut pairs: Vec<(&str, Json)> = Vec::new();
         match &self.source {
             JobSource::Case { name, n, d } => {
@@ -186,6 +205,11 @@ impl SubmitSpec {
         if let Some(s) = &self.schedule {
             pairs.push(("schedule", Json::Arr(s.iter().map(|&i| Json::from(i)).collect())));
         }
+        pairs
+    }
+
+    fn content_pairs(&self) -> Vec<(&'static str, Json)> {
+        let mut pairs = self.synthesis_pairs();
         if self.priority != 0 {
             pairs.push(("priority", self.priority.into()));
         }
@@ -393,6 +417,30 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         let dsl = SubmitSpec::new(JobSource::Dsl("protocol X {\n}".into()));
         assert_ne!(a.fingerprint(), dsl.fingerprint());
+    }
+
+    #[test]
+    fn warm_fingerprint_ignores_budget_and_priority_only() {
+        let base = SubmitSpec::new(JobSource::Case { name: "coloring".into(), n: 3, d: 0 });
+        // Budget and priority knobs change the exact key but not the
+        // warm key — the synthesis walk is identical.
+        let mut budgeted = base.clone();
+        budgeted.timeout_secs = Some(30.0);
+        budgeted.max_nodes = Some(1 << 20);
+        budgeted.max_ticks = Some(1 << 30);
+        budgeted.priority = 5;
+        assert_ne!(base.fingerprint(), budgeted.fingerprint());
+        assert_eq!(base.warm_fingerprint(), budgeted.warm_fingerprint());
+        // Anything that alters the walk alters the warm key too.
+        let mut bigger = base.clone();
+        bigger.source = JobSource::Case { name: "coloring".into(), n: 4, d: 0 };
+        assert_ne!(base.warm_fingerprint(), bigger.warm_fingerprint());
+        let mut weak = base.clone();
+        weak.weak = true;
+        assert_ne!(base.warm_fingerprint(), weak.warm_fingerprint());
+        let mut sched = base;
+        sched.schedule = Some(vec![2, 1, 0]);
+        assert_ne!(sched.warm_fingerprint(), weak.warm_fingerprint());
     }
 
     #[test]

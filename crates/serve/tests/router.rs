@@ -65,11 +65,23 @@ impl Fleet {
     /// `n` single-worker shards with fast fault detection (probe every
     /// 50 ms, two consecutive failures mark a shard down).
     fn start(tag: &str, n: usize) -> Fleet {
+        Fleet::start_cfg(tag, n, false)
+    }
+
+    /// Like [`Fleet::start`], with each shard's artifact store enabled.
+    fn start_with_store(tag: &str, n: usize) -> Fleet {
+        Fleet::start_cfg(tag, n, true)
+    }
+
+    fn start_cfg(tag: &str, n: usize, store: bool) -> Fleet {
         let dir = tempdir::TempDir::new(tag);
         let mut shards = Vec::new();
         let mut links = Vec::new();
         for i in 0..n {
             let mut cfg = ServerConfig::new(dir.path.join(format!("shard{i}")));
+            if store {
+                cfg = cfg.with_store(0);
+            }
             cfg.workers = 1;
             let handle = Server::start(cfg).unwrap();
             links.push(LinkProxy::start(handle.addr()).unwrap());
@@ -225,6 +237,75 @@ fn router_dedups_idempotent_submissions() {
     let router = fs.get("router").unwrap().clone();
     assert_eq!(router.get("accepted").and_then(Json::as_u64), Some(1));
     assert_eq!(router.get("dedup_hits").and_then(Json::as_u64), Some(1));
+
+    fleet.stop();
+}
+
+#[test]
+fn router_fans_out_store_verbs_and_aggregates_store_metrics() {
+    let fleet = Fleet::start_with_store("storestats", 2);
+    let mut client = fleet.client();
+
+    // One completed job on some shard publishes one store entry.
+    let id = client.submit(&case("coloring", 3)).unwrap();
+    let result = client.wait(id, WAIT).unwrap();
+    assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+
+    // store-stats fans out to every live shard and sums the counters.
+    let ss = client.store_stats().unwrap();
+    assert_eq!(ss.get("role").and_then(Json::as_str), Some("router"), "store-stats: {ss}");
+    assert_eq!(ss.get("shards_reporting").and_then(Json::as_u64), Some(2), "store-stats: {ss}");
+    assert_eq!(ss.get("entries").and_then(Json::as_u64), Some(1), "store-stats: {ss}");
+    assert!(ss.get("bytes").and_then(Json::as_u64).unwrap() > 0, "store-stats: {ss}");
+    let shards = match ss.get("shards") {
+        Some(Json::Arr(v)) => v.clone(),
+        other => panic!("store-stats lacks a shards array: {other:?}"),
+    };
+    assert_eq!(shards.len(), 2);
+    assert!(shards.iter().all(|s| s.get("response").is_some()));
+
+    // store-gc with no cap is a fleet-wide no-op that still reports.
+    let gc = client.store_gc(None).unwrap();
+    assert_eq!(gc.get("role").and_then(Json::as_str), Some("router"), "store-gc: {gc}");
+    assert_eq!(gc.get("evicted").and_then(Json::as_u64), Some(0), "store-gc: {gc}");
+    assert_eq!(gc.get("entries").and_then(Json::as_u64), Some(1), "store-gc: {gc}");
+
+    // The fleet exposition carries the aggregated store series.
+    let text = client.fleet_metrics().unwrap();
+    assert!(text.contains("stsyn_fleet_store_entries 1"), "{text}");
+    assert!(text.contains("stsyn_fleet_store_hits_total"), "{text}");
+    assert!(text.contains("stsyn_fleet_store_misses_total"), "{text}");
+
+    fleet.stop();
+}
+
+#[test]
+fn router_surfaces_shard_store_hits() {
+    // One shard, so the resubmission is guaranteed to land where the
+    // artifact was published.
+    let fleet = Fleet::start_with_store("storehit", 1);
+    let mut client = fleet.client();
+
+    let spec = case("matching", 3);
+    let id = client.submit(&spec).unwrap();
+    let first = client.wait(id, WAIT).unwrap();
+    assert_eq!(first.get("state").and_then(Json::as_str), Some("done"));
+
+    // Fresh idempotency key: the shard answers from its store and the
+    // router passes the marker through with its own id.
+    let resp = {
+        let mut s = spec.clone();
+        s.idem = Some(s.fingerprint() ^ 1);
+        client.request(&Json::obj(vec![("op", "submit".into()), ("job", s.to_json())])).unwrap()
+    };
+    assert_eq!(resp.get("store").and_then(Json::as_str), Some("hit"), "resp: {resp}");
+    let hit_id = resp.get("id").and_then(Json::as_u64).unwrap();
+    assert_ne!(hit_id, id);
+    let cached = client.wait(hit_id, WAIT).unwrap();
+    assert_eq!(
+        cached.get("protocol").and_then(Json::as_str),
+        first.get("protocol").and_then(Json::as_str)
+    );
 
     fleet.stop();
 }

@@ -1,0 +1,350 @@
+//! Loopback integration tests of the artifact store: exact-hit answers
+//! from cache, warm-started resubmissions proven byte-identical to cold
+//! runs for every case study, corruption downgraded to a typed miss
+//! (never a stale or wrong result), concurrent identical submissions,
+//! and completed-job retention pruning gated on store publication.
+
+use std::time::{Duration, Instant};
+use stsyn_serve::{
+    Client, ClientError, JobSource, Json, Server, ServerConfig, ShutdownMode, SubmitSpec,
+};
+
+/// Minimal self-cleaning temp dir (no external crate).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempDir {
+        pub path: PathBuf,
+    }
+
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "stsyn-store-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+fn case(name: &str, n: usize) -> SubmitSpec {
+    SubmitSpec::new(JobSource::Case { name: name.into(), n, d: 0 })
+}
+
+fn start(cfg: ServerConfig) -> (stsyn_serve::ServerHandle, std::net::SocketAddr) {
+    let handle = Server::start(cfg).unwrap();
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+const WAIT: Duration = Duration::from_secs(300);
+
+/// Submit through the raw wire (with a fresh idempotency key, so the
+/// daemon's dedup map cannot answer) and return the full response — the
+/// only way to observe the `store` field on a submit answer.
+fn raw_submit(client: &mut Client, spec: &SubmitSpec, salt: u64) -> Json {
+    let mut spec = spec.clone();
+    // Fold to 53 bits: JSON numbers are doubles on the wire.
+    spec.idem =
+        Some((spec.fingerprint() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & ((1 << 53) - 1));
+    client.request(&Json::obj(vec![("op", "submit".into()), ("job", spec.to_json())])).unwrap()
+}
+
+/// The deterministic slice of a result: everything the synthesis
+/// produces, nothing the wall clock touches (`run_ms`, `*_secs`,
+/// `bdd_ticks` and `peak_live_nodes` legitimately differ between a cold
+/// run and a warm-started one).
+fn deterministic_subset(result: &Json) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for k in ["state", "name", "weak", "verified", "schedule", "recovery", "protocol"] {
+        out.push((k.into(), result.get(k).map(|v| v.to_string()).unwrap_or_default()));
+    }
+    if let Some(stats) = result.get("stats") {
+        for k in ["candidates", "groups_added", "max_rank", "finished_in_pass", "program_nodes"] {
+            out.push((
+                format!("stats.{k}"),
+                stats.get(k).map(|v| v.to_string()).unwrap_or_default(),
+            ));
+        }
+    }
+    out
+}
+
+/// Poll until the job is terminal (done or failed); returns the state.
+fn wait_terminal(client: &mut Client, id: u64) -> String {
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let state = client.state(id).unwrap();
+        if state == "done" || state == "failed" {
+            return state;
+        }
+        assert!(Instant::now() < deadline, "job {id} never reached a terminal state ({state})");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn exact_resubmission_hits_the_store_and_survives_restart() {
+    let dir = tempdir::TempDir::new("hit");
+    let mut cfg = ServerConfig::new(&dir.path).with_store(0);
+    cfg.workers = 1;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    let spec = case("coloring", 3);
+    let id1 = client.submit(&spec).unwrap();
+    let r1 = client.wait(id1, WAIT).unwrap();
+    assert_eq!(r1.get("state").and_then(Json::as_str), Some("done"));
+
+    // Same content, fresh idempotency key: the store answers without
+    // queueing — a brand-new id, already terminal, same bytes.
+    let resp = raw_submit(&mut client, &spec, 1);
+    assert_eq!(resp.get("store").and_then(Json::as_str), Some("hit"), "resp: {resp}");
+    let id2 = resp.get("id").and_then(Json::as_u64).unwrap();
+    assert_ne!(id1, id2, "a store hit is a new logical submission");
+    assert_eq!(client.state(id2).unwrap(), "done", "a hit job must be born terminal");
+    let r2 = client.result(id2).unwrap();
+    assert_eq!(deterministic_subset(&r1), deterministic_subset(&r2));
+    assert_eq!(r2.get("store").and_then(Json::as_str), Some("hit"));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("store_hits").and_then(Json::as_u64), Some(1), "stats: {stats}");
+    assert!(stats.get("store_entries").and_then(Json::as_u64).unwrap() >= 1, "stats: {stats}");
+    let ss = client.store_stats().unwrap();
+    assert_eq!(ss.get("hits").and_then(Json::as_u64), Some(1), "store-stats: {ss}");
+    assert!(client.metrics().unwrap().contains("stsyn_store_hits_total 1"));
+
+    // The store and the hit job both survive a restart: the cached
+    // result is still served and the index still answers.
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+    let (handle, addr) = start(ServerConfig::new(&dir.path).with_store(0));
+    let mut client = Client::connect(addr).unwrap();
+    let r2_again = client.result(id2).unwrap();
+    assert_eq!(deterministic_subset(&r2), deterministic_subset(&r2_again));
+    let resp = raw_submit(&mut client, &spec, 2);
+    assert_eq!(resp.get("store").and_then(Json::as_str), Some("hit"), "resp: {resp}");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn warm_start_matches_cold_run_for_every_case_study() {
+    let cases = ["coloring", "matching", "token_ring", "two_ring", "mis"];
+
+    // Cold references: a store-less daemon, full budget.
+    let cold_dir = tempdir::TempDir::new("cold");
+    let mut cfg = ServerConfig::new(&cold_dir.path);
+    cfg.workers = 1;
+    let (cold, cold_addr) = start(cfg);
+    let mut cold_client = Client::connect(cold_addr).unwrap();
+    let cold_results: Vec<Json> = cases
+        .iter()
+        .map(|name| {
+            let id = cold_client.submit(&case(name, 3)).unwrap();
+            cold_client.wait(id, WAIT).unwrap()
+        })
+        .collect();
+    cold.shutdown(ShutdownMode::Drain);
+    cold.join();
+
+    // Warm runs: a tiny tick budget first (its checkpoint prefix is
+    // published even though the job fails), then the full-budget spec —
+    // which shares a warm key but not an exact key, so it seeds from the
+    // stored checkpoint instead of starting from scratch.
+    let warm_dir = tempdir::TempDir::new("warm");
+    let mut cfg = ServerConfig::new(&warm_dir.path).with_store(0);
+    cfg.workers = 1;
+    let (warm, warm_addr) = start(cfg);
+    let mut client = Client::connect(warm_addr).unwrap();
+    for (name, cold_result) in cases.iter().zip(&cold_results) {
+        let mut capped = case(name, 3);
+        capped.max_ticks = Some(500);
+        let id = client.submit(&capped).unwrap();
+        let state = wait_terminal(&mut client, id);
+        if state == "failed" {
+            match client.result(id) {
+                Err(ClientError::Rejected { code, .. }) => assert_eq!(code, "budget-exhausted"),
+                other => panic!("expected budget-exhausted for {name}, got {other:?}"),
+            }
+        }
+
+        let id = client.submit(&case(name, 3)).unwrap();
+        let result = client.wait(id, WAIT).unwrap();
+        assert_eq!(
+            deterministic_subset(cold_result),
+            deterministic_subset(&result),
+            "warm-started {name} diverged from the cold run"
+        );
+        // Warm-seeding is a cache detail, not a semantic difference: the
+        // result must not claim it resumed an interrupted job.
+        assert_eq!(result.get("resumed").and_then(Json::as_bool), Some(false));
+    }
+    let ss = client.store_stats().unwrap();
+    assert_eq!(
+        ss.get("partial_hits").and_then(Json::as_u64),
+        Some(cases.len() as u64),
+        "every full-budget resubmission must warm-start: {ss}"
+    );
+
+    warm.shutdown(ShutdownMode::Drain);
+    warm.join();
+}
+
+#[test]
+fn corrupt_artifacts_degrade_to_a_miss_never_a_wrong_result() {
+    let dir = tempdir::TempDir::new("corrupt");
+    let mut cfg = ServerConfig::new(&dir.path).with_store(0);
+    cfg.workers = 1;
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    let spec = case("coloring", 3);
+    let id = client.submit(&spec).unwrap();
+    let reference = client.wait(id, WAIT).unwrap();
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+
+    // Flip bytes in every stored artifact — result and checkpoint alike.
+    let objects = dir.path.join("store").join("objects");
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&objects).unwrap() {
+        let obj = entry.unwrap().path();
+        for file in [obj.join("result.json"), obj.join("ckpt").join("journal.bin")] {
+            if file.exists() {
+                let mut bytes = std::fs::read(&file).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xFF;
+                std::fs::write(&file, bytes).unwrap();
+                corrupted += 1;
+            }
+        }
+    }
+    assert!(corrupted >= 2, "expected a stored result and checkpoint to corrupt");
+
+    // The daemon reopens the store, the resubmission misses (CRC check),
+    // the warm seed is rejected (CRC check), and the job runs fresh to
+    // the same answer. Nothing stale or corrupt ever reaches the client.
+    let (handle, addr) = start(ServerConfig::new(&dir.path).with_store(0));
+    let mut client = Client::connect(addr).unwrap();
+    let resp = raw_submit(&mut client, &spec, 7);
+    assert!(resp.get("store").is_none(), "a corrupt entry must not answer: {resp}");
+    let id = resp.get("id").and_then(Json::as_u64).unwrap();
+    let rerun = client.wait(id, WAIT).unwrap();
+    assert_eq!(deterministic_subset(&reference), deterministic_subset(&rerun));
+    let ss = client.store_stats().unwrap();
+    assert!(
+        ss.get("corrupt_dropped").and_then(Json::as_u64).unwrap() >= 1,
+        "the corrupt entry must be detected and dropped: {ss}"
+    );
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn concurrent_identical_submissions_mix_hits_and_runs_consistently() {
+    let dir = tempdir::TempDir::new("concurrent");
+    let mut cfg = ServerConfig::new(&dir.path).with_store(0);
+    cfg.workers = 3;
+    let (handle, addr) = start(cfg);
+
+    let spec = case("matching", 3);
+    let joins: Vec<_> = (0..8)
+        .map(|_| {
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let id = client.submit(&spec).unwrap();
+                let result = client.wait(id, WAIT).unwrap();
+                assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+                deterministic_subset(&result)
+                    .into_iter()
+                    .filter(|(k, _)| k != "state")
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let subsets: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    for s in &subsets[1..] {
+        assert_eq!(&subsets[0], s, "hit results and executed results must agree");
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("accepted").and_then(Json::as_u64), Some(8), "stats: {stats}");
+    let ss = client.store_stats().unwrap();
+    assert!(ss.get("publishes").and_then(Json::as_u64).unwrap() >= 1, "store-stats: {ss}");
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}
+
+#[test]
+fn retention_prunes_published_job_dirs_and_the_dedup_map() {
+    let dir = tempdir::TempDir::new("retain");
+    let mut cfg = ServerConfig::new(&dir.path).with_store(0);
+    cfg.workers = 1;
+    cfg.retain_jobs = Some(2);
+    let (handle, addr) = start(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    let specs =
+        [case("coloring", 3), case("matching", 3), case("token_ring", 3), case("two_ring", 3)];
+    let mut ids = Vec::new();
+    for spec in &specs {
+        let id = client.submit_dedup(spec).unwrap();
+        client.wait(id, WAIT).unwrap();
+        ids.push(id);
+    }
+
+    // Only the two newest completed job dirs survive; the older two were
+    // published to the store first, so nothing observable is lost.
+    for (i, &id) in ids.iter().enumerate() {
+        let job_dir = dir.path.join("jobs").join(format!("{id:08}"));
+        if i < 2 {
+            assert!(!job_dir.exists(), "job {id} should have been pruned");
+        } else {
+            assert!(job_dir.exists(), "job {id} is within the retention window");
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert!(stats.get("jobs_pruned").and_then(Json::as_u64).unwrap() >= 2, "stats: {stats}");
+
+    // The dedup map forgot the pruned ids (no dangling references), and a
+    // content-addressed resubmission is answered by the store instead.
+    let resp = raw_submit(&mut client, &specs[0], 11);
+    assert_eq!(resp.get("store").and_then(Json::as_str), Some("hit"), "resp: {resp}");
+    assert_ne!(resp.get("id").and_then(Json::as_u64), Some(ids[0]));
+    // An id inside the window still dedups to its original job.
+    assert_eq!(client.submit_dedup(&specs[3]).unwrap(), ids[3]);
+
+    // `store gc` over the wire: with no cap nothing is evicted.
+    let gc = client.store_gc(None).unwrap();
+    assert_eq!(gc.get("evicted").and_then(Json::as_u64), Some(0), "gc: {gc}");
+    assert!(gc.get("entries").and_then(Json::as_u64).unwrap() >= 4, "gc: {gc}");
+    // A 1-byte cap evicts everything; the stored results are gone but
+    // resubmission still works — it just runs again.
+    let gc = client.store_gc(Some(1)).unwrap();
+    assert!(gc.get("evicted").and_then(Json::as_u64).unwrap() >= 4, "gc: {gc}");
+    let resp = raw_submit(&mut client, &specs[0], 12);
+    assert!(resp.get("store").is_none(), "an evicted entry must not answer: {resp}");
+    let id = resp.get("id").and_then(Json::as_u64).unwrap();
+    assert_eq!(client.wait(id, WAIT).unwrap().get("state").and_then(Json::as_str), Some("done"));
+
+    handle.shutdown(ShutdownMode::Drain);
+    handle.join();
+}

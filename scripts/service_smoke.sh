@@ -168,6 +168,45 @@ client shutdown --mode drain >/dev/null
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
 
+echo "== artifact store: resubmission hits, gc, offline verify =="
+"$STSYN" serve --addr 127.0.0.1:0 --workers 1 --state-dir "$WORK/state-store" \
+    --store-dir "$WORK/state-store/store" --print-addr >"$WORK/daemon-store.out" &
+DAEMON_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$WORK/daemon-store.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: store daemon never printed its address" >&2; exit 1; }
+client submit "examples/protocols/coloring5.stsyn" --wait --quiet \
+    --emit-dsl "$WORK/coloring5.cold.stsyn" >/dev/null
+# Same workload again: answered from the store, no second execution.
+client submit "examples/protocols/coloring5.stsyn" --wait --quiet \
+    --emit-dsl "$WORK/coloring5.hit.stsyn" >/dev/null
+diff -q "$WORK/coloring5.cold.stsyn" "$WORK/coloring5.hit.stsyn" >/dev/null \
+    || { echo "FAIL: store-hit result differs from the cold run" >&2; exit 1; }
+client metrics | grep -q '^stsyn_store_hits_total 1$' \
+    || { echo "FAIL: metrics did not count the store hit" >&2; exit 1; }
+"$STSYN" store stats --addr "$ADDR" | grep -Eq '^entries *1$' \
+    || { echo "FAIL: store stats does not report 1 entry" >&2; exit 1; }
+# A 1-byte cap evicts the entry; the next resubmission runs fresh.
+"$STSYN" store gc --addr "$ADDR" --cap-bytes 1 | grep -Eq '^evicted *1$' \
+    || { echo "FAIL: store gc did not evict the entry" >&2; exit 1; }
+client submit "examples/protocols/coloring5.stsyn" --wait --quiet \
+    --emit-dsl "$WORK/coloring5.post-gc.stsyn" >/dev/null
+diff -q "$WORK/coloring5.cold.stsyn" "$WORK/coloring5.post-gc.stsyn" >/dev/null \
+    || { echo "FAIL: post-gc rerun differs from the cold run" >&2; exit 1; }
+client metrics | grep -q '^stsyn_store_hits_total 1$' \
+    || { echo "FAIL: evicted entry still answered a resubmission" >&2; exit 1; }
+echo "OK: resubmission hit the store; gc evicted; rerun byte-identical"
+client shutdown --mode drain >/dev/null
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+"$STSYN" store verify --dir "$WORK/state-store/store" \
+    || { echo "FAIL: offline store verify reported corruption" >&2; exit 1; }
+echo "OK: offline store verify clean"
+
 echo "== fleet: 3 shards behind a router, one SIGKILLed mid-job =="
 SHARD_ADDRS=""
 SHARD_PIDS=""
