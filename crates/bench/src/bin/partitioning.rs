@@ -1,0 +1,124 @@
+//! `partitioning` — measure the partitioned and saturation engines
+//! against the monolithic baseline on every case study.
+//!
+//! ```text
+//! cargo run --release -p stsyn-bench --bin partitioning            # full sizes, writes results/partitioning.csv
+//! cargo run --release -p stsyn-bench --bin partitioning -- --fast --check   # CI: small sizes, enforce invariants
+//! ```
+//!
+//! Every instance runs under all three `--engine` values; the report
+//! prints peak live BDD nodes, apply-cache hit rate and per-phase wall
+//! times side by side. With `--check` the run exits non-zero when
+//!
+//! * any engine's synthesized protocol text differs from the
+//!   monolithic engine's (they must be byte-identical), or
+//! * the better of the partitioned/saturation peaks regresses more
+//!   than 15% above the monolithic peak on any case study (the slack
+//!   covers instances whose ranking is too cheap for early
+//!   quantification to pay back the clusters' extra live structure —
+//!   `mis` sits ~12% over at every size; a broken engine blows far
+//!   past it), or
+//! * fewer than 3 of the 5 case studies strictly improve their peak.
+//!
+//! `--fast` shrinks the instances to CI-friendly seconds and skips the
+//! CSV write so the committed full-size `results/partitioning.csv` is
+//! never clobbered by a reduced run.
+
+use std::process::ExitCode;
+use stsyn_bench::{engine_rows_to_csv, partitioning_cases, partitioning_run, EngineRow};
+use stsyn_core::Engine;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let check = args.iter().any(|a| a == "--check");
+    if let Some(bad) = args.iter().find(|a| *a != "--fast" && *a != "--check") {
+        eprintln!("partitioning: unexpected argument `{bad}` (flags: --fast --check)");
+        return ExitCode::from(2);
+    }
+
+    let mut rows: Vec<EngineRow> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut cases_run = 0usize;
+    let mut cases_improved = 0usize;
+    println!(
+        "{:<12} {:<12} {:>6} {:>12} {:>10} {:>10} {:>10} {:>9}",
+        "case", "engine", "procs", "peak nodes", "hit rate", "rank (s)", "total (s)", "verified"
+    );
+    for (case, p, i) in partitioning_cases(fast) {
+        let engines = [Engine::Monolithic, Engine::Partitioned, Engine::Saturation];
+        let case_rows: Vec<EngineRow> = engines
+            .into_iter()
+            .map(|e| {
+                eprintln!("running {case} under {e}…");
+                partitioning_run(case, p.clone(), i.clone(), e)
+            })
+            .collect();
+        for r in &case_rows {
+            println!(
+                "{:<12} {:<12} {:>6} {:>12} {:>10.4} {:>10.4} {:>10.4} {:>9}",
+                r.case,
+                r.engine.as_str(),
+                r.processes,
+                r.peak_nodes,
+                r.cache_hit_rate,
+                r.ranking_secs,
+                r.total_secs,
+                r.verified
+            );
+        }
+        let mono = &case_rows[0];
+        for other in &case_rows[1..] {
+            if other.dsl != mono.dsl {
+                failures
+                    .push(format!("{case}: {} synthesized different protocol text", other.engine));
+            }
+            if !other.verified {
+                failures.push(format!("{case}: {} failed verification", other.engine));
+            }
+        }
+        let best_part = case_rows[1..].iter().map(|r| r.peak_nodes).min().expect("two engines");
+        cases_run += 1;
+        if best_part < mono.peak_nodes {
+            cases_improved += 1;
+        }
+        let delta =
+            100.0 * (best_part as f64 - mono.peak_nodes as f64) / mono.peak_nodes.max(1) as f64;
+        println!(
+            "  -> {case}: peak {best_part} vs {} monolithic ({delta:+.1}% nodes)",
+            mono.peak_nodes
+        );
+        if best_part as f64 > mono.peak_nodes as f64 * 1.15 {
+            failures.push(format!(
+                "{case}: partitioned peak {best_part} regresses {delta:+.1}% above \
+                 monolithic {} (tolerance 15%)",
+                mono.peak_nodes
+            ));
+        }
+        rows.extend(case_rows);
+    }
+    if cases_improved * 5 < cases_run * 3 {
+        failures.push(format!(
+            "only {cases_improved} of {cases_run} case studies improved their peak \
+             (need at least 3 of 5)"
+        ));
+    }
+    println!("\npeak live nodes improved on {cases_improved} of {cases_run} case studies");
+
+    if !fast {
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/partitioning.csv", engine_rows_to_csv(&rows))
+            .expect("write results/partitioning.csv");
+        println!("\nwrote results/partitioning.csv ({} rows)", rows.len());
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("partitioning: FAIL: {f}");
+        }
+        if check {
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

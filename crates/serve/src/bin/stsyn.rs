@@ -19,6 +19,7 @@
 //!
 //! ```text
 //! stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric]
+//!            [--engine monolithic|partitioned|saturation]
 //!            [--timeout SECS] [--max-nodes N]
 //!            [--checkpoint-dir DIR] [--resume]
 //!            [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]
@@ -32,8 +33,8 @@
 //!             [--down-after K] [--io-timeout SECS]
 //! stsyn client --addr HOST:PORT [--retries N] [--retry-base-ms MS]
 //!              submit (FILE | --case NAME --n N [--d D])
-//!              [--weak] [--schedule 1,2,3,0] [--priority P] [--timeout SECS]
-//!              [--max-nodes N] [--max-ticks N]
+//!              [--weak] [--schedule 1,2,3,0] [--engine ENGINE] [--priority P]
+//!              [--timeout SECS] [--max-nodes N] [--max-ticks N]
 //!              [--wait [--wait-secs S]] [--emit-dsl OUT.stsyn] [--quiet]
 //! stsyn client --addr HOST:PORT status ID
 //! stsyn client --addr HOST:PORT result ID [--emit-dsl OUT.stsyn] [--quiet]
@@ -64,7 +65,9 @@
 //! uninterrupted run. Checkpointing applies to strong single-schedule
 //! synthesis only (`--weak` and `--parallel` are rejected alongside it).
 //! The daemon applies the same machinery per job, which is what lets a
-//! `SIGKILL`ed daemon resume its in-flight jobs on restart.
+//! `SIGKILL`ed daemon resume its in-flight jobs on restart. A journal
+//! records which `--engine` wrote it; resuming under a different engine
+//! is a checkpoint mismatch (exit 5), never a silently different walk.
 //!
 //! The daemon hardens itself against hostile or unlucky clients and
 //! jobs: `--max-conns` caps concurrent connections (excess ones get a
@@ -109,7 +112,7 @@ use stsyn_serve::{
     ShutdownMode, SubmitSpec,
 };
 use stsyn_symbolic::scc::SccAlgorithm;
-use stsyn_symbolic::Budget;
+use stsyn_symbolic::{Budget, Engine};
 
 const EXIT_SYNTH: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -142,6 +145,7 @@ impl CliError {
 
 fn usage_text() -> &'static str {
     "usage: stsyn FILE [--weak] [--schedule 1,2,3,0] [--parallel] [--symmetric] \
+     [--engine monolithic|partitioned|saturation] \
      [--timeout SECS] [--max-nodes N] \
      [--checkpoint-dir DIR] [--resume] \
      [--emit-dsl OUT.stsyn] [--scc skeleton|lockstep|xiebeerel] [--quiet]\n\
@@ -154,7 +158,7 @@ fn usage_text() -> &'static str {
      [--down-after K] [--io-timeout SECS]\n\
      \x20      stsyn client --addr HOST:PORT [--retries N] [--retry-base-ms MS] \
      submit (FILE | --case NAME --n N [--d D]) \
-     [--weak] [--priority P] [--wait] [--emit-dsl OUT.stsyn]\n\
+     [--weak] [--engine ENGINE] [--priority P] [--wait] [--emit-dsl OUT.stsyn]\n\
      \x20      stsyn client --addr HOST:PORT status ID | result ID | cancel ID | ping | stats | \
      metrics | fleet-stats | fleet-metrics | shutdown [--mode drain|checkpoint]\n\
      \x20      stsyn store stats --addr HOST:PORT | gc --addr HOST:PORT [--cap-bytes N] | \
@@ -223,6 +227,7 @@ struct Args {
     symmetric: bool,
     emit_dsl: Option<String>,
     schedule: Option<Vec<usize>>,
+    engine: Engine,
     scc: SccAlgorithm,
     timeout: Option<f64>,
     max_nodes: Option<usize>,
@@ -242,6 +247,7 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         symmetric: false,
         emit_dsl: None,
         schedule: None,
+        engine: Engine::Monolithic,
         scc: SccAlgorithm::Skeleton,
         timeout: None,
         max_nodes: None,
@@ -261,6 +267,9 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
             "--emit-dsl" => args.emit_dsl = Some(flag_value(&mut it, "--emit-dsl")?),
             "--schedule" => {
                 args.schedule = Some(parse_schedule(&flag_value(&mut it, "--schedule")?)?);
+            }
+            "--engine" => {
+                args.engine = parse_engine(&flag_value(&mut it, "--engine")?)?;
             }
             "--scc" => {
                 args.scc = match flag_value(&mut it, "--scc")?.as_str() {
@@ -325,6 +334,12 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
     Ok(args)
 }
 
+fn parse_engine(v: &str) -> Result<Engine, CliError> {
+    Engine::parse(v).ok_or_else(|| {
+        CliError::usage(format!("--engine `{v}` is not monolithic|partitioned|saturation"))
+    })
+}
+
 fn parse_trace_level(v: &str) -> Result<TraceLevel, CliError> {
     TraceLevel::parse(v)
         .ok_or_else(|| CliError::usage(format!("--trace-level `{v}` is not warn|info|debug")))
@@ -361,6 +376,7 @@ fn oneshot_main(argv: &[String]) -> Result<ExitCode, CliError> {
         JobMode::Strong
     };
     job.schedule = args.schedule.clone();
+    job.engine = args.engine;
     job.scc = args.scc;
     job.symmetric = args.symmetric;
     job.budget = build_budget(args.timeout, args.max_nodes);
@@ -973,6 +989,9 @@ fn client_submit(client: &mut Client, args: &[String]) -> Result<ExitCode, CliEr
             "--weak" => spec.weak = true,
             "--schedule" => {
                 spec.schedule = Some(parse_schedule(&flag_value(&mut it, "--schedule")?)?);
+            }
+            "--engine" => {
+                spec.engine = parse_engine(&flag_value(&mut it, "--engine")?)?;
             }
             "--priority" => {
                 spec.priority = flag_value(&mut it, "--priority")?

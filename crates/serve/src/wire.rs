@@ -13,7 +13,7 @@
 use crate::json::Json;
 use std::io::{self, BufRead, Read};
 use stsyn_core::job::{JobMode, JobSpec};
-use stsyn_symbolic::Budget;
+use stsyn_symbolic::{Budget, Engine};
 
 /// Hard cap on one request line (framing bound, checked before parsing).
 pub const MAX_REQUEST_BYTES: usize = 4 << 20;
@@ -103,6 +103,11 @@ pub struct SubmitSpec {
     pub weak: bool,
     /// Explicit recovery schedule (process indices).
     pub schedule: Option<Vec<usize>>,
+    /// Image/preimage engine for the symbolic walk. Part of the
+    /// synthesis identity (it changes which checkpoints are
+    /// compatible), but only emitted on the wire when non-default so
+    /// pre-existing spec files and warm fingerprints stay valid.
+    pub engine: Engine,
     /// Queue priority; higher pops first, default 0.
     pub priority: i64,
     /// Wall-clock budget in seconds.
@@ -127,6 +132,7 @@ impl SubmitSpec {
             source,
             weak: false,
             schedule: None,
+            engine: Engine::Monolithic,
             priority: 0,
             timeout_secs: None,
             max_nodes: None,
@@ -205,6 +211,9 @@ impl SubmitSpec {
         if let Some(s) = &self.schedule {
             pairs.push(("schedule", Json::Arr(s.iter().map(|&i| Json::from(i)).collect())));
         }
+        if self.engine != Engine::Monolithic {
+            pairs.push(("engine", self.engine.as_str().into()));
+        }
         pairs
     }
 
@@ -258,6 +267,11 @@ impl SubmitSpec {
                         as usize);
             }
             spec.schedule = Some(order);
+        }
+        if let Some(e) = v.get("engine") {
+            let name = e.as_str().ok_or("`engine` must be a string")?;
+            spec.engine = Engine::parse(name)
+                .ok_or("`engine` must be monolithic, partitioned or saturation")?;
         }
         if let Some(p) = v.get("priority") {
             spec.priority = p.as_i64().ok_or("`priority` must be an integer")?;
@@ -337,6 +351,7 @@ impl SubmitSpec {
         let mut job = JobSpec::new(name, protocol, invariant);
         job.mode = if self.weak { JobMode::Weak } else { JobMode::Strong };
         job.schedule = self.schedule.clone();
+        job.engine = self.engine;
         job.budget = self.budget();
         job.validate().map_err(|e| e.to_string())?;
         Ok(job)
@@ -352,6 +367,7 @@ mod tests {
         let mut spec = SubmitSpec::new(JobSource::Case { name: "token_ring".into(), n: 4, d: 3 });
         spec.weak = true;
         spec.schedule = Some(vec![1, 2, 3, 0]);
+        spec.engine = Engine::Partitioned;
         spec.priority = -2;
         spec.timeout_secs = Some(1.5);
         spec.max_nodes = Some(100_000);
@@ -438,9 +454,32 @@ mod tests {
         let mut weak = base.clone();
         weak.weak = true;
         assert_ne!(base.warm_fingerprint(), weak.warm_fingerprint());
-        let mut sched = base;
+        let mut sched = base.clone();
         sched.schedule = Some(vec![2, 1, 0]);
         assert_ne!(sched.warm_fingerprint(), weak.warm_fingerprint());
+        // The engine changes which rank layers a checkpoint encodes, so
+        // it is part of the warm identity — but the default engine is
+        // not emitted, keeping pre-engine fingerprints stable.
+        let mut part = base.clone();
+        part.engine = Engine::Partitioned;
+        assert_ne!(base.warm_fingerprint(), part.warm_fingerprint());
+        assert_eq!(base.to_json().get("engine"), None);
+    }
+
+    #[test]
+    fn engine_field_parses_and_rejects_unknown_names() {
+        let good = Json::obj(vec![
+            ("case", "coloring".into()),
+            ("n", 3u64.into()),
+            ("engine", "saturation".into()),
+        ]);
+        assert_eq!(SubmitSpec::from_json(&good).unwrap().engine, Engine::Saturation);
+        let bad = Json::obj(vec![
+            ("case", "coloring".into()),
+            ("n", 3u64.into()),
+            ("engine", "quantum".into()),
+        ]);
+        assert!(SubmitSpec::from_json(&bad).unwrap_err().contains("engine"));
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct JobSpec {
     pub schedule: Option<Vec<usize>>,
     /// Symbolic SCC algorithm for cycle resolution.
     pub scc: SccAlgorithm,
+    /// Image/preimage engine: monolithic (default), partitioned, or
+    /// saturation. All engines emit byte-identical protocols; see
+    /// [`stsyn_symbolic::Engine`].
+    pub engine: stsyn_symbolic::Engine,
     /// Add recovery orbit-atomically under ring-rotation symmetry.
     pub symmetric: bool,
     /// Resource budget (node / tick / deadline / cancellation limits).
@@ -150,6 +154,7 @@ impl JobSpec {
             mode: JobMode::Strong,
             schedule: None,
             scc: SccAlgorithm::Skeleton,
+            engine: stsyn_symbolic::Engine::Monolithic,
             symmetric: false,
             budget: None,
             checkpoint: None,
@@ -215,6 +220,7 @@ impl JobSpec {
         };
         let opts = Options {
             scc: self.scc,
+            engine: self.engine,
             symmetry,
             budget: self.budget.clone(),
             tracer: self.tracer.clone(),

@@ -26,6 +26,16 @@ pub(crate) const INFALLIBLE: &str = "budget exhausted inside an infallible synth
 pub struct Options {
     /// Which symbolic SCC algorithm `Identify_Resolve_Cycles` uses.
     pub scc: SccAlgorithm,
+    /// Which image/preimage engine drives ranking and verification:
+    /// monolithic (default), partitioned (clustered relational product
+    /// with early quantification), or saturation (partitioned, plus
+    /// saturation-ordered closure firing). All engines produce
+    /// byte-identical protocols; the non-monolithic ones trade a little
+    /// bookkeeping for much smaller intermediate BDDs on larger
+    /// instances. Included in checkpoint fingerprints (only when
+    /// non-default), so a journal is resumed under the engine that wrote
+    /// it.
+    pub engine: stsyn_symbolic::Engine,
     /// When set, recovery groups are added orbit-atomically under this
     /// topology automorphism, so the synthesized protocol is symmetric by
     /// construction (§VIII "Symmetry"). `None` reproduces the paper's
@@ -50,6 +60,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             scc: SccAlgorithm::Skeleton,
+            engine: stsyn_symbolic::Engine::Monolithic,
             symmetry: None,
             budget: None,
             tracer: stsyn_obs::Tracer::disabled(),

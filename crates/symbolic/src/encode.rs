@@ -34,6 +34,7 @@ struct VarBits {
 pub struct SymbolicContext {
     protocol: Protocol,
     mgr: Manager,
+    order: VarOrder,
     bits: Vec<VarBits>,
     /// Conjunction of valid-code constraints over current bits.
     valid_cur: Bdd,
@@ -182,6 +183,7 @@ impl SymbolicContext {
         SymbolicContext {
             protocol,
             mgr,
+            order,
             bits,
             valid_cur,
             valid_primed,
@@ -235,6 +237,24 @@ impl SymbolicContext {
     /// The encoded protocol.
     pub fn protocol(&self) -> &Protocol {
         &self.protocol
+    }
+
+    /// The variable layout this context was built with. Partial renames
+    /// (as used by the partitioned engines) are only order-preserving
+    /// under [`VarOrder::Interleaved`].
+    pub fn var_order(&self) -> VarOrder {
+        self.order
+    }
+
+    /// Current-state bits of one protocol variable (LSB first).
+    pub(crate) fn cur_bits(&self, v: VarIdx) -> &[VarId] {
+        &self.bits[v.0].cur
+    }
+
+    /// Primed bits of one protocol variable, aligned with
+    /// [`SymbolicContext::cur_bits`].
+    pub(crate) fn primed_bits(&self, v: VarIdx) -> &[VarId] {
+        &self.bits[v.0].primed
     }
 
     /// Mutable access to the underlying BDD manager.
@@ -503,19 +523,41 @@ impl SymbolicContext {
     /// Fallible variant of [`SymbolicContext::group_relation`].
     #[must_use = "a budget violation is reported through the Result"]
     pub fn try_group_relation(&mut self, g: &GroupDesc) -> Result<Bdd, BddError> {
+        // Value cubes are Copy handles: collect them while the process
+        // borrow is live, then conjoin — no per-call clone of the
+        // read/write sets in this hot path.
         let proc = &self.protocol.processes()[g.process.0];
-        let reads = proc.reads.clone();
-        let writes = proc.writes.clone();
+        let mut constraints: Vec<Bdd> = Vec::with_capacity(g.pre.len() + g.post.len());
+        for (r, &val) in proc.reads.iter().zip(&g.pre) {
+            constraints.push(self.value_cur[r.0][val as usize]);
+        }
+        for (w, &val) in proc.writes.iter().zip(&g.post) {
+            constraints.push(self.value_primed[w.0][val as usize]);
+        }
         let mut rel = self.frame(g.process);
         // Conjoin highest-level constraints first (reads/writes are sorted
         // ascending; go in reverse to build bottom-up).
-        let mut constraints: Vec<Bdd> = Vec::new();
-        for (r, &val) in reads.iter().zip(&g.pre) {
+        for c in constraints.into_iter().rev() {
+            rel = self.mgr.try_and(rel, c)?;
+        }
+        Ok(rel)
+    }
+
+    /// Frameless local relation of one group: readable source cube ∧
+    /// written target cube, **without** the process frame. The disjunctive
+    /// partitioning (`partition.rs`) builds per-process relations from
+    /// these — each partition quantifies/renames only its own written
+    /// bits, so the frame over everything else would be dead weight.
+    pub(crate) fn try_group_frameless(&mut self, g: &GroupDesc) -> Result<Bdd, BddError> {
+        let proc = &self.protocol.processes()[g.process.0];
+        let mut constraints: Vec<Bdd> = Vec::with_capacity(g.pre.len() + g.post.len());
+        for (r, &val) in proc.reads.iter().zip(&g.pre) {
             constraints.push(self.value_cur[r.0][val as usize]);
         }
-        for (w, &val) in writes.iter().zip(&g.post) {
+        for (w, &val) in proc.writes.iter().zip(&g.post) {
             constraints.push(self.value_primed[w.0][val as usize]);
         }
+        let mut rel = self.mgr.one();
         for c in constraints.into_iter().rev() {
             rel = self.mgr.try_and(rel, c)?;
         }
@@ -531,10 +573,16 @@ impl SymbolicContext {
     /// Fallible variant of [`SymbolicContext::group_source`].
     #[must_use = "a budget violation is reported through the Result"]
     pub fn try_group_source(&mut self, g: &GroupDesc) -> Result<Bdd, BddError> {
-        let reads = self.protocol.processes()[g.process.0].reads.clone();
+        let proc = &self.protocol.processes()[g.process.0];
+        let cubes: Vec<Bdd> = proc
+            .reads
+            .iter()
+            .zip(&g.pre)
+            .map(|(r, &val)| self.value_cur[r.0][val as usize])
+            .collect();
         let mut src = self.valid_cur;
-        for (r, &val) in reads.iter().zip(&g.pre).rev() {
-            src = self.mgr.try_and(src, self.value_cur[r.0][val as usize])?;
+        for c in cubes.into_iter().rev() {
+            src = self.mgr.try_and(src, c)?;
         }
         Ok(src)
     }
@@ -577,9 +625,15 @@ impl SymbolicContext {
     /// Fallible variant of [`SymbolicContext::project_onto`].
     #[must_use = "a budget violation is reported through the Result"]
     pub fn try_project_onto(&mut self, f: Bdd, keep: &[VarIdx]) -> Result<Bdd, BddError> {
+        // A membership bitmap over the protocol variables keeps this
+        // O(vars + keep) instead of O(vars × keep) linear scans.
+        let mut kept = vec![false; self.bits.len()];
+        for v in keep {
+            kept[v.0] = true;
+        }
         let mut drop_bits: Vec<VarId> = Vec::new();
         for (vi, vb) in self.bits.iter().enumerate() {
-            if !keep.contains(&VarIdx(vi)) {
+            if !kept[vi] {
                 drop_bits.extend(vb.cur.iter().copied());
             }
         }
@@ -839,6 +893,34 @@ mod tests {
             blocked.mgr_ref().node_count(frame_b) >= inter.mgr_ref().node_count(frame_i),
             "blocked frame must not be smaller"
         );
+    }
+
+    #[test]
+    fn project_onto_empty_and_full_keep_sets() {
+        let p = mini();
+        let mut ctx = SymbolicContext::new(p);
+        let f = ctx.compile(&Expr::var(VarIdx(0)).eq(Expr::int(1)));
+        // Keeping every variable quantifies nothing.
+        let full = ctx.project_onto(f, &[VarIdx(0), VarIdx(1)]);
+        assert_eq!(full, f);
+        // Keeping nothing quantifies all current bits: any non-empty
+        // predicate projects to true, the empty one stays false.
+        let none = ctx.project_onto(f, &[]);
+        assert!(none.is_true());
+        let empty = ctx.project_onto(Bdd::FALSE, &[]);
+        assert!(empty.is_false());
+        // Projection onto one variable drops only the other's bits.
+        let both = {
+            let g = ctx.compile(&Expr::var(VarIdx(1)).eq(Expr::int(2)));
+            ctx.mgr().and(f, g)
+        };
+        // (re-intersect with the state space: projection frees the
+        // dropped variable's bits beyond its valid codes)
+        let onto_b = ctx.project_onto(both, &[VarIdx(1)]);
+        let all = ctx.all_states();
+        let onto_b = ctx.mgr().and(onto_b, all);
+        let b2 = ctx.compile(&Expr::var(VarIdx(1)).eq(Expr::int(2)));
+        assert_eq!(onto_b, b2);
     }
 
     #[test]

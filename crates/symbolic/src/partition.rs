@@ -1,0 +1,676 @@
+//! Disjunctively partitioned transition relations.
+//!
+//! The monolithic encoding ORs every transition group into one relation
+//! BDD and drives each `img`/`pre` through a single full-width
+//! `and_exists`. That product carries one identity frame per process —
+//! `O(processes × vars)` bits of "nothing else changes" — and its node
+//! count is the dominant space term in the paper's Fig. 7/9/11 curves.
+//!
+//! A [`PartitionedRelation`] instead keeps one *frameless* relation per
+//! process (optionally merged into clusters under a node-count cap):
+//!
+//! * each partition's relation only mentions the current-state bits its
+//!   process reads and the primed bits it writes — no frame at all,
+//! * each partition carries its own interned quantification cubes and
+//!   (partial) rename maps, so image and preimage become a clustered
+//!   relational product with *early quantification*: conjoin one
+//!   partition, immediately quantify the bits no later operand mentions
+//!   ([`stsyn_bdd::Manager::try_and_exists_many`]),
+//! * the full image/preimage is the OR of the per-partition results.
+//!
+//! This is exact, not an approximation: the paper's model requires every
+//! written variable to be readable (`TopologyError::WriteNotReadable`),
+//! so a partition's source cubes pin its written variables and the
+//! unwritten ones ride along in the state predicate itself — precisely
+//! what the monolithic frame would have transported. All partitioned
+//! operators therefore return the *same canonical BDDs* as their
+//! monolithic counterparts, which is what keeps synthesized protocols
+//! byte-identical across engines.
+//!
+//! On top of the clustered product sits a *saturation* mode for the
+//! least-fixpoint closures: fire one partition to a local fixpoint
+//! before moving to the next, sweeping partitions in locality (process
+//! index) order until a full sweep adds nothing. Least fixpoints are
+//! independent of firing order, so saturated closures still return the
+//! canonical reachable set; greatest-fixpoint cores (`forward_core`/
+//! `backward_core`) do *not* decompose over a disjunction of preimages
+//! and always use the full clustered product per iteration.
+
+use crate::encode::{SymbolicContext, VarOrder, INFALLIBLE};
+use stsyn_bdd::{Bdd, BddError, RenameId, VarId, VarSetId};
+use stsyn_obs::{Json, TraceLevel};
+use stsyn_protocol::group::GroupDesc;
+use stsyn_protocol::topology::VarIdx;
+
+/// Which image/preimage engine drives the symbolic fixpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// One monolithic transition relation, full-width `and_exists`.
+    /// The original engine and still the default.
+    #[default]
+    Monolithic,
+    /// Per-process clustered partitions with early quantification;
+    /// breadth-first fixpoints (one full image/preimage per iteration).
+    Partitioned,
+    /// Partitioned, plus saturation-ordered firing for the
+    /// least-fixpoint closures: each partition runs to a local fixpoint
+    /// before the next one fires.
+    Saturation,
+}
+
+impl Engine {
+    /// Canonical lowercase name, as accepted by `--engine`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Monolithic => "monolithic",
+            Engine::Partitioned => "partitioned",
+            Engine::Saturation => "saturation",
+        }
+    }
+
+    /// Parse a `--engine` value. `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "monolithic" => Some(Engine::Monolithic),
+            "partitioned" => Some(Engine::Partitioned),
+            "saturation" => Some(Engine::Saturation),
+            _ => None,
+        }
+    }
+
+    /// Does this engine use a [`PartitionedRelation`]?
+    pub fn is_partitioned(self) -> bool {
+        !matches!(self, Engine::Monolithic)
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Default node-count cap for merging adjacent per-process partitions
+/// into clusters. Small enough that a cluster product stays cheap, big
+/// enough that trivial processes (a handful of groups each) coalesce.
+pub const DEFAULT_CLUSTER_CAP: usize = 1024;
+
+/// One cluster of the partitioned relation: a frameless relation over
+/// the cluster's read (current) and written (primed) bits, plus the
+/// interned quantification cubes and partial rename maps its local
+/// image/preimage needs.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Frameless relation: OR over the cluster's groups of
+    /// (source cube over current bits) ∧ (target cube over primed bits),
+    /// identity-padded over the cluster write-set where members differ.
+    relation: Bdd,
+    /// Written variables of the cluster (sorted, deduplicated).
+    writes: Vec<VarIdx>,
+    /// Current-state bits of `writes` — quantified early during image.
+    quant_img: VarSetId,
+    /// Primed bits of `writes` — quantified early during preimage.
+    quant_pre: VarSetId,
+    /// Partial rename current → primed over `writes` (preimage shift).
+    fwd: RenameId,
+    /// Partial rename primed → current over `writes` (image shift).
+    bwd: RenameId,
+}
+
+impl Partition {
+    /// The cluster's relation BDD.
+    pub fn relation(&self) -> Bdd {
+        self.relation
+    }
+
+    /// The cluster's written variables.
+    pub fn writes(&self) -> &[VarIdx] {
+        &self.writes
+    }
+}
+
+/// A transition relation split into per-process (or per-cluster)
+/// partitions, in locality (process index) order.
+///
+/// Built once per relation by
+/// [`SymbolicContext::try_partitioned_relation`]; the interned cubes and
+/// rename maps survive budget-driven reordering because the budget path
+/// only runs pair-preserving sifting.
+#[derive(Debug, Clone)]
+pub struct PartitionedRelation {
+    parts: Vec<Partition>,
+    /// Interned empty cube — the "quantify nothing" schedule slot for
+    /// the state-predicate operand of the clustered product.
+    none: VarSetId,
+}
+
+impl PartitionedRelation {
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the relation has no transitions at all.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The clusters, in locality order.
+    pub fn parts(&self) -> &[Partition] {
+        &self.parts
+    }
+
+    /// All partition relation BDDs — GC/budget roots.
+    pub fn roots(&self) -> Vec<Bdd> {
+        self.parts.iter().map(|p| p.relation).collect()
+    }
+}
+
+/// Merge two sorted, deduplicated `VarIdx` lists.
+fn union_sorted(a: &[VarIdx], b: &[VarIdx]) -> Vec<VarIdx> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl SymbolicContext {
+    /// Infallible [`SymbolicContext::try_partitioned_relation`].
+    pub fn partitioned_relation(&mut self, descs: &[GroupDesc]) -> PartitionedRelation {
+        self.try_partitioned_relation(descs).expect(INFALLIBLE)
+    }
+
+    /// Build the partitioned form of the relation `OR of descs` with the
+    /// default cluster cap ([`DEFAULT_CLUSTER_CAP`]).
+    #[must_use = "a budget violation is reported through the Result"]
+    pub fn try_partitioned_relation(
+        &mut self,
+        descs: &[GroupDesc],
+    ) -> Result<PartitionedRelation, BddError> {
+        self.try_partitioned_relation_capped(descs, DEFAULT_CLUSTER_CAP)
+    }
+
+    /// Build the partitioned form of the relation `OR of descs`: one
+    /// frameless relation per process, then greedily merge *adjacent*
+    /// (locality-order) partitions while the merged relation stays at or
+    /// under `cluster_cap` nodes. Merging identity-pads each member over
+    /// the cluster write-set so disjuncts agree on what "unchanged"
+    /// means inside the cluster.
+    ///
+    /// Panics under [`VarOrder::Blocked`]: the per-partition partial
+    /// renames (written bits only) are order-preserving only when each
+    /// variable's current/primed bits are interleaved.
+    #[must_use = "a budget violation is reported through the Result"]
+    pub fn try_partitioned_relation_capped(
+        &mut self,
+        descs: &[GroupDesc],
+        cluster_cap: usize,
+    ) -> Result<PartitionedRelation, BddError> {
+        assert_eq!(
+            self.var_order(),
+            VarOrder::Interleaved,
+            "partitioned engines need the interleaved order: partial \
+             written-bits-only renames must stay order-preserving"
+        );
+        // Per-process frameless relations, locality (index) order.
+        let nproc = self.protocol().num_processes();
+        let mut per_proc: Vec<(Bdd, Vec<VarIdx>)> = Vec::new();
+        for j in 0..nproc {
+            let mut rel = Bdd::FALSE;
+            let mut any = false;
+            for g in descs.iter().filter(|g| g.process.0 == j) {
+                any = true;
+                let local = self.try_group_frameless(g)?;
+                rel = self.mgr().try_or(rel, local)?;
+            }
+            if any {
+                let writes = self.protocol().processes()[j].writes.clone();
+                per_proc.push((rel, writes));
+            }
+        }
+        // Greedy adjacent clustering under the node cap.
+        let mut clusters: Vec<(Bdd, Vec<VarIdx>)> = Vec::new();
+        for (rel, writes) in per_proc {
+            if let Some((crel, cw)) = clusters.last() {
+                let (crel, cw) = (*crel, cw.clone());
+                let merged_w = union_sorted(&cw, &writes);
+                let padded_c = self.try_pad_identity(crel, &cw, &merged_w)?;
+                let padded_n = self.try_pad_identity(rel, &writes, &merged_w)?;
+                let merged = self.mgr().try_or(padded_c, padded_n)?;
+                if self.mgr_ref().node_count(merged) <= cluster_cap {
+                    *clusters.last_mut().expect("cluster present") = (merged, merged_w);
+                    continue;
+                }
+            }
+            clusters.push((rel, writes));
+        }
+        // Intern quantification cubes and partial rename maps.
+        let none = self.mgr().varset(&[]);
+        let mut parts = Vec::with_capacity(clusters.len());
+        let mut early_bits = 0u64;
+        for (relation, writes) in clusters {
+            let mut cur: Vec<VarId> = Vec::new();
+            let mut pairs: Vec<(VarId, VarId)> = Vec::new();
+            for &w in &writes {
+                let (c, p) = (self.cur_bits(w).to_vec(), self.primed_bits(w).to_vec());
+                cur.extend_from_slice(&c);
+                pairs.extend(c.iter().copied().zip(p.iter().copied()));
+            }
+            let primed: Vec<VarId> = pairs.iter().map(|&(_, p)| p).collect();
+            let back: Vec<(VarId, VarId)> = pairs.iter().map(|&(c, p)| (p, c)).collect();
+            early_bits += cur.len() as u64;
+            let quant_img = self.mgr().varset(&cur);
+            let quant_pre = self.mgr().varset(&primed);
+            let fwd = self.mgr().rename_map(&pairs);
+            let bwd = self.mgr().rename_map(&back);
+            parts.push(Partition { relation, writes, quant_img, quant_pre, fwd, bwd });
+        }
+        let rel = PartitionedRelation { parts, none };
+        if self.mgr_ref().tracer().level_enabled(TraceLevel::Info) {
+            let nodes = self.mgr_ref().node_count_many(&rel.roots()) as u64;
+            self.mgr_ref().tracer().info(
+                "partition.build",
+                &[
+                    ("partitions", Json::from(rel.len() as u64)),
+                    ("groups", Json::from(descs.len() as u64)),
+                    ("relation_nodes", Json::from(nodes)),
+                    ("early_quant_bits", Json::from(early_bits)),
+                ],
+            );
+        }
+        Ok(rel)
+    }
+
+    /// `rel ∧ identity(v)` for every `v ∈ want ∖ have` (both sorted).
+    fn try_pad_identity(
+        &mut self,
+        rel: Bdd,
+        have: &[VarIdx],
+        want: &[VarIdx],
+    ) -> Result<Bdd, BddError> {
+        let mut out = rel;
+        for &v in want {
+            if have.binary_search(&v).is_err() {
+                let id = self.identity_of(v);
+                out = self.mgr().try_and(out, id)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Image through one partition: `rename_bwd(∃ cur-writes. x ∧ T_k)`.
+    fn try_img_one(&mut self, t: &PartitionedRelation, k: usize, x: Bdd) -> Result<Bdd, BddError> {
+        let p = &t.parts[k];
+        let shifted = self.mgr().try_and_exists_many(&[x, p.relation], &[t.none, p.quant_img])?;
+        self.mgr().try_rename(shifted, p.bwd)
+    }
+
+    /// Preimage through one partition:
+    /// `∃ primed-writes. x[cur→primed over writes] ∧ T_k`.
+    fn try_pre_one(&mut self, t: &PartitionedRelation, k: usize, x: Bdd) -> Result<Bdd, BddError> {
+        let p = &t.parts[k];
+        let xp = self.mgr().try_rename(x, p.fwd)?;
+        self.mgr().try_and_exists_many(&[xp, p.relation], &[t.none, p.quant_pre])
+    }
+
+    /// Emit the per-partition apply-size counter (Debug-gated; the node
+    /// count is only computed when a Debug sink is attached).
+    fn trace_apply(&self, op: &'static str, k: usize, local: Bdd) {
+        if self.mgr_ref().tracer().level_enabled(TraceLevel::Debug) {
+            let nodes = self.mgr_ref().node_count(local) as u64;
+            self.mgr_ref().tracer().debug(
+                "partition.apply",
+                &[
+                    ("op", Json::from(op)),
+                    ("part", Json::from(k as u64)),
+                    ("nodes", Json::from(nodes)),
+                ],
+            );
+        }
+    }
+
+    /// Infallible [`SymbolicContext::try_img_parts`].
+    pub fn img_parts(&mut self, t: &PartitionedRelation, x: Bdd) -> Bdd {
+        self.try_img_parts(t, x).expect(INFALLIBLE)
+    }
+
+    /// Clustered image: OR of the per-partition images of `x`. Returns
+    /// the same canonical BDD as `try_img` on the monolithic relation.
+    #[must_use = "a budget violation is reported through the Result"]
+    pub fn try_img_parts(&mut self, t: &PartitionedRelation, x: Bdd) -> Result<Bdd, BddError> {
+        let mut out = Bdd::FALSE;
+        for k in 0..t.parts.len() {
+            let local = self.try_img_one(t, k, x)?;
+            self.trace_apply("img", k, local);
+            out = self.mgr().try_or(out, local)?;
+        }
+        Ok(out)
+    }
+
+    /// Infallible [`SymbolicContext::try_pre_parts`].
+    pub fn pre_parts(&mut self, t: &PartitionedRelation, x: Bdd) -> Bdd {
+        self.try_pre_parts(t, x).expect(INFALLIBLE)
+    }
+
+    /// Clustered preimage: OR of the per-partition preimages of `x`.
+    /// Returns the same canonical BDD as `try_pre` on the monolithic
+    /// relation.
+    #[must_use = "a budget violation is reported through the Result"]
+    pub fn try_pre_parts(&mut self, t: &PartitionedRelation, x: Bdd) -> Result<Bdd, BddError> {
+        let mut out = Bdd::FALSE;
+        for k in 0..t.parts.len() {
+            let local = self.try_pre_one(t, k, x)?;
+            self.trace_apply("pre", k, local);
+            out = self.mgr().try_or(out, local)?;
+        }
+        Ok(out)
+    }
+
+    /// Infallible [`SymbolicContext::try_enabled_parts`].
+    pub fn enabled_parts(&mut self, t: &PartitionedRelation) -> Bdd {
+        self.try_enabled_parts(t).expect(INFALLIBLE)
+    }
+
+    /// States with at least one outgoing transition: OR over partitions
+    /// of `∃ primed-writes. T_k`. Equals `try_enabled` on the monolithic
+    /// relation (its identity frames quantify away to true).
+    #[must_use = "a budget violation is reported through the Result"]
+    pub fn try_enabled_parts(&mut self, t: &PartitionedRelation) -> Result<Bdd, BddError> {
+        let mut out = Bdd::FALSE;
+        for k in 0..t.parts.len() {
+            let p = &t.parts[k];
+            let local = self.mgr().try_exists(p.relation, p.quant_pre)?;
+            out = self.mgr().try_or(out, local)?;
+        }
+        Ok(out)
+    }
+
+    /// Budget safe point with the partition relations as extra roots.
+    pub(crate) fn enforce_parts_budget(
+        &mut self,
+        t: &PartitionedRelation,
+        extra: &[Bdd],
+    ) -> Result<(), BddError> {
+        let mut roots = t.roots();
+        roots.extend_from_slice(extra);
+        self.mgr().enforce_node_budget(&roots)
+    }
+
+    /// Infallible [`SymbolicContext::try_forward_closure_parts`].
+    pub fn forward_closure_parts(
+        &mut self,
+        engine: Engine,
+        t: &PartitionedRelation,
+        x: Bdd,
+    ) -> Bdd {
+        self.try_forward_closure_parts(engine, t, x).expect(INFALLIBLE)
+    }
+
+    /// Least fixpoint `μZ. x ∨ img(Z)` over the partitioned relation.
+    /// Under [`Engine::Saturation`] partitions fire to local fixpoints
+    /// in locality order; the result is the same canonical BDD either
+    /// way (least fixpoints are firing-order independent).
+    #[must_use = "a budget violation is reported through the Result"]
+    pub fn try_forward_closure_parts(
+        &mut self,
+        engine: Engine,
+        t: &PartitionedRelation,
+        x: Bdd,
+    ) -> Result<Bdd, BddError> {
+        if engine == Engine::Saturation {
+            return self.try_closure_saturated(t, x, true);
+        }
+        let mut reach = x;
+        loop {
+            self.enforce_parts_budget(t, &[x, reach])?;
+            let step = self.try_img_parts(t, reach)?;
+            let next = self.mgr().try_or(reach, step)?;
+            if next == reach {
+                return Ok(reach);
+            }
+            reach = next;
+        }
+    }
+
+    /// Infallible [`SymbolicContext::try_backward_closure_parts`].
+    pub fn backward_closure_parts(
+        &mut self,
+        engine: Engine,
+        t: &PartitionedRelation,
+        x: Bdd,
+    ) -> Bdd {
+        self.try_backward_closure_parts(engine, t, x).expect(INFALLIBLE)
+    }
+
+    /// Least fixpoint `μZ. x ∨ pre(Z)` over the partitioned relation —
+    /// see [`SymbolicContext::try_forward_closure_parts`].
+    #[must_use = "a budget violation is reported through the Result"]
+    pub fn try_backward_closure_parts(
+        &mut self,
+        engine: Engine,
+        t: &PartitionedRelation,
+        x: Bdd,
+    ) -> Result<Bdd, BddError> {
+        if engine == Engine::Saturation {
+            return self.try_closure_saturated(t, x, false);
+        }
+        let mut reach = x;
+        loop {
+            self.enforce_parts_budget(t, &[x, reach])?;
+            let step = self.try_pre_parts(t, reach)?;
+            let next = self.mgr().try_or(reach, step)?;
+            if next == reach {
+                return Ok(reach);
+            }
+            reach = next;
+        }
+    }
+
+    /// Saturation-ordered closure: fire each partition to a local
+    /// fixpoint in locality order, and sweep until a whole pass adds
+    /// nothing. `forward` picks image vs. preimage.
+    fn try_closure_saturated(
+        &mut self,
+        t: &PartitionedRelation,
+        x: Bdd,
+        forward: bool,
+    ) -> Result<Bdd, BddError> {
+        let mut reach = x;
+        let mut sweeps = 0u64;
+        let mut fires = 0u64;
+        loop {
+            let before_sweep = reach;
+            for k in 0..t.parts.len() {
+                loop {
+                    self.enforce_parts_budget(t, &[x, reach])?;
+                    let step = if forward {
+                        self.try_img_one(t, k, reach)?
+                    } else {
+                        self.try_pre_one(t, k, reach)?
+                    };
+                    fires += 1;
+                    let next = self.mgr().try_or(reach, step)?;
+                    if next == reach {
+                        break;
+                    }
+                    reach = next;
+                }
+            }
+            sweeps += 1;
+            if reach == before_sweep {
+                break;
+            }
+        }
+        if self.mgr_ref().tracer().level_enabled(TraceLevel::Debug) {
+            self.mgr_ref().tracer().debug(
+                "saturation.closure",
+                &[
+                    ("op", Json::from(if forward { "img" } else { "pre" })),
+                    ("sweeps", Json::from(sweeps)),
+                    ("fires", Json::from(fires)),
+                ],
+            );
+        }
+        Ok(reach)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsyn_protocol::action::Action;
+    use stsyn_protocol::expr::Expr;
+    use stsyn_protocol::group::groups_of_protocol;
+    use stsyn_protocol::topology::{ProcIdx, ProcessDecl, VarDecl};
+    use stsyn_protocol::Protocol;
+
+    fn c() -> Expr {
+        Expr::var(VarIdx(0))
+    }
+
+    /// mod-4 counter, one process, one variable.
+    fn counter() -> SymbolicContext {
+        let vars = vec![VarDecl::new("c", 4)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let inc = Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(VarIdx(0), c().add(Expr::int(1)).modulo(Expr::int(4)))],
+        );
+        SymbolicContext::new(Protocol::new(vars, procs, vec![inc]).unwrap())
+    }
+
+    /// Two processes on two ternary variables, each reading both and
+    /// writing its own: P0 does x := (x+1) mod 3 when x == y, P1 does
+    /// y := (y+1) mod 3 when x != y.
+    fn two_proc() -> SymbolicContext {
+        let x = || Expr::var(VarIdx(0));
+        let y = || Expr::var(VarIdx(1));
+        let vars = vec![VarDecl::new("x", 3), VarDecl::new("y", 3)];
+        let procs = vec![
+            ProcessDecl::new("P0", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(0)]).unwrap(),
+            ProcessDecl::new("P1", vec![VarIdx(0), VarIdx(1)], vec![VarIdx(1)]).unwrap(),
+        ];
+        let a0 = Action::new(
+            ProcIdx(0),
+            x().eq(y()),
+            vec![(VarIdx(0), x().add(Expr::int(1)).modulo(Expr::int(3)))],
+        );
+        let a1 = Action::new(
+            ProcIdx(1),
+            x().ne(y()),
+            vec![(VarIdx(1), y().add(Expr::int(1)).modulo(Expr::int(3)))],
+        );
+        SymbolicContext::new(Protocol::new(vars, procs, vec![a0, a1]).unwrap())
+    }
+
+    fn check_equivalence(ctx: &mut SymbolicContext, cap: usize) {
+        let descs = groups_of_protocol(ctx.protocol());
+        let mono = ctx.protocol_relation();
+        let parts = ctx.try_partitioned_relation_capped(&descs, cap).unwrap();
+        // A basket of state predicates to compare on.
+        let all = ctx.all_states();
+        let mut preds = vec![all, Bdd::FALSE];
+        if let Some(s) = ctx.pick_state(all) {
+            preds.push(ctx.singleton(&s));
+        }
+        let en = ctx.enabled(mono);
+        preds.push(en);
+        for &p in &preds {
+            let mi = ctx.img(mono, p);
+            let mp = ctx.pre(mono, p);
+            assert_eq!(ctx.img_parts(&parts, p), mi, "img mismatch");
+            assert_eq!(ctx.pre_parts(&parts, p), mp, "pre mismatch");
+            let fm = ctx.forward_closure(mono, p);
+            let bm = ctx.backward_closure(mono, p);
+            for engine in [Engine::Partitioned, Engine::Saturation] {
+                assert_eq!(ctx.forward_closure_parts(engine, &parts, p), fm, "{engine} fwd");
+                assert_eq!(ctx.backward_closure_parts(engine, &parts, p), bm, "{engine} bwd");
+            }
+        }
+        assert_eq!(ctx.enabled_parts(&parts), en, "enabled mismatch");
+    }
+
+    #[test]
+    fn engine_names_roundtrip() {
+        for e in [Engine::Monolithic, Engine::Partitioned, Engine::Saturation] {
+            assert_eq!(Engine::parse(e.as_str()), Some(e));
+            assert_eq!(format!("{e}"), e.as_str());
+        }
+        assert_eq!(Engine::parse("turbo"), None);
+        assert_eq!(Engine::default(), Engine::Monolithic);
+        assert!(!Engine::Monolithic.is_partitioned());
+        assert!(Engine::Saturation.is_partitioned());
+    }
+
+    #[test]
+    fn single_process_partition_matches_monolithic() {
+        let mut ctx = counter();
+        check_equivalence(&mut ctx, DEFAULT_CLUSTER_CAP);
+    }
+
+    #[test]
+    fn two_process_partitions_match_monolithic() {
+        let mut ctx = two_proc();
+        let descs = groups_of_protocol(ctx.protocol());
+        // Cap 0: never merge — one partition per process.
+        let split = ctx.try_partitioned_relation_capped(&descs, 0).unwrap();
+        assert_eq!(split.len(), 2);
+        check_equivalence(&mut ctx, 0);
+        // Unbounded cap: everything merges into a single cluster, whose
+        // identity-padded OR *is* the monolithic relation.
+        let merged = ctx.try_partitioned_relation_capped(&descs, usize::MAX).unwrap();
+        assert_eq!(merged.len(), 1);
+        let mono = ctx.protocol_relation();
+        assert_eq!(merged.parts()[0].relation(), mono);
+        check_equivalence(&mut ctx, usize::MAX);
+    }
+
+    #[test]
+    fn empty_relation_behaves() {
+        let mut ctx = two_proc();
+        let parts = ctx.try_partitioned_relation(&[]).unwrap();
+        assert!(parts.is_empty());
+        let all = ctx.all_states();
+        assert!(ctx.img_parts(&parts, all).is_false());
+        assert!(ctx.pre_parts(&parts, all).is_false());
+        assert!(ctx.enabled_parts(&parts).is_false());
+        for engine in [Engine::Partitioned, Engine::Saturation] {
+            assert_eq!(ctx.forward_closure_parts(engine, &parts, all), all);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interleaved order")]
+    fn blocked_order_is_rejected() {
+        let vars = vec![VarDecl::new("c", 4)];
+        let procs = vec![ProcessDecl::new("P0", vec![VarIdx(0)], vec![VarIdx(0)]).unwrap()];
+        let inc = Action::new(
+            ProcIdx(0),
+            Expr::Bool(true),
+            vec![(VarIdx(0), c().add(Expr::int(1)).modulo(Expr::int(4)))],
+        );
+        let p = Protocol::new(vars, procs, vec![inc]).unwrap();
+        let mut ctx = SymbolicContext::with_order(p, VarOrder::Blocked);
+        let descs = groups_of_protocol(ctx.protocol());
+        let _ = ctx.try_partitioned_relation(&descs);
+    }
+}
