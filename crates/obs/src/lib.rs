@@ -8,9 +8,13 @@
 //! - [`trace`] — a cheap cloneable [`Tracer`] with span/event/counter
 //!   hooks and an NDJSON sink (file, stderr, or in-memory). A disabled
 //!   tracer costs one `Option` check per hook.
+//! - [`progress`] — [`ProgressBus`], a bounded per-job ring of progress
+//!   frames the tracer tees into, backing the serve daemon's live
+//!   `watch` streaming.
 //! - [`metrics`] — [`MetricsText`], a Prometheus-style text exposition
 //!   builder used by the serve daemon's `metrics` verb and the CLI
-//!   `--metrics` flag.
+//!   `--metrics` flag, plus the log-bucketed [`LatencyHistogram`]
+//!   behind the `stsyn_*_seconds` series.
 //! - [`summary`] — validation and Table-1-style summarization of trace
 //!   files, backing `stsyn trace-summary` and the CI trace-smoke job.
 //! - [`json`] — the dependency-free JSON value used both for trace
@@ -20,10 +24,15 @@
 
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod summary;
 pub mod trace;
 
 pub use json::{Json, JsonError};
-pub use metrics::MetricsText;
-pub use summary::{open_spans, parse_trace, summarize, summarize_file, TraceError, TraceSummary};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsText, LATENCY_BUCKETS};
+pub use progress::{is_progress_event, Progress, ProgressBus, ProgressReceiver};
+pub use summary::{
+    open_spans, parse_trace, parse_trace_lenient, summarize, summarize_file, LenientTrace,
+    TraceError, TraceSummary,
+};
 pub use trace::{MemorySink, Span, TraceLevel, TraceSink, Tracer};

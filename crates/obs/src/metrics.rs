@@ -8,6 +8,143 @@
 //! `metrics` verb and the CLI `--metrics` flag both render through it.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (microseconds, inclusive) of the log-spaced latency
+/// buckets shared by every `stsyn_*_seconds` histogram: powers of four
+/// from 1 ms to ~262 s, plus an implicit `+Inf` overflow bucket. Using
+/// one fixed layout everywhere is what lets the router sum shard buckets
+/// element-wise into the `stsyn_fleet_*` series.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 10] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+];
+
+/// Number of bucket counters, including the `+Inf` overflow slot.
+pub const LATENCY_BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// A lock-free log-bucketed latency histogram (fixed
+/// [`LATENCY_BUCKET_BOUNDS_US`] layout). Writers call
+/// [`LatencyHistogram::observe_us`]; readers take a consistent-enough
+/// [`HistogramSnapshot`] for rendering or cross-shard aggregation.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one latency sample, in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the per-bucket counts, sum and count.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copied histogram state — what `stats` exposes on the wire and what
+/// the router sums across shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts; `buckets[LATENCY_BUCKETS-1]`
+    /// is the `+Inf` overflow slot.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed samples, microseconds.
+    pub sum_us: u64,
+    /// Number of observed samples.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot with the standard bucket layout.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: vec![0; LATENCY_BUCKETS], sum_us: 0, count: 0 }
+    }
+
+    /// Wire form, as exposed in the serve daemon's `stats` response:
+    /// `{"buckets":[..],"sum_us":N,"count":N}`.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("buckets", Json::Arr(self.buckets.iter().map(|&b| Json::from(b)).collect())),
+            ("sum_us", self.sum_us.into()),
+            ("count", self.count.into()),
+        ])
+    }
+
+    /// Parse the wire form back (used by the router's fleet aggregation).
+    pub fn from_json(v: &crate::json::Json) -> Option<HistogramSnapshot> {
+        use crate::json::Json;
+        let buckets = match v.get("buckets")? {
+            Json::Arr(items) => items.iter().map(Json::as_u64).collect::<Option<Vec<u64>>>()?,
+            _ => return None,
+        };
+        Some(HistogramSnapshot {
+            buckets,
+            sum_us: v.get("sum_us").and_then(Json::as_u64)?,
+            count: v.get("count").and_then(Json::as_u64)?,
+        })
+    }
+
+    /// Element-wise accumulate `other` into `self` (fleet aggregation).
+    /// Snapshots with a foreign bucket layout are merged by sum/count
+    /// only, with their samples folded into the overflow bucket.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() != LATENCY_BUCKETS {
+            *self = HistogramSnapshot::empty();
+        }
+        if other.buckets.len() == LATENCY_BUCKETS {
+            for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+                *mine += theirs;
+            }
+        } else {
+            self.buckets[LATENCY_BUCKETS - 1] += other.count;
+        }
+        self.sum_us += other.sum_us;
+        self.count += other.count;
+    }
+}
+
+/// Render a bucket bound as its Prometheus `le` label value, in seconds.
+fn le_label(bound_us: u64) -> String {
+    let secs = bound_us as f64 / 1e6;
+    // Trim trailing zeros so 1.024000 renders as 1.024 and 0.001000 as 0.001.
+    let mut s = format!("{secs:.6}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.push('0');
+    }
+    s
+}
 
 /// Accumulates metric samples and renders the Prometheus text format.
 #[derive(Debug, Default)]
@@ -47,6 +184,24 @@ impl MetricsText {
         self
     }
 
+    /// Add a histogram in the standard Prometheus expansion: cumulative
+    /// `{name}_bucket{{le="..."}}` samples (seconds), `{name}_sum`
+    /// (seconds) and `{name}_count`. `name` should therefore end in
+    /// `_seconds`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) -> &mut Self {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += snap.buckets.get(i).copied().unwrap_or(0);
+            let le = le_label(*bound);
+            let _ = writeln!(self.buf, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(self.buf, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(self.buf, "{name}_sum {}", snap.sum_us as f64 / 1e6);
+        let _ = writeln!(self.buf, "{name}_count {}", snap.count);
+        self
+    }
+
     /// The rendered exposition text.
     pub fn render(&self) -> &str {
         &self.buf
@@ -81,6 +236,65 @@ mod tests {
             assert!(parts.next().unwrap().parse::<f64>().is_ok());
             assert!(parts.next().is_none());
         }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_spaced_and_cumulative() {
+        let h = LatencyHistogram::new();
+        h.observe_us(500); // ≤ 1ms
+        h.observe_us(500); // ≤ 1ms
+        h.observe_us(3_000); // ≤ 4ms
+        h.observe_us(100_000); // ≤ 256ms
+        h.observe_us(10_000_000_000); // > 262s → +Inf
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[LATENCY_BUCKETS - 1], 1);
+        let mut m = MetricsText::new();
+        m.histogram("stsyn_queue_wait_seconds", "Queue wait distribution.", &snap);
+        let text = m.render();
+        assert!(text.contains("# TYPE stsyn_queue_wait_seconds histogram"));
+        assert!(text.contains("stsyn_queue_wait_seconds_bucket{le=\"0.001\"} 2"));
+        assert!(text.contains("stsyn_queue_wait_seconds_bucket{le=\"0.004\"} 3"));
+        assert!(text.contains("stsyn_queue_wait_seconds_bucket{le=\"0.256\"} 4"));
+        assert!(text.contains("stsyn_queue_wait_seconds_bucket{le=\"262.144\"} 4"));
+        assert!(text.contains("stsyn_queue_wait_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("stsyn_queue_wait_seconds_count 5"));
+        // `le` buckets are cumulative and monotone.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_is_element_wise() {
+        let a = {
+            let h = LatencyHistogram::new();
+            h.observe_us(500);
+            h.observe_us(2_000);
+            h.snapshot()
+        };
+        let b = {
+            let h = LatencyHistogram::new();
+            h.observe_us(700);
+            h.snapshot()
+        };
+        let mut fleet = HistogramSnapshot::empty();
+        fleet.merge(&a);
+        fleet.merge(&b);
+        assert_eq!(fleet.count, 3);
+        assert_eq!(fleet.buckets[0], 2);
+        assert_eq!(fleet.buckets[1], 1);
+        assert_eq!(fleet.sum_us, 3_200);
+        // Foreign layout degrades to overflow, never panics.
+        let foreign = HistogramSnapshot { buckets: vec![9; 3], sum_us: 10, count: 9 };
+        fleet.merge(&foreign);
+        assert_eq!(fleet.count, 12);
+        assert_eq!(fleet.buckets[LATENCY_BUCKETS - 1], 9);
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Per-job progress event bus: a bounded ring of structured frames.
+//!
+//! [`ProgressBus`] is the fan-out point between the synthesis pipeline
+//! and live `watch` subscribers. The [`crate::trace::Tracer`] tees
+//! progress-relevant records (see [`is_progress_event`]) into the bus of
+//! the job it is running; the serve daemon publishes lifecycle frames
+//! (`job.state`) directly. Each published frame gets a monotonically
+//! increasing sequence number, so a subscriber that attaches late
+//! receives a **bounded replay** — whatever the ring still retains — and
+//! then tails live.
+//!
+//! Backpressure policy is drop-oldest-with-gap-marker: the ring never
+//! grows past its capacity, a slow or absent subscriber simply loses the
+//! oldest frames, and the next read reports the hole explicitly as
+//! [`Progress::Gap`] before resuming.
+//!
+//! Cost model: frames published directly on the bus (the serve layer's
+//! `job.state` lifecycle — a handful per job) are always recorded, so a
+//! late subscriber can replay the job's state transitions. The *tracer
+//! tee*, by contrast, consults [`ProgressBus::watched`] per record and
+//! stays inert while no receiver is attached — an unwatched job pays
+//! nothing for its Debug-level instrumentation (guarded under 5% by the
+//! `trace_overhead` bench's no-subscriber column).
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default ring capacity (frames) — also the maximum replay window a
+/// late subscriber can observe.
+pub const PROGRESS_BUS_CAPACITY: usize = 256;
+
+/// Is a trace record with this `name` worth teeing onto the progress
+/// bus? The allowlist keeps the tee cheap for hot non-progress debug
+/// records: phase transitions, per-rank frontier sizes, heuristic
+/// steps, budget consumption, store traffic and job lifecycle.
+pub fn is_progress_event(name: &str) -> bool {
+    name == "job"
+        || name == "rank.layer"
+        || name == "synthesis.stats"
+        || name.starts_with("phase.")
+        || name.starts_with("heuristic.")
+        || name.starts_with("budget.")
+        || name.starts_with("store.")
+        || name.starts_with("job.")
+        || name.starts_with("serve.job")
+}
+
+struct BusState {
+    /// Retained frames, contiguous by sequence number.
+    frames: VecDeque<(u64, String)>,
+    /// Sequence number the next published frame will get.
+    next_seq: u64,
+    /// No further frames will be published (job reached a terminal state).
+    closed: bool,
+}
+
+struct BusShared {
+    cap: usize,
+    epoch: Instant,
+    state: Mutex<BusState>,
+    cond: Condvar,
+    /// Live [`ProgressReceiver`]s. The tracer tee consults this so an
+    /// unwatched job pays nothing for its Debug-level instrumentation.
+    subscribers: AtomicUsize,
+}
+
+/// A cloneable handle to one job's bounded progress ring.
+#[derive(Clone)]
+pub struct ProgressBus {
+    shared: Arc<BusShared>,
+}
+
+impl Default for ProgressBus {
+    fn default() -> Self {
+        ProgressBus::new(PROGRESS_BUS_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for ProgressBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock().unwrap();
+        write!(
+            f,
+            "ProgressBus(cap={}, next_seq={}, retained={}, closed={})",
+            self.shared.cap,
+            st.next_seq,
+            st.frames.len(),
+            st.closed
+        )
+    }
+}
+
+/// One read from a [`ProgressReceiver`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Progress {
+    /// A retained or live frame: `(seq, record)` where `record` is the
+    /// NDJSON-encoded trace/lifecycle object (no trailing newline).
+    Event {
+        /// Sequence number of the frame.
+        seq: u64,
+        /// The encoded record.
+        line: String,
+    },
+    /// The ring dropped `missed` frames between the receiver's cursor
+    /// and the oldest retained frame (drop-oldest backpressure).
+    Gap {
+        /// How many frames were lost.
+        missed: u64,
+    },
+    /// The bus is closed and fully drained; no more frames will come.
+    Closed,
+    /// The wait timed out with nothing new (caller may emit a heartbeat).
+    Idle,
+}
+
+impl ProgressBus {
+    /// A bus retaining at most `cap` frames (minimum 1).
+    pub fn new(cap: usize) -> ProgressBus {
+        ProgressBus {
+            shared: Arc::new(BusShared {
+                cap: cap.max(1),
+                epoch: Instant::now(),
+                state: Mutex::new(BusState { frames: VecDeque::new(), next_seq: 0, closed: false }),
+                cond: Condvar::new(),
+                subscribers: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Is at least one [`ProgressReceiver`] currently attached? The
+    /// tracer tee checks this per record: an unwatched bus receives only
+    /// the frames published directly on it (`job.state` lifecycle), so
+    /// jobs nobody watches pay nothing for their instrumentation.
+    pub fn watched(&self) -> bool {
+        self.shared.subscribers.load(Ordering::Relaxed) > 0
+    }
+
+    /// Publish one pre-encoded record line; returns its sequence number.
+    /// Closed buses drop the frame (publishing after terminal state is a
+    /// benign race, not an error).
+    pub fn publish_line(&self, line: &str) -> u64 {
+        let mut st = self.shared.state.lock().unwrap();
+        let seq = st.next_seq;
+        if st.closed {
+            return seq;
+        }
+        st.next_seq += 1;
+        st.frames.push_back((seq, line.to_string()));
+        while st.frames.len() > self.shared.cap {
+            st.frames.pop_front();
+        }
+        drop(st);
+        self.shared.cond.notify_all();
+        seq
+    }
+
+    /// Build and publish an `event`-kind record (used by the serve layer
+    /// for lifecycle frames the tracer does not emit, e.g. `job.state`).
+    /// Timestamps are microseconds since bus creation.
+    pub fn publish_event(&self, name: &str, fields: &[(&str, Json)]) -> u64 {
+        let ts = self.shared.epoch.elapsed().as_micros() as u64;
+        let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 4);
+        pairs.push(("ts_us".to_string(), Json::from(ts)));
+        pairs.push(("kind".to_string(), Json::from("event")));
+        pairs.push(("level".to_string(), Json::from("info")));
+        pairs.push(("name".to_string(), Json::from(name)));
+        for (k, v) in fields {
+            pairs.push(((*k).to_string(), v.clone()));
+        }
+        self.publish_line(&Json::Obj(pairs).to_string())
+    }
+
+    /// Mark the bus terminal: subscribers drain what is retained, then
+    /// read [`Progress::Closed`]. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Has [`ProgressBus::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().unwrap().closed
+    }
+
+    /// Sequence number the next published frame would receive (i.e. the
+    /// total number of frames ever published).
+    pub fn published(&self) -> u64 {
+        self.shared.state.lock().unwrap().next_seq
+    }
+
+    /// Subscribe starting at `from_seq` (clamped forward to the oldest
+    /// retained frame — the bounded replay window). `None` replays
+    /// everything still retained.
+    pub fn subscribe(&self, from_seq: Option<u64>) -> ProgressReceiver {
+        self.shared.subscribers.fetch_add(1, Ordering::SeqCst);
+        ProgressReceiver { shared: Arc::clone(&self.shared), cursor: from_seq.unwrap_or(0) }
+    }
+}
+
+/// A subscriber cursor over a [`ProgressBus`]; each receiver tracks its
+/// own position, so replay and live tail need no per-subscriber queue.
+pub struct ProgressReceiver {
+    shared: Arc<BusShared>,
+    cursor: u64,
+}
+
+impl Drop for ProgressReceiver {
+    fn drop(&mut self) {
+        self.shared.subscribers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl ProgressReceiver {
+    /// Sequence number of the next frame this receiver will deliver.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Next frame, gap marker, close, or [`Progress::Idle`] after
+    /// `timeout` with nothing new.
+    pub fn next(&mut self, timeout: Duration) -> Progress {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            // Frames are contiguous: front carries the oldest retained seq.
+            let oldest = st.frames.front().map(|(s, _)| *s).unwrap_or(st.next_seq);
+            if self.cursor < oldest {
+                let missed = oldest - self.cursor;
+                self.cursor = oldest;
+                return Progress::Gap { missed };
+            }
+            if self.cursor < st.next_seq {
+                let idx = (self.cursor - oldest) as usize;
+                let (seq, line) = st.frames[idx].clone();
+                self.cursor = seq + 1;
+                return Progress::Event { seq, line };
+            }
+            if st.closed {
+                return Progress::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Progress::Idle;
+            }
+            let (guard, res) = self.shared.cond.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+            if res.timed_out() {
+                // Re-check once under the lock, then report idle.
+                let oldest = st.frames.front().map(|(s, _)| *s).unwrap_or(st.next_seq);
+                if self.cursor >= st.next_seq && self.cursor >= oldest && !st.closed {
+                    return Progress::Idle;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn replay_then_live_then_closed() {
+        let bus = ProgressBus::new(8);
+        bus.publish_event("phase.setup", &[]);
+        bus.publish_event("rank.layer", &[("rank", Json::from(1u64))]);
+        let mut rx = bus.subscribe(None);
+        // Bounded replay of everything retained.
+        assert!(matches!(rx.next(TICK), Progress::Event { seq: 0, .. }));
+        assert!(matches!(rx.next(TICK), Progress::Event { seq: 1, .. }));
+        assert_eq!(rx.next(TICK), Progress::Idle);
+        // Live tail.
+        bus.publish_event("rank.layer", &[("rank", Json::from(2u64))]);
+        match rx.next(TICK) {
+            Progress::Event { seq: 2, line } => assert!(line.contains("rank.layer")),
+            other => panic!("expected live frame, got {other:?}"),
+        }
+        bus.close();
+        assert_eq!(rx.next(TICK), Progress::Closed);
+        // Publishing after close is dropped, not an error.
+        bus.publish_event("rank.layer", &[]);
+        assert_eq!(bus.published(), 3);
+    }
+
+    #[test]
+    fn late_subscriber_replay_is_bounded_with_gap_marker() {
+        let cap = 16usize;
+        let bus = ProgressBus::new(cap);
+        for i in 0..100u64 {
+            bus.publish_event("rank.layer", &[("rank", Json::from(i))]);
+        }
+        let mut rx = bus.subscribe(None);
+        // The first read reports the dropped prefix explicitly.
+        match rx.next(TICK) {
+            Progress::Gap { missed } => assert_eq!(missed, 100 - cap as u64),
+            other => panic!("expected gap, got {other:?}"),
+        }
+        // Then replays exactly the retained window, in order.
+        let mut seen = Vec::new();
+        while let Progress::Event { seq, .. } = rx.next(TICK) {
+            seen.push(seq);
+        }
+        assert_eq!(seen.len(), cap);
+        assert_eq!(seen.first(), Some(&(100 - cap as u64)));
+        assert_eq!(seen.last(), Some(&99));
+    }
+
+    #[test]
+    fn resume_from_seq_skips_already_seen_frames() {
+        let bus = ProgressBus::new(32);
+        for _ in 0..5 {
+            bus.publish_event("heuristic.step", &[]);
+        }
+        let mut rx = bus.subscribe(Some(3));
+        assert!(matches!(rx.next(TICK), Progress::Event { seq: 3, .. }));
+        assert!(matches!(rx.next(TICK), Progress::Event { seq: 4, .. }));
+        assert_eq!(rx.next(TICK), Progress::Idle);
+    }
+
+    #[test]
+    fn blocking_receiver_wakes_on_publish() {
+        let bus = ProgressBus::new(8);
+        let bus2 = bus.clone();
+        let t = std::thread::spawn(move || {
+            let mut rx = bus2.subscribe(None);
+            rx.next(Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        bus.publish_event("job.state", &[("state", Json::from("running"))]);
+        match t.join().unwrap() {
+            Progress::Event { seq: 0, line } => assert!(line.contains("job.state")),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progress_name_filter() {
+        for yes in [
+            "rank.layer",
+            "phase.setup",
+            "heuristic.step",
+            "store.hit",
+            "job",
+            "job.state",
+            "synthesis.stats",
+            "serve.job",
+            "budget.spent",
+        ] {
+            assert!(is_progress_event(yes), "{yes} should be progress-relevant");
+        }
+        for no in ["bdd.gc", "serve.conn_rejected", "checkpoint.warning", "route.failover"] {
+            assert!(!is_progress_event(no), "{no} should not be progress-relevant");
+        }
+    }
+}

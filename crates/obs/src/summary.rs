@@ -41,13 +41,36 @@ fn bad(line: usize, message: impl Into<String>) -> TraceError {
 const KINDS: [&str; 4] = ["span_open", "span_close", "event", "counter"];
 const LEVELS: [&str; 3] = ["warn", "info", "debug"];
 
+/// A leniently parsed trace: the records this version of the schema
+/// understands, plus a count of well-formed records it skipped because a
+/// newer writer used a `kind` or `level` this reader does not know.
+#[derive(Debug, Clone, Default)]
+pub struct LenientTrace {
+    /// Validated records of known kinds, in file order.
+    pub records: Vec<Json>,
+    /// Records skipped for carrying an unknown `kind` or `level`.
+    pub skipped_unknown: usize,
+}
+
 /// Parse and schema-validate every line of an NDJSON trace. Each record
 /// must be a JSON object with a `ts_us` timestamp, a known `kind` and
 /// `level`, a non-empty `name`, and the kind-specific fields; span opens
 /// and closes must pair up (`parent` links must point at a span that is
 /// open at that moment). Returns the records in file order.
+///
+/// Forward compatibility: a structurally valid record whose `kind` or
+/// `level` this reader does not recognise is **skipped**, not rejected —
+/// a trace from a newer writer still summarizes (see
+/// [`parse_trace_lenient`] for the skip count). Malformed JSON and
+/// violations of the known schema remain hard errors.
 pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<Json>, TraceError> {
-    let mut records = Vec::new();
+    Ok(parse_trace_lenient(reader)?.records)
+}
+
+/// [`parse_trace`], also reporting how many well-formed records were
+/// skipped for an unknown `kind`/`level` (future schema versions).
+pub fn parse_trace_lenient<R: BufRead>(reader: R) -> Result<LenientTrace, TraceError> {
+    let mut out = LenientTrace::default();
     // span id → (name, still open)
     let mut spans: BTreeMap<u64, (String, bool)> = BTreeMap::new();
     for (i, line) in reader.lines().enumerate() {
@@ -66,13 +89,18 @@ pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<Json>, TraceError> {
         let kind = rec
             .get("kind")
             .and_then(Json::as_str)
-            .filter(|k| KINDS.contains(k))
-            .ok_or_else(|| bad(lineno, "missing or unknown `kind`"))?
+            .ok_or_else(|| bad(lineno, "missing `kind`"))?
             .to_string();
-        rec.get("level")
+        let level = rec
+            .get("level")
             .and_then(Json::as_str)
-            .filter(|l| LEVELS.contains(l))
-            .ok_or_else(|| bad(lineno, "missing or unknown `level`"))?;
+            .ok_or_else(|| bad(lineno, "missing `level`"))?;
+        if !KINDS.contains(&kind.as_str()) || !LEVELS.contains(&level) {
+            // A newer writer's record: skip it wholesale (its fields may
+            // follow a schema we cannot validate) but keep count.
+            out.skipped_unknown += 1;
+            continue;
+        }
         let name = rec
             .get("name")
             .and_then(Json::as_str)
@@ -125,9 +153,9 @@ pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<Json>, TraceError> {
             }
             _ => {}
         }
-        records.push(rec);
+        out.records.push(rec);
     }
-    Ok(records)
+    Ok(out)
 }
 
 /// How many spans a trace leaves open (0 for a run that finished).
@@ -171,6 +199,9 @@ pub struct TraceSummary {
     pub counters: BTreeMap<String, u64>,
     /// `warn`-level event names and messages.
     pub warnings: Vec<String>,
+    /// Well-formed records skipped for an unknown `kind`/`level` — a
+    /// newer trace-schema version (see [`parse_trace_lenient`]).
+    pub skipped_unknown: usize,
 }
 
 impl TraceSummary {
@@ -237,6 +268,14 @@ impl TraceSummary {
                 let _ = writeln!(out, "  {w}");
             }
         }
+        if self.skipped_unknown > 0 {
+            let _ = writeln!(
+                out,
+                "\nwarning: skipped {} record(s) with an unrecognized kind/level \
+                 (trace written by a newer stsyn?)",
+                self.skipped_unknown
+            );
+        }
         out
     }
 }
@@ -295,12 +334,16 @@ pub fn summarize(records: &[Json]) -> TraceSummary {
     s
 }
 
-/// Parse, validate and summarize a trace file.
+/// Parse, validate and summarize a trace file. Records written by a
+/// newer schema version are skipped and surfaced via
+/// [`TraceSummary::skipped_unknown`] rather than failing the parse.
 pub fn summarize_file(path: &Path) -> Result<TraceSummary, TraceError> {
     let file = std::fs::File::open(path)
         .map_err(|e| bad(0, format!("cannot open {}: {e}", path.display())))?;
-    let records = parse_trace(std::io::BufReader::new(file))?;
-    Ok(summarize(&records))
+    let parsed = parse_trace_lenient(std::io::BufReader::new(file))?;
+    let mut summary = summarize(&parsed.records);
+    summary.skipped_unknown = parsed.skipped_unknown;
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -347,10 +390,6 @@ mod tests {
     fn rejects_malformed_records() {
         assert!(parse_trace("not json".as_bytes()).is_err());
         assert!(parse_trace("{\"kind\":\"event\"}".as_bytes()).is_err());
-        assert!(parse_trace(
-            "{\"ts_us\":1,\"kind\":\"bogus\",\"level\":\"info\",\"name\":\"x\"}".as_bytes()
-        )
-        .is_err());
         // Close without open.
         assert!(parse_trace(
             "{\"ts_us\":1,\"kind\":\"span_close\",\"level\":\"info\",\"name\":\"x\",\"span\":9,\"dur_us\":1}"
@@ -361,6 +400,42 @@ mod tests {
         let bad_pair = "{\"ts_us\":1,\"kind\":\"span_open\",\"level\":\"info\",\"name\":\"a\",\"span\":1}\n\
              {\"ts_us\":2,\"kind\":\"span_close\",\"level\":\"info\",\"name\":\"b\",\"span\":1,\"dur_us\":1}";
         assert!(parse_trace(bad_pair.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn future_versioned_trace_is_skipped_not_rejected() {
+        // A trace from a hypothetical newer stsyn: two record kinds and a
+        // level this reader has never heard of, interleaved with records
+        // it fully understands.
+        let mut lines = trace_lines();
+        lines.insert(
+            1,
+            "{\"ts_us\":5,\"kind\":\"stream_attach\",\"level\":\"info\",\"name\":\"watch\",\"v\":2}"
+                .to_string(),
+        );
+        lines.push(
+            "{\"ts_us\":900,\"kind\":\"event\",\"level\":\"trace\",\"name\":\"rank.micro\"}"
+                .to_string(),
+        );
+        lines.push(
+            "{\"ts_us\":901,\"kind\":\"histogram\",\"level\":\"info\",\"name\":\"lat\",\"b\":[1,2]}"
+                .to_string(),
+        );
+        let text = lines.join("\n");
+        let parsed = parse_trace_lenient(text.as_bytes()).unwrap();
+        assert_eq!(parsed.skipped_unknown, 3);
+        // The known records still validate and summarize as before.
+        let s = summarize(&parsed.records);
+        assert_eq!(s.rank_nodes, vec![(1, 10), (2, 25)]);
+        // `parse_trace` keeps its old shape for existing callers.
+        let recs = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), parsed.records.len());
+        // And the rendered table surfaces the skip count.
+        let mut s2 = s.clone();
+        s2.skipped_unknown = parsed.skipped_unknown;
+        assert!(s2.render_table().contains("skipped 3 record(s)"));
+        // Records missing `kind`/`level` entirely are still hard errors.
+        assert!(parse_trace("{\"ts_us\":1,\"name\":\"x\",\"level\":\"info\"}".as_bytes()).is_err());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //!   `stsyn_store_*` Prometheus series via its `metrics` verb.
 
 use crate::json::Json;
+use crate::progress::{is_progress_event, ProgressBus};
 use std::cell::RefCell;
 use std::fmt;
 use std::fs::File;
@@ -143,11 +144,41 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// Sink that discards every line — backs a tracer that exists only to
+/// tee progress events onto a [`ProgressBus`].
+struct NullSink;
+
+impl TraceSink for NullSink {
+    fn write_line(&self, _line: &str) {}
+}
+
 struct Shared {
-    sink: Box<dyn TraceSink>,
+    sink: Arc<dyn TraceSink>,
     level: TraceLevel,
     epoch: Instant,
-    next_span: AtomicU64,
+    /// Shared across derived tracers (see [`Tracer::with_progress`]) so
+    /// span ids stay process-unique even when several handles write to
+    /// the same sink.
+    next_span: Arc<AtomicU64>,
+    /// Optional progress tee: records whose name passes
+    /// [`is_progress_event`] are also published here, regardless of the
+    /// sink's level threshold.
+    bus: Option<ProgressBus>,
+}
+
+/// Where one record goes: the sink (level-gated) and/or the progress
+/// bus (watched-gated, progress-named records only).
+#[derive(Clone, Copy)]
+struct Routes {
+    sink: bool,
+    bus: bool,
+}
+
+impl Routes {
+    #[inline]
+    fn none(self) -> bool {
+        !self.sink && !self.bus
+    }
 }
 
 thread_local! {
@@ -180,11 +211,42 @@ impl Tracer {
     /// A tracer over an arbitrary sink.
     pub fn with_sink(sink: Box<dyn TraceSink>, level: TraceLevel) -> Tracer {
         Tracer(Some(Arc::new(Shared {
-            sink,
+            sink: Arc::from(sink),
             level,
             epoch: Instant::now(),
-            next_span: AtomicU64::new(1),
+            next_span: Arc::new(AtomicU64::new(1)),
+            bus: None,
         })))
+    }
+
+    /// Derive a tracer that additionally tees progress-relevant records
+    /// (see [`is_progress_event`]) onto `bus`. The derived handle shares
+    /// the parent's sink, level, epoch and span-id allocator, so traces
+    /// written through either handle stay consistent; on a **disabled**
+    /// parent the derived tracer feeds only the bus. The tee is gated on
+    /// [`ProgressBus::watched`]: while a subscriber is attached,
+    /// [`Tracer::level_enabled`] reports `true` at every level (the bus
+    /// must see `rank.layer` / `heuristic.step` detail even when the
+    /// sink is quieter), and while nobody watches the tee is inert — an
+    /// unwatched job pays nothing for its instrumentation.
+    pub fn with_progress(&self, bus: ProgressBus) -> Tracer {
+        let shared = match &self.0 {
+            Some(s) => Shared {
+                sink: Arc::clone(&s.sink),
+                level: s.level,
+                epoch: s.epoch,
+                next_span: Arc::clone(&s.next_span),
+                bus: Some(bus),
+            },
+            None => Shared {
+                sink: Arc::new(NullSink),
+                level: TraceLevel::Warn,
+                epoch: Instant::now(),
+                next_span: Arc::new(AtomicU64::new(1)),
+                bus: Some(bus),
+            },
+        };
+        Tracer(Some(Arc::new(shared)))
     }
 
     /// A tracer writing NDJSON to `path` (created or truncated).
@@ -203,10 +265,11 @@ impl Tracer {
     pub fn memory(level: TraceLevel) -> (Tracer, Arc<MemorySink>) {
         let sink = Arc::new(MemorySink::default());
         let tracer = Tracer(Some(Arc::new(Shared {
-            sink: Box::new(ArcSink(Arc::clone(&sink))),
+            sink: Arc::new(ArcSink(Arc::clone(&sink))),
             level,
             epoch: Instant::now(),
-            next_span: AtomicU64::new(1),
+            next_span: Arc::new(AtomicU64::new(1)),
+            bus: None,
         })));
         (tracer, sink)
     }
@@ -219,12 +282,25 @@ impl Tracer {
 
     /// Would a record at `level` actually be emitted? Callers use this to
     /// skip *computing* expensive fields (e.g. BDD node counts), not just
-    /// emitting them.
+    /// emitting them. A tracer whose [`ProgressBus`] is currently
+    /// watched reports `true` at every level: progress subscribers need
+    /// `rank.layer` / `heuristic.step` detail even when the sink itself
+    /// is quieter. With no subscriber attached the bus contributes
+    /// nothing, so unwatched jobs keep the disabled-tracer fast path.
     #[inline]
     pub fn level_enabled(&self, level: TraceLevel) -> bool {
         match &self.0 {
             None => false,
-            Some(s) => level <= s.level,
+            Some(s) => level <= s.level || s.bus.as_ref().is_some_and(ProgressBus::watched),
+        }
+    }
+
+    /// Routing for a record named `name` at `level`.
+    #[inline]
+    fn routes(shared: &Shared, level: TraceLevel, name: &str) -> Routes {
+        Routes {
+            sink: level <= shared.level,
+            bus: shared.bus.as_ref().is_some_and(ProgressBus::watched) && is_progress_event(name),
         }
     }
 
@@ -235,6 +311,7 @@ impl Tracer {
         level: TraceLevel,
         name: &str,
         fields: &[(&str, Json)],
+        routes: Routes,
     ) {
         let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 5);
         let ts = shared.epoch.elapsed().as_micros() as u64;
@@ -245,7 +322,15 @@ impl Tracer {
         for (k, v) in fields {
             pairs.push(((*k).to_string(), v.clone()));
         }
-        shared.sink.write_line(&Json::Obj(pairs).to_string());
+        let line = Json::Obj(pairs).to_string();
+        if routes.sink {
+            shared.sink.write_line(&line);
+        }
+        if routes.bus {
+            if let Some(bus) = &shared.bus {
+                bus.publish_line(&line);
+            }
+        }
     }
 
     /// Open a span. Returns a guard that emits `span_close` (with
@@ -258,7 +343,8 @@ impl Tracer {
     /// [`Tracer::span`] with extra fields on the `span_open` record.
     pub fn span_with(&self, name: &'static str, fields: &[(&str, Json)]) -> Span {
         let Some(shared) = &self.0 else { return Span::inert() };
-        if TraceLevel::Info > shared.level {
+        let routes = Self::routes(shared, TraceLevel::Info, name);
+        if routes.none() {
             return Span::inert();
         }
         let id = shared.next_span.fetch_add(1, Ordering::Relaxed);
@@ -274,14 +360,15 @@ impl Tracer {
             all.push(("parent", Json::from(p)));
         }
         all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
-        self.emit(shared, "span_open", TraceLevel::Info, name, &all);
+        self.emit(shared, "span_open", TraceLevel::Info, name, &all, routes);
         Span { tracer: self.clone(), id, name, opened: Instant::now() }
     }
 
     /// Emit a point event at `level` with free-form fields.
     pub fn event(&self, level: TraceLevel, name: &'static str, fields: &[(&str, Json)]) {
         let Some(shared) = &self.0 else { return };
-        if level > shared.level {
+        let routes = Self::routes(shared, level, name);
+        if routes.none() {
             return;
         }
         let current = SPAN_STACK.with(|s| s.borrow().last().copied());
@@ -290,7 +377,7 @@ impl Tracer {
             all.push(("span", Json::from(span)));
         }
         all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
-        self.emit(shared, "event", level, name, &all);
+        self.emit(shared, "event", level, name, &all, routes);
     }
 
     /// A `Warn`-level event — the structured replacement for raw
@@ -312,7 +399,8 @@ impl Tracer {
     /// Emit a named counter sample (`Info` level).
     pub fn counter(&self, name: &'static str, value: u64) {
         let Some(shared) = &self.0 else { return };
-        if TraceLevel::Info > shared.level {
+        let routes = Self::routes(shared, TraceLevel::Info, name);
+        if routes.none() {
             return;
         }
         let current = SPAN_STACK.with(|s| s.borrow().last().copied());
@@ -321,7 +409,7 @@ impl Tracer {
             all.push(("span", Json::from(span)));
         }
         all.push(("value", Json::from(value)));
-        self.emit(shared, "counter", TraceLevel::Info, name, &all);
+        self.emit(shared, "counter", TraceLevel::Info, name, &all, routes);
     }
 }
 
@@ -366,12 +454,14 @@ impl Drop for Span {
             }
         });
         let dur = self.opened.elapsed().as_micros() as u64;
+        let routes = Tracer::routes(shared, TraceLevel::Info, self.name);
         self.tracer.emit(
             shared,
             "span_close",
             TraceLevel::Info,
             self.name,
             &[("span", Json::from(self.id)), ("dur_us", Json::from(dur))],
+            routes,
         );
     }
 }
@@ -445,6 +535,77 @@ mod tests {
         assert_eq!(recs[0].get("name").and_then(Json::as_str), Some("w"));
         assert!(!t.level_enabled(TraceLevel::Info));
         assert!(t.level_enabled(TraceLevel::Warn));
+    }
+
+    #[test]
+    fn progress_bus_tee_receives_debug_detail_past_a_quiet_sink() {
+        use crate::progress::{Progress, ProgressBus};
+        let (t, sink) = Tracer::memory(TraceLevel::Warn);
+        let bus = ProgressBus::new(32);
+        let teed = t.with_progress(bus.clone());
+        // Nobody watching yet: the tee stays inert and the disabled-level
+        // fast path holds.
+        assert!(!teed.level_enabled(TraceLevel::Debug));
+        let mut rx = bus.subscribe(None);
+        // A watched bus makes every level worth computing...
+        assert!(teed.level_enabled(TraceLevel::Debug));
+        {
+            let _p = teed.span("phase.ranking");
+            teed.debug("rank.layer", &[("rank", Json::from(1u64)), ("nodes", Json::from(9u64))]);
+            teed.debug("bdd.detail", &[]); // not progress-relevant: bus must skip it
+        }
+        // ...but the sink still honours its own threshold.
+        assert!(sink.lines().is_empty());
+        let mut names = Vec::new();
+        while let Progress::Event { line, .. } = rx.next(std::time::Duration::from_millis(5)) {
+            let rec = Json::parse(&line).unwrap();
+            names.push(rec.get("name").and_then(Json::as_str).unwrap().to_string());
+        }
+        assert_eq!(names, vec!["phase.ranking", "rank.layer", "phase.ranking"]);
+    }
+
+    #[test]
+    fn with_progress_on_a_disabled_tracer_feeds_only_the_bus() {
+        use crate::progress::ProgressBus;
+        let bus = ProgressBus::new(8);
+        let t = Tracer::disabled().with_progress(bus.clone());
+        let _rx = bus.subscribe(None);
+        t.debug("rank.layer", &[("rank", Json::from(1u64))]);
+        t.debug("not.progress", &[]);
+        assert_eq!(bus.published(), 1);
+    }
+
+    #[test]
+    fn unwatched_bus_tee_is_inert_until_a_subscriber_attaches() {
+        use crate::progress::ProgressBus;
+        let bus = ProgressBus::new(8);
+        let t = Tracer::disabled().with_progress(bus.clone());
+        t.debug("rank.layer", &[("rank", Json::from(1u64))]);
+        assert_eq!(bus.published(), 0, "no subscriber: the tee must not record");
+        {
+            let _rx = bus.subscribe(None);
+            t.debug("rank.layer", &[("rank", Json::from(2u64))]);
+            assert_eq!(bus.published(), 1);
+        }
+        // Receiver dropped: inert again.
+        t.debug("rank.layer", &[("rank", Json::from(3u64))]);
+        assert_eq!(bus.published(), 1);
+    }
+
+    #[test]
+    fn derived_tracer_shares_span_id_allocation() {
+        use crate::progress::ProgressBus;
+        let (t, sink) = Tracer::memory(TraceLevel::Info);
+        let teed = t.with_progress(ProgressBus::new(8));
+        {
+            let _a = t.span("outer");
+            let _b = teed.span("phase.inner");
+        }
+        let recs = parsed(&sink);
+        let ids: Vec<u64> =
+            recs.iter().filter_map(|r| r.get("span").and_then(Json::as_u64)).collect();
+        assert_eq!(ids[0], 1);
+        assert_eq!(ids[1], 2); // no id collision between parent and derived handle
     }
 
     #[test]

@@ -159,8 +159,8 @@ fn usage_text() -> &'static str {
      \x20      stsyn client --addr HOST:PORT [--retries N] [--retry-base-ms MS] \
      submit (FILE | --case NAME --n N [--d D]) \
      [--weak] [--engine ENGINE] [--priority P] [--wait] [--emit-dsl OUT.stsyn]\n\
-     \x20      stsyn client --addr HOST:PORT status ID | result ID | cancel ID | ping | stats | \
-     metrics | fleet-stats | fleet-metrics | shutdown [--mode drain|checkpoint]\n\
+     \x20      stsyn client --addr HOST:PORT status ID | watch ID | result ID | cancel ID | \
+     ping | stats | metrics | fleet-stats | fleet-metrics | shutdown [--mode drain|checkpoint]\n\
      \x20      stsyn store stats --addr HOST:PORT | gc --addr HOST:PORT [--cap-bytes N] | \
      verify --dir PATH\n\
      \x20      stsyn trace-summary TRACE.ndjson\n\
@@ -768,6 +768,17 @@ fn client_main(argv: &[String]) -> Result<ExitCode, CliError> {
             println!("job {id}: {}", resp.get("state").and_then(Json::as_str).unwrap_or("unknown"));
             Ok(ExitCode::SUCCESS)
         }
+        "watch" => {
+            let id = parse_id(args)?;
+            let status = client.watch(id, render_watch_frame).map_err(map_client_err)?;
+            let state = status.get("state").and_then(Json::as_str).unwrap_or("unknown");
+            println!("job {id}: {state}");
+            if state == "done" {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::from(EXIT_SYNTH))
+            }
+        }
         "result" => {
             let id = parse_id(args)?;
             let resp = client.result(id).map_err(map_client_err)?;
@@ -842,6 +853,36 @@ fn client_main(argv: &[String]) -> Result<ExitCode, CliError> {
             Ok(ExitCode::SUCCESS)
         }
         other => Err(CliError::usage(format!("unknown client verb `{other}`"))),
+    }
+}
+
+/// Render one live `watch` frame. Progress events print compactly
+/// (sequence number, event name, fields); gap markers announce dropped
+/// frames; heartbeats are liveness plumbing and stay silent.
+fn render_watch_frame(frame: &stsyn_serve::WatchFrame) {
+    use stsyn_serve::WatchFrame;
+    match frame {
+        WatchFrame::Progress { seq, event } => {
+            let name = event.get("name").and_then(Json::as_str).unwrap_or("?");
+            let mut line = format!("  #{seq:<4} {name}");
+            if let Json::Obj(pairs) = event {
+                for (k, v) in pairs {
+                    if matches!(k.as_str(), "ts_us" | "kind" | "level" | "name" | "span" | "parent")
+                    {
+                        continue;
+                    }
+                    line.push(' ');
+                    line.push_str(k);
+                    line.push('=');
+                    line.push_str(&v.to_string());
+                }
+            }
+            println!("{line}");
+        }
+        WatchFrame::Gap { missed } => {
+            println!("  ...  {missed} frame(s) dropped (replay window exceeded)");
+        }
+        WatchFrame::Heartbeat { .. } | WatchFrame::Status(_) => {}
     }
 }
 

@@ -82,6 +82,49 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// One frame of a `watch` stream (see `op_watch_stream` in the server).
+#[derive(Debug, Clone)]
+pub enum WatchFrame {
+    /// A progress event teed from the job's tracer (or a `job.state`
+    /// lifecycle event), with its bus sequence number.
+    Progress {
+        /// Bus sequence number (resume cursor).
+        seq: u64,
+        /// The trace/lifecycle record.
+        event: Json,
+    },
+    /// The bus dropped `missed` frames before this point (slow reader or
+    /// late subscribe past the replay window).
+    Gap {
+        /// How many frames were lost.
+        missed: u64,
+    },
+    /// Liveness frame while the job makes no visible progress.
+    Heartbeat {
+        /// Job state at heartbeat time (`queued` / `running`).
+        state: String,
+    },
+    /// Terminal frame: the job's final `status` payload. Always last.
+    Status(Json),
+}
+
+impl WatchFrame {
+    fn from_json(v: &Json) -> Option<WatchFrame> {
+        match v.get("frame").and_then(Json::as_str)? {
+            "progress" => Some(WatchFrame::Progress {
+                seq: v.get("seq").and_then(Json::as_u64)?,
+                event: v.get("event").cloned().unwrap_or(Json::Null),
+            }),
+            "gap" => Some(WatchFrame::Gap { missed: v.get("missed").and_then(Json::as_u64)? }),
+            "heartbeat" => Some(WatchFrame::Heartbeat {
+                state: v.get("state").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+            }),
+            "status" => Some(WatchFrame::Status(v.clone())),
+            _ => None,
+        }
+    }
+}
+
 /// Retry/backoff configuration for one [`Client`].
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
@@ -409,13 +452,178 @@ impl Client {
         self.request(&Json::obj(vec![("op", "shutdown".into()), ("mode", mode.into())])).map(|_| ())
     }
 
+    /// Stream live progress for a job until it reaches a terminal state.
+    /// `on_frame` sees every frame (progress events, gap markers,
+    /// heartbeats) and finally the terminal [`WatchFrame::Status`], whose
+    /// payload is also the return value. Transient transport failures
+    /// mid-stream are retried per the policy, resuming from the last
+    /// sequence number seen (dropped frames surface as
+    /// [`WatchFrame::Gap`] if the bus has moved past it).
+    pub fn watch(
+        &mut self,
+        id: u64,
+        mut on_frame: impl FnMut(&WatchFrame),
+    ) -> Result<Json, ClientError> {
+        let mut cursor: Option<u64> = None;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.watch_once(id, &mut cursor, None, &mut on_frame) {
+                Ok(status) => return Ok(status),
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    self.conn = None;
+                    let delay = self.backoff_delay(attempt);
+                    std::thread::sleep(delay);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One watch attempt on the current connection. Updates `cursor` to
+    /// `last seq + 1` as progress frames arrive so a retry resumes where
+    /// this attempt stopped. With a `deadline`, per-read socket timeouts
+    /// are clamped to the time remaining and expiry surfaces as
+    /// [`ClientError::Timeout`].
+    fn watch_once(
+        &mut self,
+        id: u64,
+        cursor: &mut Option<u64>,
+        deadline: Option<Instant>,
+        on_frame: &mut dyn FnMut(&WatchFrame),
+    ) -> Result<Json, ClientError> {
+        if self.conn.is_none() {
+            self.dial()?;
+        }
+        let (reader, writer) = self.conn.as_mut().expect("dial() just set the connection");
+        let mut pairs: Vec<(&str, Json)> = vec![("op", "watch".into()), ("id", id.into())];
+        if let Some(seq) = *cursor {
+            pairs.push(("from_seq", seq.into()));
+        }
+        let mut line = Json::obj(pairs).to_string();
+        line.push('\n');
+        if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| writer.flush()) {
+            self.conn = None;
+            return Err(ClientError::Io(e.to_string()));
+        }
+        loop {
+            if let Some(dl) = deadline {
+                let remaining = dl.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    // The stream is mid-flight; this connection can't be
+                    // reused for request/response traffic.
+                    self.conn = None;
+                    return Err(ClientError::Timeout);
+                }
+                let per_read = match self.policy.io_timeout {
+                    Some(t) => t.min(remaining),
+                    None => remaining,
+                };
+                writer.set_read_timeout(Some(per_read.max(Duration::from_millis(1)))).ok();
+            }
+            let mut resp = String::new();
+            let n = match reader.read_line(&mut resp) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.conn = None;
+                    let timed_out = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    );
+                    if timed_out && deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        return Err(ClientError::Timeout);
+                    }
+                    return Err(ClientError::Io(e.to_string()));
+                }
+            };
+            if n == 0 {
+                self.conn = None;
+                return Err(ClientError::Protocol("server closed the connection".into()));
+            }
+            let v = match Json::parse(&resp) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.conn = None;
+                    return Err(ClientError::Protocol(e.to_string()));
+                }
+            };
+            if v.get("frame").is_none() {
+                // A plain response instead of a stream: the setup was
+                // refused (unknown job, or a daemon that predates
+                // `watch` answering `bad-request`). The connection stays
+                // usable for ordinary requests.
+                if v.get("ok").and_then(Json::as_bool) == Some(false) {
+                    if deadline.is_some() {
+                        writer.set_read_timeout(self.policy.io_timeout).ok();
+                    }
+                    return Err(ClientError::Rejected {
+                        code: v.get("code").and_then(Json::as_str).unwrap_or("error").to_string(),
+                        message: v.get("error").and_then(Json::as_str).unwrap_or("").to_string(),
+                    });
+                }
+                self.conn = None;
+                return Err(ClientError::Protocol("expected a watch frame".into()));
+            }
+            let frame = match WatchFrame::from_json(&v) {
+                Some(f) => f,
+                None => continue, // unknown frame kind from a newer server: skip
+            };
+            if let WatchFrame::Progress { seq, .. } = frame {
+                *cursor = Some(seq + 1);
+            }
+            let terminal = matches!(frame, WatchFrame::Status(_));
+            on_frame(&frame);
+            if terminal {
+                if deadline.is_some() {
+                    // Restore the policy-wide socket deadline we clamped.
+                    writer.set_read_timeout(self.policy.io_timeout).ok();
+                }
+                return Ok(v);
+            }
+        }
+    }
+
     /// Poll until the job reaches a terminal state, then fetch its
     /// result. Cancelled jobs surface as `Rejected { code: "cancelled" }`.
-    /// Polling backs off exponentially from 5 ms to a 400 ms cap (with
-    /// jitter), so short jobs return promptly and long jobs don't get
-    /// hammered by status requests.
+    ///
+    /// When the service supports the `watch` verb, this rides the live
+    /// progress stream (one long-lived read instead of a polling train)
+    /// and wakes the moment the terminal frame lands. Against an older
+    /// daemon or router (which answers `watch` with `bad-request`), or if
+    /// the stream keeps dying, it falls back to polling with exponential
+    /// backoff from 5 ms to a 400 ms cap (with jitter).
     pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<Json, ClientError> {
         let deadline = Instant::now() + timeout;
+        let mut cursor: Option<u64> = None;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.watch_once(id, &mut cursor, Some(deadline), &mut |_| {}) {
+                Ok(_status) => return self.result(id),
+                Err(ClientError::Rejected { code, .. }) if code == "bad-request" => break,
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    self.conn = None;
+                    std::thread::sleep(
+                        self.backoff_delay(attempt)
+                            .min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                }
+                Err(ClientError::Timeout) => return Err(ClientError::Timeout),
+                // Terminal rejections (unknown-job, ...) and exhausted
+                // retries: let the polling path render the final answer —
+                // it reproduces the pre-watch behavior exactly.
+                Err(_) => break,
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+        }
+        self.wait_by_polling(id, deadline)
+    }
+
+    fn wait_by_polling(&mut self, id: u64, deadline: Instant) -> Result<Json, ClientError> {
         let mut delay = Duration::from_millis(5);
         let cap = Duration::from_millis(400);
         loop {

@@ -69,7 +69,7 @@ pub mod server;
 pub mod wire;
 
 pub use chaos::{ChaosProxy, Direction, Fault, FaultPlan, LinkMode, LinkProxy, XorShift64};
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientError, RetryPolicy, WatchFrame};
 pub use json::Json;
 pub use queue::{PriorityQueue, PushError};
 pub use router::{HashRing, Router, RouterConfig, RouterHandle, ShardHealth};

@@ -76,7 +76,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use stsyn_obs::{MetricsText, Tracer};
+use stsyn_obs::{HistogramSnapshot, MetricsText, Tracer};
 
 /// splitmix64 finalizer: a bijective avalanche mix, so distinct inputs
 /// give distinct ring points and key hashes spread uniformly.
@@ -634,6 +634,14 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
             continue;
         }
         let response = match Json::parse(&line) {
+            // `watch` streams many frames on this connection instead of
+            // one response line, so it bypasses the one-shot dispatch.
+            Ok(req) if req.get("op").and_then(Json::as_str) == Some("watch") => {
+                match op_watch_proxy(shared, &req, &mut writer)? {
+                    None => continue,
+                    Some(resp) => resp,
+                }
+            }
             Ok(req) => dispatch(shared, &req),
             Err(e) => error_json("bad-request", &format!("malformed request: {e}")),
         };
@@ -854,6 +862,196 @@ fn with_router_identity(mut resp: Json, id: u64, shard: usize) -> Json {
         pairs.push(("shard".into(), (shard as u64).into()));
     }
     resp
+}
+
+/// How one proxied watch stream against a shard ended.
+enum StreamOutcome {
+    /// Terminal status frame forwarded; the stream is complete.
+    Done,
+    /// The shard answered with a one-line refusal before streaming;
+    /// forward it as the (single) response.
+    Reply(Json),
+    /// Transport trouble with the shard mid-stream; retry (possibly on a
+    /// failover target) resuming from the carried cursor.
+    Retry(Option<u64>),
+}
+
+/// Proxy the `watch` verb: attach to the owning shard's stream and
+/// forward frames to the client. When the shard dies mid-stream the
+/// stream *re-attaches*: the job is failed over to a surviving shard
+/// (same spec, same idempotency key) and the watch restarts against the
+/// new shard from sequence 0 — the new shard's bus numbers frames from
+/// scratch, and the terminal status frame is never lost because every
+/// attached stream ends with one. Returns `Ok(None)` when the stream
+/// completed on the wire, `Ok(Some(resp))` for a one-line refusal.
+fn op_watch_proxy(shared: &Shared, req: &Json, writer: &mut TcpStream) -> io::Result<Option<Json>> {
+    let Some(id) = req.get("id").and_then(Json::as_u64) else {
+        return Ok(Some(error_json("bad-request", "request needs an integer `id`")));
+    };
+    let Some((mut shard, mut shard_id)) = lock_jobs(shared).get(&id).map(|e| (e.shard, e.shard_id))
+    else {
+        return Ok(Some(error_json("unknown-job", &format!("no job {id}"))));
+    };
+    let mut cursor: Option<u64> = req.get("from_seq").and_then(Json::as_u64);
+    let mut failures: u32 = 0;
+    loop {
+        if shared.shards[shard].health() == ShardHealth::Down {
+            match failover(shared, id, shard) {
+                Ok((s, sid)) => {
+                    shard = s;
+                    shard_id = sid;
+                    // A new shard means a new progress bus whose sequence
+                    // numbers restart at 0: resume from the top, not from
+                    // the dead shard's cursor.
+                    cursor = None;
+                }
+                Err(e) => return Ok(Some(e)),
+            }
+        }
+        match watch_shard_stream(shared, shard, shard_id, id, cursor, writer)? {
+            StreamOutcome::Done => return Ok(None),
+            StreamOutcome::Reply(resp) => return Ok(Some(resp)),
+            StreamOutcome::Retry(c) => {
+                cursor = c;
+                failures += 1;
+                if failures > 10 {
+                    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(error_json(
+                        CODE_DEGRADED,
+                        &format!("job {id}'s watch stream keeps failing; retry later"),
+                    )));
+                }
+                // Brief pause so repeated connect-refused attempts march
+                // the shard's failure counter to `Down` (unlocking the
+                // failover branch above) without spinning.
+                std::thread::sleep(Duration::from_millis(25).saturating_mul(failures.min(8)));
+            }
+        }
+    }
+}
+
+/// One watch attempt against one shard on a dedicated connection,
+/// forwarding frames to `writer` (the client). Shard-side trouble comes
+/// back as [`StreamOutcome::Retry`]; a client-side write failure is the
+/// `Err` arm — the client is gone and the proxy should just stop.
+fn watch_shard_stream(
+    shared: &Shared,
+    shard: usize,
+    shard_id: u64,
+    router_id: u64,
+    mut cursor: Option<u64>,
+    writer: &mut TcpStream,
+) -> io::Result<StreamOutcome> {
+    shared.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+    let shard_fail = || {
+        shared.counters.forward_errors.fetch_add(1, Ordering::Relaxed);
+        record_failure(shared, shard, "forward");
+    };
+    let dial = || -> io::Result<TcpStream> {
+        let sockaddr = shared.shards[shard].addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "unresolvable shard addr")
+        })?;
+        let s = TcpStream::connect_timeout(&sockaddr, shared.cfg.shard_io_timeout)?;
+        s.set_nodelay(true).ok();
+        s.set_read_timeout(Some(shared.cfg.shard_io_timeout))?;
+        s.set_write_timeout(Some(shared.cfg.shard_io_timeout))?;
+        Ok(s)
+    };
+    let stream = match dial() {
+        Ok(s) => s,
+        Err(_) => {
+            shard_fail();
+            return Ok(StreamOutcome::Retry(cursor));
+        }
+    };
+    let mut shard_writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            shard_fail();
+            return Ok(StreamOutcome::Retry(cursor));
+        }
+    };
+    let mut pairs: Vec<(&str, Json)> = vec![("op", "watch".into()), ("id", shard_id.into())];
+    if let Some(seq) = cursor {
+        pairs.push(("from_seq", seq.into()));
+    }
+    let mut req_line = Json::obj(pairs).to_string();
+    req_line.push('\n');
+    if shard_writer.write_all(req_line.as_bytes()).and_then(|()| shard_writer.flush()).is_err() {
+        shard_fail();
+        return Ok(StreamOutcome::Retry(cursor));
+    }
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_REQUEST_BYTES) {
+            Ok(Some(l)) => l,
+            Ok(None) => {
+                // Shard hung up mid-stream (killed, restarted, draining).
+                shard_fail();
+                return Ok(StreamOutcome::Retry(cursor));
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // The shard went quiet past our socket deadline — its
+                // heartbeat cadence (daemon io-timeout / 2) may simply be
+                // slower than `shard_io_timeout`. Keep the client socket
+                // alive with a proxy heartbeat and keep listening, unless
+                // the prober has since declared the shard dead.
+                if shared.shards[shard].health() == ShardHealth::Down {
+                    return Ok(StreamOutcome::Retry(cursor));
+                }
+                writer.write_all(b"{\"frame\":\"heartbeat\",\"state\":\"proxied\"}\n")?;
+                writer.flush()?;
+                continue;
+            }
+            Err(_) => {
+                shard_fail();
+                return Ok(StreamOutcome::Retry(cursor));
+            }
+        };
+        let v = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(_) => {
+                shard_fail();
+                return Ok(StreamOutcome::Retry(cursor));
+            }
+        };
+        match v.get("frame").and_then(Json::as_str) {
+            Some("status") => {
+                // Terminal frame: rewrite to the router's identity (the
+                // shard-local id must never leak) and finish the stream.
+                let resp = with_router_identity(v, router_id, shard);
+                writer.write_all(resp.to_string().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                return Ok(StreamOutcome::Done);
+            }
+            Some(_) => {
+                if let Some(seq) = v.get("seq").and_then(Json::as_u64) {
+                    cursor = Some(seq + 1);
+                }
+                // Progress / gap / heartbeat frames forward verbatim (the
+                // line still carries its newline).
+                writer.write_all(line.as_bytes())?;
+                writer.flush()?;
+            }
+            None => {
+                // A one-line response instead of a stream: a typed
+                // refusal (unknown-job after a shard restart, bad-request
+                // from a daemon predating `watch`, ...).
+                if v.get("ok").and_then(Json::as_bool) == Some(false) {
+                    let code = v.get("code").and_then(Json::as_str).unwrap_or("error").to_string();
+                    let message = v.get("error").and_then(Json::as_str).unwrap_or("").to_string();
+                    return Ok(StreamOutcome::Reply(with_router_identity(
+                        error_json(&code, &message),
+                        router_id,
+                        shard,
+                    )));
+                }
+                shard_fail();
+                return Ok(StreamOutcome::Retry(cursor));
+            }
+        }
+    }
 }
 
 /// Server-side wait: poll the job's shard (following failovers) until it
@@ -1098,6 +1296,9 @@ fn op_fleet_metrics(shared: &Shared) -> Json {
     let mut store_evictions = 0u64;
     let mut store_entries = 0u64;
     let mut store_bytes = 0u64;
+    let mut fleet_queue_wait = HistogramSnapshot::empty();
+    let mut fleet_run = HistogramSnapshot::empty();
+    let mut fleet_submit_result = HistogramSnapshot::empty();
     for (i, s) in shared.shards.iter().enumerate() {
         if s.health() == ShardHealth::Down {
             continue;
@@ -1115,6 +1316,19 @@ fn op_fleet_metrics(shared: &Shared) -> Json {
             store_evictions += get("store_evictions");
             store_entries += get("store_entries");
             store_bytes += get("store_bytes");
+            // Latency histograms sum bucket-wise across shards — the
+            // whole point of shipping buckets (not averages) on the wire.
+            if let Some(latency) = stats.get("latency") {
+                for (slot, key) in [
+                    (&mut fleet_queue_wait, "queue_wait"),
+                    (&mut fleet_run, "run"),
+                    (&mut fleet_submit_result, "submit_to_result"),
+                ] {
+                    if let Some(h) = latency.get(key).and_then(HistogramSnapshot::from_json) {
+                        slot.merge(&h);
+                    }
+                }
+            }
             reachable += 1;
         }
     }
@@ -1157,6 +1371,21 @@ fn op_fleet_metrics(shared: &Shared) -> Json {
             "stsyn_fleet_shards_reporting",
             "Shards that answered the stats scrape",
             reachable as f64,
+        )
+        .histogram(
+            "stsyn_fleet_queue_wait_seconds",
+            "Queue wait (submit to first claim) across reachable shards",
+            &fleet_queue_wait,
+        )
+        .histogram(
+            "stsyn_fleet_run_seconds",
+            "Job run time (claim to finish) across reachable shards",
+            &fleet_run,
+        )
+        .histogram(
+            "stsyn_fleet_submit_to_result_seconds",
+            "End-to-end submit-to-result latency across reachable shards",
+            &fleet_submit_result,
         );
     Json::obj(vec![("ok", true.into()), ("metrics", m.render().into())])
 }

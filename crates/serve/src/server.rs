@@ -67,7 +67,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use stsyn_core::job::{JobCheckpoint, JobError, JobMode};
 use stsyn_core::SynthesisError;
-use stsyn_obs::{MetricsText, Tracer};
+use stsyn_obs::{LatencyHistogram, MetricsText, Progress, ProgressBus, Tracer};
 use stsyn_store::Store;
 use stsyn_symbolic::Resource;
 
@@ -190,10 +190,17 @@ pub struct Counters {
     pub peak_nodes_max: AtomicU64,
     /// Total milliseconds completed claims spent queued (wait time).
     pub queue_wait_ms_total: AtomicU64,
-    /// Number of claims contributing to `queue_wait_ms_total`.
-    pub queue_waited: AtomicU64,
     /// Total milliseconds workers spent running jobs (busy time).
     pub run_ms_total: AtomicU64,
+    /// Log-bucketed queue-wait distribution (claim time minus enqueue
+    /// time), one sample per claimed attempt.
+    pub queue_wait_hist: LatencyHistogram,
+    /// Log-bucketed run-time distribution, one sample per finished
+    /// attempt.
+    pub run_hist: LatencyHistogram,
+    /// Log-bucketed submit→result distribution: admission to terminal
+    /// state, across retries and resumes (store hits observe ~0).
+    pub submit_result_hist: LatencyHistogram,
     /// Completed job directories removed by retention GC (their results
     /// live on in the artifact store).
     pub pruned: AtomicU64,
@@ -214,6 +221,11 @@ enum JobState {
 }
 
 impl JobState {
+    /// No further state transitions (and no further progress frames).
+    fn terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
     fn name(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
@@ -242,6 +254,12 @@ struct JobEntry {
     warm: bool,
     /// Terminal payload (the stored `result.json` value) for Done/Failed.
     result: Option<Json>,
+    /// Admission time; unlike `queued_at` it is never reset by retries,
+    /// so it anchors the submit→result latency histogram.
+    submitted_at: Instant,
+    /// Per-job progress ring the tracer tees into and `watch` streams
+    /// from; closed when the job reaches a terminal state.
+    bus: ProgressBus,
 }
 
 impl JobEntry {
@@ -257,7 +275,20 @@ impl JobEntry {
             resumed: false,
             warm: false,
             result: None,
+            submitted_at: Instant::now(),
+            bus: ProgressBus::default(),
         }
+    }
+
+    /// Force a state (used when registering already-terminal entries —
+    /// recovery and store hits); terminal states close the progress bus
+    /// so a `watch` ends immediately instead of waiting for frames.
+    fn with_state(mut self, state: JobState) -> JobEntry {
+        if state.terminal() {
+            self.bus.close();
+        }
+        self.state = state;
+        self
     }
 }
 
@@ -518,8 +549,7 @@ fn recover_jobs(shared: &Shared) -> io::Result<()> {
             let dir = qdir.join(format!("{id:08}"));
             let Some(spec) = load_spec(shared, &dir, id) else { continue };
             remember_idem(shared, &spec, id);
-            let mut entry = JobEntry::new(spec);
-            entry.state = JobState::Quarantined;
+            let entry = JobEntry::new(spec).with_state(JobState::Quarantined);
             lock_jobs(shared).insert(id, entry);
         }
     }
@@ -533,26 +563,24 @@ fn recover_jobs(shared: &Shared) -> io::Result<()> {
         let mut entry = JobEntry::new(spec);
         if let Ok(text) = std::fs::read_to_string(dir.join(RESULT_FILE)) {
             if let Ok(result) = Json::parse(&text) {
-                entry.state = if result.get("ok").and_then(Json::as_bool).unwrap_or(false) {
+                let state = if result.get("ok").and_then(Json::as_bool).unwrap_or(false) {
                     JobState::Done
                 } else {
                     JobState::Failed
                 };
                 entry.result = Some(result);
-                lock_jobs(shared).insert(id, entry);
+                lock_jobs(shared).insert(id, entry.with_state(state));
                 continue;
             }
         }
         if dir.join(CANCEL_MARKER).exists() {
-            entry.state = JobState::Cancelled;
-            lock_jobs(shared).insert(id, entry);
+            lock_jobs(shared).insert(id, entry.with_state(JobState::Cancelled));
             continue;
         }
         // A quarantine marker whose directory rename failed: treat it as
         // quarantined in place.
         if dir.join(QUARANTINE_INFO).exists() {
-            entry.state = JobState::Quarantined;
-            lock_jobs(shared).insert(id, entry);
+            lock_jobs(shared).insert(id, entry.with_state(JobState::Quarantined));
             continue;
         }
         // Queued or in flight when the previous daemon died: re-enqueue.
@@ -644,14 +672,24 @@ fn run_claimed(shared: &Arc<Shared>, id: u64) {
         match jobs.get_mut(&id) {
             Some(e) if e.state == JobState::Queued => {
                 e.state = JobState::Running;
-                let queue_ms = e.queued_at.elapsed().as_millis() as u64;
+                let queue_us = e.queued_at.elapsed().as_micros() as u64;
+                let queue_ms = queue_us / 1000;
                 e.queue_ms = Some(queue_ms);
-                Some((e.spec.clone(), Arc::clone(&e.cancel), e.resumed, e.warm, queue_ms))
+                Some((
+                    e.spec.clone(),
+                    Arc::clone(&e.cancel),
+                    e.resumed,
+                    e.warm,
+                    queue_ms,
+                    queue_us,
+                    e.bus.clone(),
+                ))
             }
             _ => None,
         }
     };
-    let Some((spec, cancel, resumed, warm, queue_ms)) = claimed else { return };
+    let Some((spec, cancel, resumed, warm, queue_ms, queue_us, bus)) = claimed else { return };
+    bus.publish_event("job.state", &[("id", Json::from(id)), ("state", Json::from("running"))]);
 
     // Poison check before burning another attempt on it.
     let dir = shared.job_dir(id);
@@ -663,7 +701,7 @@ fn run_claimed(shared: &Arc<Shared>, id: u64) {
     let _ = append_attempt(&dir, "start");
 
     shared.counters.queue_wait_ms_total.fetch_add(queue_ms, Ordering::Relaxed);
-    shared.counters.queue_waited.fetch_add(1, Ordering::Relaxed);
+    shared.counters.queue_wait_hist.observe_us(queue_us);
     shared.busy.fetch_add(1, Ordering::SeqCst);
     let mut guard = JobGuard { shared: Arc::clone(shared), id, armed: true };
     if spec.chaos_job() == Some(ChaosJob::LoseWorker) {
@@ -677,11 +715,13 @@ fn run_claimed(shared: &Arc<Shared>, id: u64) {
         .span_with("serve.job", &[("id", Json::from(id)), ("queue_ms", Json::from(queue_ms))]);
     let started = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        execute_job(shared, id, &spec, &cancel)
+        execute_job(shared, id, &spec, &cancel, &bus)
     }));
-    let run_ms = started.elapsed().as_millis() as u64;
+    let run_us = started.elapsed().as_micros() as u64;
+    let run_ms = run_us / 1000;
     span.close();
     shared.counters.run_ms_total.fetch_add(run_ms, Ordering::Relaxed);
+    shared.counters.run_hist.observe_us(run_us);
     guard.armed = false;
     drop(guard);
     match outcome {
@@ -761,6 +801,14 @@ fn handle_crash(shared: &Shared, id: u64, message: &str) {
                 e.state = JobState::Queued;
                 e.queued_at = Instant::now();
                 e.resumed = dir.join(CKPT_DIR).join("journal.bin").exists();
+                e.bus.publish_event(
+                    "job.state",
+                    &[
+                        ("id", Json::from(id)),
+                        ("state", Json::from("queued")),
+                        ("retry", Json::from(true)),
+                    ],
+                );
                 Some(e.spec.priority)
             }
             None => None,
@@ -799,6 +847,11 @@ fn quarantine_job(shared: &Shared, id: u64, crashes: u32) {
     let _ = std::fs::rename(&dir, &qdir);
     if let Some(e) = lock_jobs(shared).get_mut(&id) {
         e.state = JobState::Quarantined;
+        e.bus.publish_event(
+            "job.state",
+            &[("id", Json::from(id)), ("state", Json::from("quarantined"))],
+        );
+        e.bus.close();
     }
     shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
     shared.cfg.tracer.warn(
@@ -831,6 +884,7 @@ fn execute_job(
     id: u64,
     spec: &SubmitSpec,
     cancel: &Arc<AtomicBool>,
+    bus: &ProgressBus,
 ) -> JobOutcome {
     if spec.chaos_job() == Some(ChaosJob::Crash) {
         // Inside the catch_unwind fence: exercises crash recording,
@@ -843,7 +897,12 @@ fn execute_job(
     };
     // Cancellation is always armed: the per-job flag (live `cancel` op)
     // and the server-wide checkpoint-shutdown flag.
-    job.tracer = shared.cfg.tracer.clone();
+    //
+    // The tracer is derived per attempt so this job's progress-relevant
+    // records (phase spans, rank.layer, heuristic steps) also land on
+    // its own bus for `watch` subscribers, while the daemon-wide sink
+    // keeps seeing exactly what it saw before.
+    job.tracer = shared.cfg.tracer.with_progress(bus.clone());
     job.budget = Some(
         job.budget
             .take()
@@ -963,15 +1022,35 @@ fn record_finish(shared: &Shared, id: u64, resumed: bool, run_ms: u64, finished:
         // Leave spec + checkpoint untouched: the next daemon resumes it.
         JobOutcome::CutByShutdown => (JobState::Interrupted, None),
     };
-    {
+    let bus = {
         let mut jobs = lock_jobs(shared);
-        if let Some(e) = jobs.get_mut(&id) {
-            e.state = state;
-            e.run_ms = Some(run_ms);
-            e.result = result;
+        match jobs.get_mut(&id) {
+            Some(e) => {
+                e.state = state.clone();
+                e.run_ms = Some(run_ms);
+                e.result = result;
+                shared
+                    .counters
+                    .submit_result_hist
+                    .observe_us(e.submitted_at.elapsed().as_micros() as u64);
+                Some(e.bus.clone())
+            }
+            None => None,
         }
-    }
+    };
+    // Retention GC runs *before* the terminal frame: a `wait` riding the
+    // watch stream wakes the instant the bus closes, so all observable
+    // post-completion bookkeeping must already be done by then.
     prune_job_dirs(shared);
+    // Terminal frame + close *after* the registry shows the terminal
+    // state, so a watcher woken by the close reads a consistent status.
+    if let Some(bus) = bus {
+        bus.publish_event(
+            "job.state",
+            &[("id", Json::from(id)), ("state", Json::from(state.name()))],
+        );
+        bus.close();
+    }
 }
 
 /// Publish a finished job's artifacts: its terminal result (when it
@@ -1136,6 +1215,16 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
             continue;
         }
         let response = match Json::parse(&line) {
+            // `watch` is the one streaming verb: it takes the connection
+            // over, writes many NDJSON frames (progress, heartbeats, a
+            // terminal status frame), then hands back to the request
+            // loop. Setup failures still answer with one error line.
+            Ok(req) if req.get("op").and_then(Json::as_str) == Some("watch") => {
+                match op_watch_stream(shared, &req, &mut writer)? {
+                    None => continue,
+                    Some(resp) => resp,
+                }
+            }
             Ok(req) => dispatch(shared, &req),
             Err(e) => err_response("bad-request", &format!("malformed request: {e}")),
         };
@@ -1143,6 +1232,92 @@ fn handle_conn(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
+}
+
+/// Interval between `watch` heartbeat frames: half the socket deadline,
+/// so a healthy-but-quiet watch (job queued behind others, long fixpoint
+/// between rank layers) is never reaped by `--io-timeout`.
+fn heartbeat_interval(io_timeout: Duration) -> Duration {
+    if io_timeout.is_zero() {
+        Duration::from_secs(1)
+    } else {
+        (io_timeout / 2).max(Duration::from_millis(10))
+    }
+}
+
+fn write_frame(writer: &mut TcpStream, frame: &str) -> io::Result<()> {
+    writer.write_all(frame.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// `watch` op: stream a job's progress frames over the connection.
+///
+/// Frames (one JSON object per line):
+/// - `{"frame":"progress","seq":N,"event":{..trace record..}}`
+/// - `{"frame":"gap","missed":N}` — the ring dropped frames (slow reader
+///   or late subscribe past the replay window)
+/// - `{"frame":"heartbeat","state":S}` — liveness while nothing happens
+/// - `{"frame":"status",..full status..}` — terminal; always last
+///
+/// Returns `Ok(None)` after streaming through the terminal frame, or
+/// `Ok(Some(resp))` when setup failed and one error line should be sent
+/// instead. An `Err` is a dead connection (the job is unaffected).
+fn op_watch_stream(
+    shared: &Shared,
+    req: &Json,
+    writer: &mut TcpStream,
+) -> io::Result<Option<Json>> {
+    let id = match req_id(req) {
+        Ok(id) => id,
+        Err(e) => return Ok(Some(e)),
+    };
+    let from_seq = req.get("from_seq").and_then(Json::as_u64);
+    let mut rx = {
+        let jobs = lock_jobs(shared);
+        match jobs.get(&id) {
+            None => return Ok(Some(err_response("unknown-job", &format!("no job {id}")))),
+            Some(e) => e.bus.subscribe(from_seq),
+        }
+    };
+    let heartbeat = heartbeat_interval(shared.cfg.io_timeout);
+    loop {
+        match rx.next(heartbeat) {
+            Progress::Event { seq, line } => {
+                write_frame(
+                    writer,
+                    &format!("{{\"frame\":\"progress\",\"seq\":{seq},\"event\":{line}}}"),
+                )?;
+            }
+            Progress::Gap { missed } => {
+                write_frame(writer, &format!("{{\"frame\":\"gap\",\"missed\":{missed}}}"))?;
+            }
+            Progress::Idle => {
+                // Robustness: if some path made the job terminal without
+                // closing its bus, end the stream rather than heartbeat
+                // forever. A pruned job also ends here.
+                let state = lock_jobs(shared).get(&id).map(|e| e.state.clone());
+                match state {
+                    Some(s) if !s.terminal() => {
+                        let frame = Json::obj(vec![
+                            ("frame", "heartbeat".into()),
+                            ("state", s.name().into()),
+                        ]);
+                        write_frame(writer, &frame.to_string())?;
+                    }
+                    _ => break,
+                }
+            }
+            Progress::Closed => break,
+        }
+    }
+    // Terminal status frame: same shape as `status`, tagged as a frame.
+    let mut status = op_status(shared, req);
+    if let Json::Obj(pairs) = &mut status {
+        pairs.insert(0, ("frame".to_string(), "status".into()));
+    }
+    write_frame(writer, &status.to_string())?;
+    Ok(None)
 }
 
 fn err_response(code: &str, message: &str) -> Json {
@@ -1239,10 +1414,19 @@ fn admit_job(shared: &Shared, spec: SubmitSpec) -> Json {
     let priority = spec.priority;
     let mut entry = JobEntry::new(spec);
     entry.warm = warm;
+    let bus = entry.bus.clone();
     lock_jobs(shared).insert(id, entry);
     match shared.queue.push(priority, id) {
         Ok(()) => {
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            bus.publish_event(
+                "job.state",
+                &[
+                    ("id", Json::from(id)),
+                    ("state", Json::from("queued")),
+                    ("warm", Json::from(warm)),
+                ],
+            );
             Json::obj(vec![("ok", true.into()), ("id", id.into())])
         }
         Err(kind) => {
@@ -1309,13 +1493,16 @@ fn store_exact_hit(shared: &Shared, spec: &SubmitSpec) -> Option<Json> {
         return None;
     }
     let mut entry = JobEntry::new(spec.clone());
-    entry.state = JobState::Done;
     entry.queue_ms = Some(0);
     entry.run_ms = Some(0);
     entry.result = Some(result);
-    lock_jobs(shared).insert(id, entry);
+    let elapsed_us = entry.submitted_at.elapsed().as_micros() as u64;
+    lock_jobs(shared).insert(id, entry.with_state(JobState::Done));
     shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    // A store hit is still a completed submission: it lands in the
+    // submit→result distribution as the near-zero latency it really had.
+    shared.counters.submit_result_hist.observe_us(elapsed_us);
     shared.cfg.tracer.counter("store.hit", 1);
     shared.cfg.tracer.debug("store.hit", &[("id", Json::from(id)), ("key", Json::from(key))]);
     Some(Json::obj(vec![("ok", true.into()), ("id", id.into()), ("store", "hit".into())]))
@@ -1437,6 +1624,11 @@ fn op_cancel(shared: &Shared, req: &Json) -> Json {
                         b"cancelled by client (queued)\n",
                     );
                     shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    e.bus.publish_event(
+                        "job.state",
+                        &[("id", Json::from(id)), ("state", Json::from("cancelled"))],
+                    );
+                    e.bus.close();
                 }
                 JobState::Running => {
                     // Cooperative: the job's budget polls this flag and
@@ -1485,8 +1677,8 @@ fn op_stats(shared: &Shared) -> Json {
         ("utilization", (busy as f64 / workers as f64).into()),
         ("peak_nodes_max", c.peak_nodes_max.load(Ordering::Relaxed).into()),
         ("queue_wait_ms_total", c.queue_wait_ms_total.load(Ordering::Relaxed).into()),
-        ("queue_wait_ms_avg", avg_wait_ms(c).into()),
         ("run_ms_total", c.run_ms_total.load(Ordering::Relaxed).into()),
+        ("latency", latency_json(c)),
         ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
     ]);
     if let (Json::Obj(obj), Some(store)) = (&mut pairs, &shared.store) {
@@ -1506,13 +1698,25 @@ fn op_stats(shared: &Shared) -> Json {
     pairs
 }
 
-fn avg_wait_ms(c: &Counters) -> f64 {
-    let n = c.queue_waited.load(Ordering::Relaxed);
-    if n == 0 {
-        0.0
-    } else {
-        c.queue_wait_ms_total.load(Ordering::Relaxed) as f64 / n as f64
-    }
+/// The `latency` block of `stats`: raw (non-cumulative) bucket arrays
+/// plus sum/count for each distribution, in the fixed
+/// [`stsyn_obs::metrics::LATENCY_BUCKET_BOUNDS_US`] layout — what the
+/// router sums element-wise into the `stsyn_fleet_*` histograms.
+fn latency_json(c: &Counters) -> Json {
+    Json::obj(vec![
+        (
+            "bounds_us",
+            Json::Arr(
+                stsyn_obs::metrics::LATENCY_BUCKET_BOUNDS_US
+                    .iter()
+                    .map(|&b| Json::from(b))
+                    .collect(),
+            ),
+        ),
+        ("queue_wait", c.queue_wait_hist.snapshot().to_json()),
+        ("run", c.run_hist.snapshot().to_json()),
+        ("submit_to_result", c.submit_result_hist.snapshot().to_json()),
+    ])
 }
 
 /// `metrics` op: the same counters and gauges as `stats`, rendered as
@@ -1603,7 +1807,21 @@ fn op_metrics(shared: &Shared) -> Json {
         shared.live_workers.load(Ordering::SeqCst) as f64,
     )
     .gauge("stsyn_worker_utilization", "Busy workers over pool size", busy as f64 / workers as f64)
-    .gauge("stsyn_queue_wait_ms_avg", "Mean queue wait of claimed jobs", avg_wait_ms(c))
+    .histogram(
+        "stsyn_queue_wait_seconds",
+        "Queue-wait latency distribution of claimed jobs",
+        &c.queue_wait_hist.snapshot(),
+    )
+    .histogram(
+        "stsyn_run_seconds",
+        "Run-time distribution of finished job attempts",
+        &c.run_hist.snapshot(),
+    )
+    .histogram(
+        "stsyn_submit_to_result_seconds",
+        "Submission-to-terminal-state latency distribution",
+        &c.submit_result_hist.snapshot(),
+    )
     .gauge(
         "stsyn_peak_nodes_max",
         "Largest per-job peak live BDD node count",

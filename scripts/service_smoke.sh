@@ -168,6 +168,41 @@ client shutdown --mode drain >/dev/null
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
 
+echo "== watch: live progress stream + latency histograms =="
+"$STSYN" serve --addr 127.0.0.1:0 --workers 1 --state-dir "$WORK/state-watch" \
+    --print-addr >"$WORK/daemon-watch.out" &
+DAEMON_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$WORK/daemon-watch.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: watch daemon never printed its address" >&2; exit 1; }
+# A long job pins the single worker so the watch attaches while the
+# target is still queued — live detail frames only flow while a watcher
+# is on the job's bus, so this is what guarantees rank layers are seen.
+client submit --case coloring --n 12 >/dev/null
+WATCH_ID=$(client submit --case token_ring --n 4 | sed 's/^submitted job //')
+client watch "$WATCH_ID" >"$WORK/watch.out"
+grep -q "^job $WATCH_ID: done$" "$WORK/watch.out" \
+    || { echo "FAIL: watch did not end on a done status:" >&2; cat "$WORK/watch.out" >&2; exit 1; }
+grep -q "rank.layer" "$WORK/watch.out" \
+    || { echo "FAIL: watch stream carried no rank.layer frames:" >&2; cat "$WORK/watch.out" >&2; exit 1; }
+echo "OK: watch streamed $(grep -c 'rank.layer' "$WORK/watch.out") rank layers, then the terminal status"
+# The finished jobs populated the log-bucketed latency histograms.
+WATCH_METRICS=$(client metrics)
+echo "$WATCH_METRICS" | grep -q '^stsyn_queue_wait_seconds_bucket{le="+Inf"} ' \
+    || { echo "FAIL: metrics lack the queue-wait latency histogram" >&2; exit 1; }
+echo "$WATCH_METRICS" | grep -q '^# TYPE stsyn_run_seconds histogram$' \
+    || { echo "FAIL: metrics lack the run-time histogram TYPE line" >&2; exit 1; }
+echo "$WATCH_METRICS" | grep -Eq '^stsyn_submit_to_result_seconds_count [1-9]' \
+    || { echo "FAIL: submit-to-result histogram counted no jobs" >&2; exit 1; }
+echo "OK: latency histograms exposed in Prometheus text"
+client shutdown --mode drain >/dev/null
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
 echo "== artifact store: resubmission hits, gc, offline verify =="
 "$STSYN" serve --addr 127.0.0.1:0 --workers 1 --state-dir "$WORK/state-store" \
     --store-dir "$WORK/state-store/store" --print-addr >"$WORK/daemon-store.out" &
